@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks of the verification substrate itself:
+//! sequential vs parallel BFS throughput on the composed heartbeat
+//! models, DFS, random walks, and the LTS reduction pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hb_core::{FixLevel, Params, Variant};
+use hb_verify::requirements::{build_model, Requirement};
+use hb_verify::solo::p0_reduced_lts;
+use mck::dfs::Dfs;
+use mck::parallel::ParallelChecker;
+use mck::sim::random_walk;
+use mck::Checker;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bfs_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs_exhaustive");
+    group.sample_size(10);
+    for tmin in [4u32, 9] {
+        let params = Params::new(tmin, 10).unwrap();
+        let model = build_model(
+            Variant::Binary,
+            params,
+            FixLevel::Original,
+            1,
+            Requirement::R1,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("binary_r1", tmin),
+            &model,
+            |b, model| {
+                b.iter(|| {
+                    let out = Checker::new(model).check_invariant(|s| !model.monitor_error(s));
+                    std::hint::black_box(out.stats().states)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn parallel_vs_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_bfs");
+    group.sample_size(10);
+    let params = Params::new(9, 10).unwrap();
+    let model = build_model(
+        Variant::Binary,
+        params,
+        FixLevel::Original,
+        1,
+        Requirement::R1,
+    );
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            Checker::new(&model)
+                .check_invariant(|s| !model.monitor_error(s))
+                .stats()
+                .states
+        })
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    ParallelChecker::new(&model)
+                        .threads(threads)
+                        .check_invariant(|s| !model.monitor_error(s))
+                        .stats()
+                        .states
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn dfs_and_walks(c: &mut Criterion) {
+    let params = Params::new(4, 10).unwrap();
+    let model = build_model(
+        Variant::Binary,
+        params,
+        FixLevel::Original,
+        1,
+        Requirement::R2,
+    );
+    c.bench_function("dfs_exhaustive_r2", |b| {
+        b.iter(|| {
+            Dfs::new(&model)
+                .find(|s| s.coord.status == hb_core::Status::NvInactive)
+                .stats()
+                .states
+        })
+    });
+    c.bench_function("random_walk_1k", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| random_walk(&model, &mut rng, 1_000).len())
+    });
+}
+
+fn lts_reduction(c: &mut Criterion) {
+    c.bench_function("p0_solo_reduction", |b| {
+        let params = Params::new(1, 4).unwrap();
+        b.iter(|| p0_reduced_lts(params).num_states)
+    });
+}
+
+criterion_group!(
+    benches,
+    bfs_exhaustive,
+    parallel_vs_sequential,
+    dfs_and_walks,
+    lts_reduction
+);
+criterion_main!(benches);

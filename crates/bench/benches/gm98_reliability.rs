@@ -1,0 +1,98 @@
+//! GM98 evaluation, reconstructed — **reliability**: probability of a
+//! false (loss-induced) inactivation as a function of the per-message
+//! loss rate, accelerated heartbeat versus rate-matched naive baselines.
+//!
+//! Paper claim: a false inactivation of the accelerated protocol requires
+//! `⌊log₂(tmax/tmin)⌋ + 1` *consecutive* silent rounds, so its
+//! probability falls geometrically; a naive protocol at the same message
+//! rate with tolerance 0/1 dies after 1/2 lost beats.
+
+use hb_core::{Params, Variant};
+use hb_sim::{run_scenario, NaiveConfig, NaiveWorld, Scenario};
+use std::time::Instant;
+
+const SEEDS: u64 = 200;
+const HORIZON: u64 = 4_000;
+
+fn accelerated_false_rate(params: Params, loss: f64) -> f64 {
+    let mut failures = 0;
+    for seed in 0..SEEDS {
+        let sc = Scenario::lossy(Variant::Binary, params, loss, HORIZON);
+        if run_scenario(&sc, seed).false_inactivations > 0 {
+            failures += 1;
+        }
+    }
+    failures as f64 / SEEDS as f64
+}
+
+fn naive_false_rate(cfg: NaiveConfig) -> f64 {
+    let mut failures = 0;
+    for seed in 0..SEEDS {
+        let mut w = NaiveWorld::new(cfg, seed);
+        w.run_until(HORIZON);
+        if w.into_report().false_inactivations > 0 {
+            failures += 1;
+        }
+    }
+    failures as f64 / SEEDS as f64
+}
+
+fn main() {
+    let t0 = Instant::now();
+    let params = Params::new(1, 8).expect("valid");
+    println!(
+        "false-inactivation probability within {HORIZON} units, {SEEDS} runs each, {params}"
+    );
+    println!(
+        "(accelerated tolerates {} consecutive losses; naive baselines are rate-matched at period = tmax)\n",
+        params.silent_rounds_to_inactivation() - 1
+    );
+    println!(
+        "{:>8} | {:>12} | {:>12} | {:>12}",
+        "loss", "accelerated", "naive tol=0", "naive tol=1"
+    );
+    println!("{}", "-".repeat(56));
+
+    let naive = |tolerance, loss| NaiveConfig {
+        period: params.tmax(),
+        tolerance,
+        delay_bound: params.tmin(),
+        n: 1,
+        loss_prob: loss,
+    };
+
+    let mut acc_curve = Vec::new();
+    let mut naive0_curve = Vec::new();
+    for loss in [0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.50] {
+        let acc = accelerated_false_rate(params, loss);
+        let n0 = naive_false_rate(naive(0, loss));
+        let n1 = naive_false_rate(naive(1, loss));
+        acc_curve.push(acc);
+        naive0_curve.push(n0);
+        println!("{loss:>8.2} | {acc:>12.3} | {n0:>12.3} | {n1:>12.3}");
+    }
+
+    // Shape assertions: at every loss rate the accelerated protocol is at
+    // least as reliable as the rate-matched tolerance-0 naive protocol,
+    // and strictly dominates somewhere in the mid-range.
+    assert!(
+        acc_curve
+            .iter()
+            .zip(&naive0_curve)
+            .all(|(a, n)| a <= &(n + 0.05)),
+        "accelerated protocol less reliable than a tolerance-0 naive one"
+    );
+    assert!(
+        acc_curve
+            .iter()
+            .zip(&naive0_curve)
+            .any(|(a, n)| *n - *a > 0.3),
+        "expected a large reliability gap somewhere in the sweep"
+    );
+    println!(
+        "\nthe accelerated protocol holds out far longer: each extra halving\n\
+         level is one more consecutive loss required for a false shutdown —\n\
+         reliability at no extra steady-state cost (GM98's third claim)."
+    );
+    println!("wall time: {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,72 @@
+//! Future-work extension (both papers' §7/conclusions): the rejoinable
+//! dynamic protocol, model-checked in two flavours.
+//!
+//! | flavour | participant safety | coordinator safety |
+//! |---|---|---|
+//! | naive rejoin | ? | **violated** (stale-join race) |
+//! | epoch-tagged | holds | holds |
+//!
+//! Prints the verdict grid and the naive race as a trace.
+
+use hb_core::Params;
+use hb_verify::rejoin_model::{rejoin_results, RejoinModel};
+use mck::{Checker, Model};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let params = Params::new(2, 4).expect("valid");
+    println!("== rejoinable dynamic protocol (future work of GM98 / AM09) ==");
+    println!("fault-free model, n = 1, up to 2 incarnations, {params}\n");
+
+    let r = rejoin_results(params);
+    println!("{:<22} {:>22} {:>22}", "", "participant safety", "coordinator safety");
+    println!(
+        "{:<22} {:>22} {:>22}",
+        "naive rejoin",
+        verdict(r.naive_participant_safe),
+        verdict(r.naive_coordinator_safe)
+    );
+    println!(
+        "{:<22} {:>22} {:>22}",
+        "epoch-tagged rejoin",
+        verdict(r.epoch_participant_safe),
+        verdict(r.epoch_coordinator_safe)
+    );
+
+    // Show the naive race.
+    let model = RejoinModel::new(params, 1, false, 2);
+    let ce = Checker::new(&model)
+        .find_state(RejoinModel::coordinator_nv)
+        .expect("naive rejoin must be violated");
+    println!(
+        "\nshortest naive-rejoin counterexample ({} transitions):",
+        ce.len()
+    );
+    for a in ce.actions() {
+        let label = model.format_action(&a);
+        if label != "tick" {
+            println!("  {label}");
+        }
+    }
+    println!(
+        "\nreading the race: the participant joins, is confirmed, leaves — and a\n\
+         straggler join beat from the dead incarnation, still in flight, re-enrols\n\
+         it at the coordinator. Nobody answers the coordinator's beats any more,\n\
+         the waiting time halves to nothing, and p[0] shuts down a perfectly\n\
+         healthy network. Epoch filtering (each incarnation numbered; a leave of\n\
+         epoch e raises the acceptance bar to e+1) removes every such race —\n\
+         verified exhaustively above."
+    );
+    println!("\nwall time: {:.1?}", t0.elapsed());
+    assert!(!r.naive_coordinator_safe);
+    assert!(r.epoch_participant_safe && r.epoch_coordinator_safe);
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "holds"
+    } else {
+        "VIOLATED"
+    }
+}

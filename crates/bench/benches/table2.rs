@@ -1,0 +1,18 @@
+//! Regenerate Atif & Mousavi (2009), **Table 2**: verification results for
+//! the expanding and dynamic heartbeat protocols on
+//! `tmin ∈ {1, 4, 5, 9, 10}`, `tmax = 10`.
+//!
+//! Expected (paper): `R1: F F F T T`, `R2: T T F F F`, `R3: T T T T F`.
+
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let report = hb_verify::table2();
+    println!("{}", report.render());
+    println!("wall time: {:.1?}", t0.elapsed());
+    assert!(
+        report.matches_expected(),
+        "Table 2 diverged from the paper — see MISMATCH rows above"
+    );
+}

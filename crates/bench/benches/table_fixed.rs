@@ -1,0 +1,38 @@
+//! Regenerate the §6 result of Atif & Mousavi (2009): the repaired
+//! protocols — receive-priority (§6.1) **plus** corrected time bounds
+//! (§6.2) — satisfy R1, R2 and R3 on every data set, for all six
+//! variants.
+//!
+//! Also prints the *ablation*: each fix applied alone, showing that
+//! neither is sufficient by itself (the paper: the priority fix "is
+//! essential for solving the problems … but it is not sufficient").
+
+use hb_core::{FixLevel, Variant};
+use hb_verify::tables::{paper_params, sweep_variant};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let report = hb_verify::table_fixed();
+    println!("{}", report.render());
+    assert!(
+        report.matches_expected(),
+        "a fixed protocol violates a requirement — the repair is wrong"
+    );
+
+    println!("\n== ablation: one fix at a time ==\n");
+    let datasets = paper_params();
+    for variant in [Variant::Binary, Variant::Expanding] {
+        for fix in [FixLevel::ReceivePriority, FixLevel::CorrectedBounds] {
+            let sweep = sweep_variant(variant, fix, &datasets);
+            println!("{}", sweep.render());
+        }
+    }
+    println!(
+        "reading the ablation: receive-priority alone repairs the binary\n\
+         R2/R3 races but leaves R1 broken (the claimed 2*tmax bound is simply\n\
+         wrong); corrected bounds alone leave the simultaneity races open.\n\
+         Only the combination passes everything — as §6 of the paper states."
+    );
+    println!("wall time: {:.1?}", t0.elapsed());
+}

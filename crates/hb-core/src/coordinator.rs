@@ -1,0 +1,482 @@
+//! The coordinator process `p[0]`, for every protocol variant.
+//!
+//! `p[0]` runs in rounds. Each round it waits `t` time units, then (on its
+//! *timeout*) recomputes the per-participant waiting times from the
+//! heartbeats received during the round, either inactivates itself
+//! (acceleration bottomed out below `tmin`) or broadcasts a fresh heartbeat
+//! to every joined participant and starts the next round.
+//!
+//! The specification is split into an immutable [`CoordSpec`] (variant,
+//! timing, participant count) and a small hashable [`CoordState`] so the
+//! same transition functions drive both the discrete-event simulator and
+//! the model-checking models.
+
+use crate::fixes::FixLevel;
+use crate::msg::{Heartbeat, Pid, Status};
+use crate::params::Params;
+use crate::variant::Variant;
+
+/// Immutable description of a coordinator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoordSpec {
+    variant: Variant,
+    params: Params,
+    n: usize,
+    fix: FixLevel,
+}
+
+/// Mutable state of a coordinator (hashable; used directly inside model
+/// states).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoordState {
+    /// Liveness status.
+    pub status: Status,
+    /// Current round length.
+    pub t: u32,
+    /// Time elapsed in the current round (kept `<= t` by urgency).
+    pub elapsed: u32,
+    /// Per-participant: heartbeat received during the current round?
+    pub rcvd: Vec<bool>,
+    /// Per-participant waiting times (the paper's `tm` list).
+    pub tm: Vec<u32>,
+    /// Per-participant: joined the protocol? (All-true for non-join
+    /// variants.)
+    pub jnd: Vec<bool>,
+    /// Per-participant: has permanently left (dynamic protocol only).
+    pub left: Vec<bool>,
+}
+
+/// What a coordinator round timeout produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TimeoutOutcome {
+    /// The acceleration bottomed out: `p[0]` inactivated itself
+    /// non-voluntarily.
+    Inactivated,
+    /// `p[0]` broadcast a heartbeat to these participants and started the
+    /// next round.
+    Beat {
+        /// Joined participants the beat was sent to (may be empty in the
+        /// expanding/dynamic variants before anyone joins).
+        recipients: Vec<Pid>,
+    },
+}
+
+/// Reaction of the coordinator to an incoming heartbeat.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoordReaction {
+    /// Nothing to send.
+    None,
+    /// Dynamic protocol: acknowledge a leave by an immediate
+    /// `Heartbeat::leave()` to this participant.
+    LeaveAck(Pid),
+}
+
+impl CoordSpec {
+    /// Describe a coordinator for `variant` with `n` participants.
+    ///
+    /// For [`Variant::Binary`], [`Variant::RevisedBinary`] and
+    /// [`Variant::TwoPhase`] the paper fixes `n = 1`; this is asserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or `n != 1` for a two-process variant.
+    pub fn new(variant: Variant, params: Params, n: usize, fix: FixLevel) -> Self {
+        assert!(n > 0, "a heartbeat protocol needs at least one participant");
+        if matches!(
+            variant,
+            Variant::Binary | Variant::RevisedBinary | Variant::TwoPhase
+        ) {
+            assert_eq!(n, 1, "{variant} is a two-process protocol");
+        }
+        Self {
+            variant,
+            params,
+            n,
+            fix,
+        }
+    }
+
+    /// The protocol variant.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// The timing parameters.
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    /// Number of (potential) participants.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The fix level. The coordinator's own transition logic is
+    /// fix-independent (both §6 corrections live in message/timeout
+    /// *scheduling* and in the participants' bounds); the level is carried
+    /// here as the single source of truth for composition layers.
+    pub fn fix(&self) -> FixLevel {
+        self.fix
+    }
+
+    /// The initial coordinator state.
+    ///
+    /// `rcvd` starts all-true, as in the paper's mCRL2 model: the first
+    /// round is always a full `tmax` round. The revised binary protocol
+    /// starts with its timeout already due, so the first beat goes out at
+    /// time zero.
+    pub fn init_state(&self) -> CoordState {
+        let joined = !self.variant.has_join_phase();
+        CoordState {
+            status: Status::Active,
+            t: self.params.tmax(),
+            elapsed: if self.variant.initial_send_immediate() {
+                self.params.tmax()
+            } else {
+                0
+            },
+            rcvd: vec![true; self.n],
+            tm: vec![self.params.tmax(); self.n],
+            jnd: vec![joined; self.n],
+            left: vec![false; self.n],
+        }
+    }
+
+    /// Whether the round timeout must fire now (urgent).
+    pub fn timeout_due(&self, s: &CoordState) -> bool {
+        s.status.is_active() && s.elapsed >= s.t
+    }
+
+    /// Whether time may pass for this process (no urgent event pending).
+    pub fn may_tick(&self, s: &CoordState) -> bool {
+        !self.timeout_due(s)
+    }
+
+    /// Advance one time unit. Clocks freeze once inactive.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if called while the timeout is due (urgency violation).
+    pub fn tick(&self, s: &mut CoordState) {
+        debug_assert!(self.may_tick(s), "tick while coordinator timeout is due");
+        if s.status.is_active() {
+            s.elapsed += 1;
+        }
+    }
+
+    /// Voluntarily inactivate (crash). Idempotent once inactive.
+    pub fn crash(&self, s: &mut CoordState) {
+        if s.status.is_active() {
+            s.status = Status::Crashed;
+        }
+    }
+
+    /// The per-participant waiting-time step for a silent round.
+    fn silent_step(&self, tm_i: u32) -> u32 {
+        let halved = Params::halve(tm_i);
+        if self.variant.two_phase_step() && halved >= self.params.tmin() {
+            // Two-phase acceleration: jump straight to tmin (the
+            // inactivation condition below still keys off the halved
+            // value, keeping verdicts aligned with the binary protocol).
+            self.params.tmin()
+        } else {
+            halved
+        }
+    }
+
+    /// Handle the round timeout: recompute waiting times, then either
+    /// inactivate or broadcast and start the next round.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics unless [`timeout_due`](Self::timeout_due).
+    pub fn on_timeout(&self, s: &mut CoordState) -> TimeoutOutcome {
+        debug_assert!(self.timeout_due(s));
+        // New waiting times for joined participants; also track the
+        // inactivation-deciding minimum, which for the two-phase variant is
+        // the *halved* value even though the stored time jumps to tmin.
+        let mut decide_min = u32::MAX;
+        let mut new_tm = s.tm.clone();
+        for (i, slot) in new_tm.iter_mut().enumerate() {
+            if !s.jnd[i] {
+                continue;
+            }
+            if s.rcvd[i] {
+                *slot = self.params.tmax();
+                decide_min = decide_min.min(*slot);
+            } else {
+                let halved = Params::halve(s.tm[i]);
+                decide_min = decide_min.min(halved);
+                *slot = self.silent_step(s.tm[i]);
+            }
+        }
+        if decide_min < self.params.tmin() {
+            s.status = Status::NvInactive;
+            return TimeoutOutcome::Inactivated;
+        }
+        s.tm = new_tm;
+        // Round length: the minimum waiting time over joined participants;
+        // tmax while nobody has joined.
+        s.t = (0..self.n)
+            .filter(|&i| s.jnd[i])
+            .map(|i| s.tm[i])
+            .min()
+            .unwrap_or(self.params.tmax());
+        s.elapsed = 0;
+        let recipients: Vec<Pid> = (0..self.n).filter(|&i| s.jnd[i]).map(|i| i + 1).collect();
+        for i in 0..self.n {
+            if s.jnd[i] {
+                s.rcvd[i] = false;
+            }
+        }
+        TimeoutOutcome::Beat { recipients }
+    }
+
+    /// Handle a heartbeat from participant `from` (1-based pid).
+    ///
+    /// Crashed/inactive coordinators consume messages without reacting
+    /// (the paper: messages to crashed processes are delivered but get no
+    /// reply). A `flag = false` beat in the dynamic protocol removes the
+    /// sender from the joined set and is acknowledged immediately; beats
+    /// from participants that already left are ignored (a process can
+    /// never rejoin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range.
+    pub fn on_heartbeat(&self, s: &mut CoordState, from: Pid, hb: Heartbeat) -> CoordReaction {
+        assert!((1..=self.n).contains(&from), "pid {from} out of range");
+        let i = from - 1;
+        if !s.status.is_active() || s.left[i] {
+            return CoordReaction::None;
+        }
+        if self.variant.supports_leave() && !hb.flag {
+            s.jnd[i] = false;
+            s.left[i] = true;
+            s.rcvd[i] = false;
+            return CoordReaction::LeaveAck(from);
+        }
+        s.rcvd[i] = true;
+        if self.variant.has_join_phase() {
+            s.jnd[i] = true;
+        }
+        CoordReaction::None
+    }
+
+    /// Time until the next round timeout, if the coordinator is active.
+    pub fn next_timeout_in(&self, s: &CoordState) -> Option<u32> {
+        s.status.is_active().then(|| s.t.saturating_sub(s.elapsed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(variant: Variant, tmin: u32, tmax: u32, n: usize) -> CoordSpec {
+        CoordSpec::new(variant, Params::new(tmin, tmax).unwrap(), n, FixLevel::Original)
+    }
+
+    fn run_to_timeout(spec: &CoordSpec, s: &mut CoordState) -> TimeoutOutcome {
+        while !spec.timeout_due(s) {
+            spec.tick(s);
+        }
+        spec.on_timeout(s)
+    }
+
+    #[test]
+    fn binary_first_round_is_tmax_and_broadcasts() {
+        let sp = spec(Variant::Binary, 1, 10, 1);
+        let mut s = sp.init_state();
+        assert_eq!(sp.next_timeout_in(&s), Some(10));
+        let out = run_to_timeout(&sp, &mut s);
+        assert_eq!(
+            out,
+            TimeoutOutcome::Beat {
+                recipients: vec![1]
+            }
+        );
+        // first round had rcvd=true, so t stays tmax
+        assert_eq!(s.t, 10);
+        assert!(!s.rcvd[0]);
+    }
+
+    #[test]
+    fn revised_binary_fires_immediately() {
+        let sp = spec(Variant::RevisedBinary, 1, 10, 1);
+        let s = sp.init_state();
+        assert!(sp.timeout_due(&s));
+        assert_eq!(sp.next_timeout_in(&s), Some(0));
+    }
+
+    #[test]
+    fn halving_chain_until_inactivation() {
+        let sp = spec(Variant::Binary, 1, 10, 1);
+        let mut s = sp.init_state();
+        run_to_timeout(&sp, &mut s); // t = 10 (rcvd was initially true)
+        let mut lengths = vec![];
+        while let TimeoutOutcome::Beat { .. } = run_to_timeout(&sp, &mut s) {
+            lengths.push(s.t);
+        }
+        assert_eq!(lengths, vec![5, 2, 1]);
+        assert_eq!(s.status, Status::NvInactive);
+    }
+
+    #[test]
+    fn heartbeat_restores_tmax() {
+        let sp = spec(Variant::Binary, 1, 10, 1);
+        let mut s = sp.init_state();
+        run_to_timeout(&sp, &mut s);
+        run_to_timeout(&sp, &mut s); // silent: t = 5
+        assert_eq!(s.t, 5);
+        assert_eq!(sp.on_heartbeat(&mut s, 1, Heartbeat::plain()), CoordReaction::None);
+        run_to_timeout(&sp, &mut s);
+        assert_eq!(s.t, 10);
+    }
+
+    #[test]
+    fn two_phase_jumps_to_tmin() {
+        let sp = spec(Variant::TwoPhase, 4, 10, 1);
+        let mut s = sp.init_state();
+        run_to_timeout(&sp, &mut s); // t = 10
+        run_to_timeout(&sp, &mut s); // silent: halved 5 >= 4 -> jump to tmin
+        assert_eq!(s.t, 4);
+        // next silent round: halve(4)=2 < 4 -> inactivate
+        assert_eq!(run_to_timeout(&sp, &mut s), TimeoutOutcome::Inactivated);
+    }
+
+    #[test]
+    fn two_phase_inactivation_matches_binary_condition() {
+        // tmin=9: halve(10)=5 < 9 => inactivate on the first silent round,
+        // exactly like binary (this is the interpretation that keeps
+        // Table 1 verdicts identical across the variants).
+        let sp = spec(Variant::TwoPhase, 9, 10, 1);
+        let mut s = sp.init_state();
+        run_to_timeout(&sp, &mut s);
+        assert_eq!(run_to_timeout(&sp, &mut s), TimeoutOutcome::Inactivated);
+    }
+
+    #[test]
+    fn static_round_uses_min_tm() {
+        let sp = spec(Variant::Static, 1, 10, 3);
+        let mut s = sp.init_state();
+        run_to_timeout(&sp, &mut s);
+        // Only participant 2 responds.
+        sp.on_heartbeat(&mut s, 2, Heartbeat::plain());
+        run_to_timeout(&sp, &mut s);
+        assert_eq!(s.tm, vec![5, 10, 5]);
+        assert_eq!(s.t, 5);
+    }
+
+    #[test]
+    fn static_inactivates_when_any_participant_bottoms_out() {
+        let sp = spec(Variant::Static, 4, 10, 2);
+        let mut s = sp.init_state();
+        run_to_timeout(&sp, &mut s); // all tmax
+        sp.on_heartbeat(&mut s, 1, Heartbeat::plain());
+        run_to_timeout(&sp, &mut s); // tm = [10, 5]
+        sp.on_heartbeat(&mut s, 1, Heartbeat::plain());
+        // participant 2 still silent: halve(5)=2 < 4 -> inactivate
+        assert_eq!(run_to_timeout(&sp, &mut s), TimeoutOutcome::Inactivated);
+    }
+
+    #[test]
+    fn expanding_broadcasts_only_to_joined() {
+        let sp = spec(Variant::Expanding, 1, 10, 2);
+        let mut s = sp.init_state();
+        match run_to_timeout(&sp, &mut s) {
+            TimeoutOutcome::Beat { recipients } => assert!(recipients.is_empty()),
+            _ => panic!("no one joined; p0 must not inactivate"),
+        }
+        sp.on_heartbeat(&mut s, 2, Heartbeat::plain());
+        assert!(s.jnd[1]);
+        match run_to_timeout(&sp, &mut s) {
+            TimeoutOutcome::Beat { recipients } => assert_eq!(recipients, vec![2]),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn expanding_never_inactivates_without_participants() {
+        let sp = spec(Variant::Expanding, 5, 10, 1);
+        let mut s = sp.init_state();
+        for _ in 0..20 {
+            assert!(matches!(
+                run_to_timeout(&sp, &mut s),
+                TimeoutOutcome::Beat { .. }
+            ));
+            assert_eq!(s.t, 10);
+        }
+    }
+
+    #[test]
+    fn dynamic_leave_is_acknowledged_and_permanent() {
+        let sp = spec(Variant::Dynamic, 1, 10, 1);
+        let mut s = sp.init_state();
+        sp.on_heartbeat(&mut s, 1, Heartbeat::plain());
+        assert!(s.jnd[0]);
+        assert_eq!(
+            sp.on_heartbeat(&mut s, 1, Heartbeat::leave()),
+            CoordReaction::LeaveAck(1)
+        );
+        assert!(!s.jnd[0]);
+        assert!(s.left[0]);
+        // A stale join/stay beat must not re-join a left participant.
+        assert_eq!(sp.on_heartbeat(&mut s, 1, Heartbeat::plain()), CoordReaction::None);
+        assert!(!s.jnd[0]);
+    }
+
+    #[test]
+    fn dynamic_leave_does_not_disturb_others() {
+        let sp = spec(Variant::Dynamic, 1, 10, 2);
+        let mut s = sp.init_state();
+        sp.on_heartbeat(&mut s, 1, Heartbeat::plain());
+        sp.on_heartbeat(&mut s, 2, Heartbeat::plain());
+        run_to_timeout(&sp, &mut s);
+        sp.on_heartbeat(&mut s, 1, Heartbeat::leave());
+        sp.on_heartbeat(&mut s, 2, Heartbeat::plain());
+        for _ in 0..10 {
+            match run_to_timeout(&sp, &mut s) {
+                TimeoutOutcome::Beat { recipients } => assert_eq!(recipients, vec![2]),
+                _ => panic!("p0 must stay active"),
+            }
+            sp.on_heartbeat(&mut s, 2, Heartbeat::plain());
+        }
+    }
+
+    #[test]
+    fn crashed_coordinator_ignores_everything() {
+        let sp = spec(Variant::Binary, 1, 10, 1);
+        let mut s = sp.init_state();
+        sp.crash(&mut s);
+        assert_eq!(s.status, Status::Crashed);
+        s.rcvd[0] = false;
+        assert_eq!(sp.on_heartbeat(&mut s, 1, Heartbeat::plain()), CoordReaction::None);
+        assert!(!s.rcvd[0], "crashed coordinator must not record receipts");
+        assert!(!sp.timeout_due(&s));
+        assert_eq!(sp.next_timeout_in(&s), None);
+        // ticking is allowed and a no-op
+        sp.tick(&mut s);
+        assert_eq!(s.elapsed, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two-process protocol")]
+    fn binary_rejects_multiple_participants() {
+        spec(Variant::Binary, 1, 10, 2);
+    }
+
+    #[test]
+    fn beats_within_round_keep_protocol_alive_forever() {
+        let sp = spec(Variant::Binary, 5, 10, 1);
+        let mut s = sp.init_state();
+        for _ in 0..100 {
+            match run_to_timeout(&sp, &mut s) {
+                TimeoutOutcome::Beat { .. } => {}
+                TimeoutOutcome::Inactivated => panic!("must not inactivate"),
+            }
+            sp.on_heartbeat(&mut s, 1, Heartbeat::plain());
+        }
+        assert_eq!(s.status, Status::Active);
+    }
+}

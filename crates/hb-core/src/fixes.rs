@@ -1,0 +1,93 @@
+//! The protocol corrections proposed after model checking (Atif & Mousavi
+//! §6).
+//!
+//! Model checking the original protocols finds every natural requirement
+//! violated somewhere in the parameter space (the paper's Tables 1 and 2).
+//! Two orthogonal corrections repair them:
+//!
+//! 1. **Receive priority** (§6.1): when a heartbeat delivery and a timeout
+//!    are enabled at the same instant, the delivery must be processed
+//!    first. Without this, a process can inactivate itself at the exact
+//!    moment an on-time heartbeat arrives (the paper's Figures 11/12).
+//! 2. **Corrected time bounds** (§6.2): the coordinator's detection bound
+//!    claimed by the original paper (`2·tmax`) is wrong when
+//!    `2·tmin ≤ tmax`, and the participants' `3·tmax − tmin` timeout is
+//!    wrong (too short) for the expanding/dynamic join phase and
+//!    needlessly loose for binary/static. See
+//!    [`Params`](crate::Params) for the corrected formulas.
+
+use std::fmt;
+
+/// Which of the §6 corrections are applied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FixLevel {
+    /// The protocols exactly as published in 1998/2004.
+    Original,
+    /// Only the §6.1 receive-over-timeout priority.
+    ReceivePriority,
+    /// Only the §6.2 corrected time bounds.
+    CorrectedBounds,
+    /// Both corrections — the fully repaired protocols, which satisfy all
+    /// requirements on every data set.
+    Full,
+}
+
+impl FixLevel {
+    /// All fix levels, in increasing order of repair.
+    pub const ALL: [FixLevel; 4] = [
+        FixLevel::Original,
+        FixLevel::ReceivePriority,
+        FixLevel::CorrectedBounds,
+        FixLevel::Full,
+    ];
+
+    /// Whether message deliveries take priority over simultaneous
+    /// timeouts.
+    pub fn receive_priority(self) -> bool {
+        matches!(self, FixLevel::ReceivePriority | FixLevel::Full)
+    }
+
+    /// Whether the corrected inactivation bounds are used.
+    pub fn corrected_bounds(self) -> bool {
+        matches!(self, FixLevel::CorrectedBounds | FixLevel::Full)
+    }
+
+    /// A short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FixLevel::Original => "original",
+            FixLevel::ReceivePriority => "receive-priority",
+            FixLevel::CorrectedBounds => "corrected-bounds",
+            FixLevel::Full => "full-fix",
+        }
+    }
+}
+
+impl fmt::Display for FixLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_per_level() {
+        assert!(!FixLevel::Original.receive_priority());
+        assert!(!FixLevel::Original.corrected_bounds());
+        assert!(FixLevel::ReceivePriority.receive_priority());
+        assert!(!FixLevel::ReceivePriority.corrected_bounds());
+        assert!(!FixLevel::CorrectedBounds.receive_priority());
+        assert!(FixLevel::CorrectedBounds.corrected_bounds());
+        assert!(FixLevel::Full.receive_priority());
+        assert!(FixLevel::Full.corrected_bounds());
+    }
+
+    #[test]
+    fn all_levels_distinct_names() {
+        let names: std::collections::HashSet<_> = FixLevel::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+}

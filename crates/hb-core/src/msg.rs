@@ -1,0 +1,119 @@
+//! Message and process-status primitives shared by all protocol variants.
+
+use std::fmt;
+
+/// Process identifier. `0` is always the coordinator `p[0]`; participants
+/// are `1..=n`.
+pub type Pid = usize;
+
+/// A heartbeat message.
+///
+/// All variants except the dynamic protocol send plain heartbeats
+/// (`flag = true`). The dynamic protocol overloads the flag: `true` means
+/// *join / remain in the protocol*, `false` means *leave* (from a
+/// participant) or *leave acknowledged* (from the coordinator).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Heartbeat {
+    /// Dynamic-protocol payload; `true` for every other variant.
+    pub flag: bool,
+}
+
+impl Heartbeat {
+    /// A plain heartbeat (also the dynamic join/stay beat).
+    pub const fn plain() -> Self {
+        Heartbeat { flag: true }
+    }
+
+    /// A dynamic-protocol leave beat / leave acknowledgement.
+    pub const fn leave() -> Self {
+        Heartbeat { flag: false }
+    }
+}
+
+impl Default for Heartbeat {
+    fn default() -> Self {
+        Self::plain()
+    }
+}
+
+impl fmt::Display for Heartbeat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.flag {
+            write!(f, "hb")
+        } else {
+            write!(f, "hb(leave)")
+        }
+    }
+}
+
+/// The liveness status of a process.
+///
+/// The paper distinguishes *voluntary* inactivation (a crash: a process
+/// "chooses to become inactive") from *non-voluntary* inactivation (the
+/// protocol shutting a process down after missing heartbeats). Neither is
+/// recoverable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Status {
+    /// Running the protocol.
+    Active,
+    /// Voluntarily inactive (crashed). Crashed processes still *receive*
+    /// messages (per the paper's channel assumptions) but never react.
+    Crashed,
+    /// Non-voluntarily inactivated by the protocol itself.
+    NvInactive,
+}
+
+impl Status {
+    /// Whether the process is still running the protocol.
+    pub fn is_active(self) -> bool {
+        matches!(self, Status::Active)
+    }
+
+    /// Whether the process is inactive for any reason.
+    pub fn is_inactive(self) -> bool {
+        !self.is_active()
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Status::Active => "active",
+            Status::Crashed => "crashed",
+            Status::NvInactive => "nv-inactive",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeat_constructors() {
+        assert!(Heartbeat::plain().flag);
+        assert!(!Heartbeat::leave().flag);
+        assert_eq!(Heartbeat::default(), Heartbeat::plain());
+    }
+
+    #[test]
+    fn heartbeat_display() {
+        assert_eq!(Heartbeat::plain().to_string(), "hb");
+        assert_eq!(Heartbeat::leave().to_string(), "hb(leave)");
+    }
+
+    #[test]
+    fn status_predicates() {
+        assert!(Status::Active.is_active());
+        assert!(Status::Crashed.is_inactive());
+        assert!(Status::NvInactive.is_inactive());
+    }
+
+    #[test]
+    fn status_display() {
+        assert_eq!(Status::Active.to_string(), "active");
+        assert_eq!(Status::Crashed.to_string(), "crashed");
+        assert_eq!(Status::NvInactive.to_string(), "nv-inactive");
+    }
+}

@@ -1,0 +1,556 @@
+//! The rejoinable dynamic heartbeat protocol — the future-work extension
+//! of both papers.
+//!
+//! The 1998 dynamic protocol forbids a process from ever rejoining after
+//! it leaves, and the 2009 analysis lists lifting that restriction as
+//! future work. This module implements it, in two flavours:
+//!
+//! * **naive rejoin** (`epochs = false`) — a participant that left simply
+//!   starts a new join phase. This is *broken*: a stale join beat from an
+//!   earlier incarnation, delivered after the leave, silently re-enrols a
+//!   departed participant (the coordinator then starves and inactivates
+//!   the whole network without any fault), and symmetrically a stale
+//!   leave can un-enrol a freshly re-joined one. `hb-verify`'s rejoin
+//!   model exhibits both races by model checking.
+//! * **epoch-tagged rejoin** (`epochs = true`) — every heartbeat carries
+//!   the sender's *incarnation number*. A participant increments its
+//!   epoch at every join; the coordinator remembers, per participant, the
+//!   least epoch it is still willing to accept: beats below it are
+//!   stale and ignored, and processing a leave of epoch `e` raises the
+//!   bar to `e + 1`. Model checking shows this repairs both races.
+//!
+//! The extension is built on the *fixed* base protocol (corrected §6.2
+//! bounds; the composition layer must give receives priority over
+//! timeouts) — there is no point extending a base already known to race.
+
+use crate::msg::{Pid, Status};
+use crate::params::Params;
+
+/// A heartbeat carrying the sender's incarnation number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EpochBeat {
+    /// `true` = join/stay, `false` = leave (or leave-ack from the
+    /// coordinator).
+    pub flag: bool,
+    /// The sender's incarnation (coordinator beats echo the recipient's
+    /// registered epoch).
+    pub epoch: u8,
+}
+
+/// Immutable description of the rejoin coordinator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RejoinCoordSpec {
+    params: Params,
+    n: usize,
+    epochs: bool,
+}
+
+/// Mutable state of the rejoin coordinator.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RejoinCoordState {
+    /// Liveness status.
+    pub status: Status,
+    /// Current round length.
+    pub t: u32,
+    /// Time in the current round.
+    pub elapsed: u32,
+    /// Per participant: beat received this round.
+    pub rcvd: Vec<bool>,
+    /// Per participant: currently enrolled.
+    pub jnd: Vec<bool>,
+    /// Per participant waiting times.
+    pub tm: Vec<u32>,
+    /// Per participant: the least incarnation still acceptable.
+    pub min_epoch: Vec<u8>,
+}
+
+/// Coordinator reaction to an incoming beat.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejoinCoordReaction {
+    /// Nothing to send.
+    None,
+    /// Acknowledge a leave to this participant (beat with `flag = false`).
+    LeaveAck(Pid, EpochBeat),
+}
+
+/// What a round timeout produced (mirrors the base protocol).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RejoinTimeoutOutcome {
+    /// The coordinator inactivated itself.
+    Inactivated,
+    /// Broadcast these `(recipient, beat)` pairs.
+    Beat(Vec<(Pid, EpochBeat)>),
+}
+
+impl RejoinCoordSpec {
+    /// A rejoin coordinator for `n` participants; `epochs` selects the
+    /// naive or the epoch-tagged variant.
+    pub fn new(params: Params, n: usize, epochs: bool) -> Self {
+        assert!(n > 0);
+        Self { params, n, epochs }
+    }
+
+    /// Whether epoch filtering is on.
+    pub fn epochs(&self) -> bool {
+        self.epochs
+    }
+
+    /// The timing parameters.
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    /// The initial state: nobody enrolled.
+    pub fn init_state(&self) -> RejoinCoordState {
+        RejoinCoordState {
+            status: Status::Active,
+            t: self.params.tmax(),
+            elapsed: 0,
+            rcvd: vec![true; self.n],
+            jnd: vec![false; self.n],
+            tm: vec![self.params.tmax(); self.n],
+            min_epoch: vec![1; self.n],
+        }
+    }
+
+    /// Whether the round timeout is due (urgent).
+    pub fn timeout_due(&self, s: &RejoinCoordState) -> bool {
+        s.status.is_active() && s.elapsed >= s.t
+    }
+
+    /// Whether time may pass.
+    pub fn may_tick(&self, s: &RejoinCoordState) -> bool {
+        !self.timeout_due(s)
+    }
+
+    /// Advance one time unit.
+    pub fn tick(&self, s: &mut RejoinCoordState) {
+        debug_assert!(self.may_tick(s));
+        if s.status.is_active() {
+            s.elapsed += 1;
+        }
+    }
+
+    /// Handle the round timeout (same acceleration as the base protocol).
+    pub fn on_timeout(&self, s: &mut RejoinCoordState) -> RejoinTimeoutOutcome {
+        debug_assert!(self.timeout_due(s));
+        let mut decide_min = u32::MAX;
+        for i in 0..self.n {
+            if !s.jnd[i] {
+                continue;
+            }
+            if s.rcvd[i] {
+                s.tm[i] = self.params.tmax();
+            } else {
+                s.tm[i] = Params::halve(s.tm[i]);
+            }
+            decide_min = decide_min.min(s.tm[i]);
+        }
+        if decide_min < self.params.tmin() {
+            s.status = Status::NvInactive;
+            return RejoinTimeoutOutcome::Inactivated;
+        }
+        s.t = (0..self.n)
+            .filter(|&i| s.jnd[i])
+            .map(|i| s.tm[i])
+            .min()
+            .unwrap_or(self.params.tmax());
+        s.elapsed = 0;
+        let beats = (0..self.n)
+            .filter(|&i| s.jnd[i])
+            .map(|i| {
+                (
+                    i + 1,
+                    EpochBeat {
+                        flag: true,
+                        epoch: s.min_epoch[i],
+                    },
+                )
+            })
+            .collect();
+        for i in 0..self.n {
+            if s.jnd[i] {
+                s.rcvd[i] = false;
+            }
+        }
+        RejoinTimeoutOutcome::Beat(beats)
+    }
+
+    /// Handle a beat from participant `from`.
+    ///
+    /// With epochs on: beats below `min_epoch[from]` are stale and
+    /// ignored; a join/stay beat registers its epoch; a leave of epoch `e`
+    /// un-enrols the participant and raises the bar to `e + 1`.
+    pub fn on_heartbeat(
+        &self,
+        s: &mut RejoinCoordState,
+        from: Pid,
+        beat: EpochBeat,
+    ) -> RejoinCoordReaction {
+        assert!((1..=self.n).contains(&from));
+        let i = from - 1;
+        if !s.status.is_active() {
+            return RejoinCoordReaction::None;
+        }
+        if self.epochs && beat.epoch < s.min_epoch[i] {
+            return RejoinCoordReaction::None; // stale incarnation
+        }
+        if beat.flag {
+            if self.epochs {
+                s.min_epoch[i] = beat.epoch;
+            }
+            s.jnd[i] = true;
+            s.rcvd[i] = true;
+            RejoinCoordReaction::None
+        } else {
+            s.jnd[i] = false;
+            s.rcvd[i] = false;
+            if self.epochs {
+                s.min_epoch[i] = beat.epoch.saturating_add(1);
+            }
+            RejoinCoordReaction::LeaveAck(from, EpochBeat {
+                flag: false,
+                epoch: beat.epoch,
+            })
+        }
+    }
+}
+
+/// The participant's lifecycle phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RejoinPhase {
+    /// Outside the protocol (initial, or after a leave).
+    Out,
+    /// Sending join beats, waiting for the coordinator's confirmation.
+    Joining,
+    /// Enrolled.
+    In,
+}
+
+/// Immutable description of a rejoin participant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RejoinRespSpec {
+    params: Params,
+    epochs: bool,
+    max_epoch: u8,
+}
+
+/// Mutable state of a rejoin participant.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RejoinRespState {
+    /// Liveness status.
+    pub status: Status,
+    /// Lifecycle phase.
+    pub phase: RejoinPhase,
+    /// Current incarnation (0 before the first join).
+    pub epoch: u8,
+    /// Time since the last accepted coordinator beat (or since the join
+    /// phase started).
+    pub waiting: u32,
+    /// Time since the last join beat was sent.
+    pub join_elapsed: u32,
+}
+
+impl RejoinRespSpec {
+    /// A rejoin participant; `max_epoch` bounds the number of
+    /// incarnations (keeps verification models finite).
+    pub fn new(params: Params, epochs: bool, max_epoch: u8) -> Self {
+        assert!(max_epoch >= 1);
+        Self {
+            params,
+            epochs,
+            max_epoch,
+        }
+    }
+
+    /// The watchdog bound for (re)joining participants.
+    ///
+    /// The §6.2 bound `2·tmax + tmin` assumes every participant starts
+    /// together with the coordinator, phase-aligned with its first round.
+    /// A *rejoin* can start at any phase of the coordinator's round, and
+    /// the worst case grows: the first join beat goes out `tmin` after
+    /// the join starts, may ride the channel for `tmin`, land just after
+    /// a round timeout, wait up to `tmax` for the next broadcast, which
+    /// rides for another `tmin` — `tmax + 3·tmin` in total. Model
+    /// checking confirms `max(2·tmax + tmin, tmax + 3·tmin)` is both
+    /// sufficient and necessary (see `hb-verify::rejoin_model` tests).
+    pub fn watchdog_bound(&self) -> u32 {
+        (2 * self.params.tmax() + self.params.tmin())
+            .max(self.params.tmax() + 3 * self.params.tmin())
+    }
+
+    /// The initial state: out of the protocol, epoch 0.
+    pub fn init_state(&self) -> RejoinRespState {
+        RejoinRespState {
+            status: Status::Active,
+            phase: RejoinPhase::Out,
+            epoch: 0,
+            waiting: 0,
+            join_elapsed: 0,
+        }
+    }
+
+    /// Whether the participant may start a (re)join now.
+    pub fn may_join(&self, s: &RejoinRespState) -> bool {
+        s.status.is_active() && s.phase == RejoinPhase::Out && s.epoch < self.max_epoch
+    }
+
+    /// Start a (re)join: bump the incarnation, enter the join phase.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics unless [`may_join`](Self::may_join).
+    pub fn start_join(&self, s: &mut RejoinRespState) {
+        debug_assert!(self.may_join(s));
+        s.phase = RejoinPhase::Joining;
+        s.epoch += 1;
+        s.waiting = 0;
+        s.join_elapsed = 0;
+    }
+
+    /// Whether a join beat must be sent now (urgent; cadence `tmin`,
+    /// first beat `tmin` after the join started — as in the base
+    /// protocol).
+    pub fn join_send_due(&self, s: &RejoinRespState) -> bool {
+        s.status.is_active()
+            && s.phase == RejoinPhase::Joining
+            && s.join_elapsed >= self.params.tmin()
+    }
+
+    /// Emit a join beat.
+    pub fn on_join_send(&self, s: &mut RejoinRespState) -> EpochBeat {
+        debug_assert!(self.join_send_due(s));
+        s.join_elapsed = 0;
+        EpochBeat {
+            flag: true,
+            epoch: s.epoch,
+        }
+    }
+
+    /// Whether the watchdog is due (urgent). Runs while joining or in;
+    /// out-of-protocol participants have nothing to watch.
+    pub fn watchdog_due(&self, s: &RejoinRespState) -> bool {
+        s.status.is_active()
+            && s.phase != RejoinPhase::Out
+            && s.waiting >= self.watchdog_bound()
+    }
+
+    /// Fire the watchdog: non-voluntary inactivation.
+    pub fn on_watchdog(&self, s: &mut RejoinRespState) {
+        debug_assert!(self.watchdog_due(s));
+        s.status = Status::NvInactive;
+    }
+
+    /// Whether time may pass for this participant.
+    pub fn may_tick(&self, s: &RejoinRespState) -> bool {
+        !self.watchdog_due(s) && !self.join_send_due(s)
+    }
+
+    /// Advance one time unit (clocks run only while joining or in).
+    pub fn tick(&self, s: &mut RejoinRespState) {
+        debug_assert!(self.may_tick(s));
+        if s.status.is_active() && s.phase != RejoinPhase::Out {
+            s.waiting += 1;
+            if s.phase == RejoinPhase::Joining {
+                s.join_elapsed += 1;
+            }
+        }
+    }
+
+    /// Handle a coordinator beat; returns the immediate reply, if any.
+    /// `leave` requests departure (honoured only while `In`).
+    ///
+    /// With epochs on, beats not matching the current incarnation are
+    /// stale and ignored.
+    pub fn on_beat(
+        &self,
+        s: &mut RejoinRespState,
+        beat: EpochBeat,
+        leave: bool,
+    ) -> Option<EpochBeat> {
+        if !s.status.is_active() || s.phase == RejoinPhase::Out {
+            return None;
+        }
+        if self.epochs && beat.epoch != s.epoch {
+            return None; // stale incarnation echo
+        }
+        if !beat.flag {
+            return None; // leave ack: nothing to do
+        }
+        s.waiting = 0;
+        if leave {
+            s.phase = RejoinPhase::Out;
+            Some(EpochBeat {
+                flag: false,
+                epoch: s.epoch,
+            })
+        } else {
+            s.phase = RejoinPhase::In;
+            Some(EpochBeat {
+                flag: true,
+                epoch: s.epoch,
+            })
+        }
+    }
+
+    /// Voluntarily inactivate (crash).
+    pub fn crash(&self, s: &mut RejoinRespState) {
+        if s.status.is_active() {
+            s.status = Status::Crashed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs(epochs: bool) -> (RejoinCoordSpec, RejoinRespSpec) {
+        let params = Params::new(2, 4).unwrap();
+        (
+            RejoinCoordSpec::new(params, 1, epochs),
+            RejoinRespSpec::new(params, epochs, 3),
+        )
+    }
+
+    #[test]
+    fn join_leave_rejoin_lifecycle() {
+        let (cs, rs) = specs(true);
+        let mut c = cs.init_state();
+        let mut r = rs.init_state();
+        // incarnation 1
+        rs.start_join(&mut r);
+        assert_eq!(r.epoch, 1);
+        for _ in 0..2 {
+            rs.tick(&mut r);
+        }
+        let join = rs.on_join_send(&mut r);
+        cs.on_heartbeat(&mut c, 1, join);
+        assert!(c.jnd[0]);
+        // coordinator beat confirms; participant immediately leaves
+        let reply = rs
+            .on_beat(&mut r, EpochBeat { flag: true, epoch: 1 }, true)
+            .unwrap();
+        assert!(!reply.flag);
+        assert_eq!(r.phase, RejoinPhase::Out);
+        let ack = cs.on_heartbeat(&mut c, 1, reply);
+        assert!(matches!(ack, RejoinCoordReaction::LeaveAck(1, _)));
+        assert!(!c.jnd[0]);
+        assert_eq!(c.min_epoch[0], 2);
+        // incarnation 2
+        rs.start_join(&mut r);
+        assert_eq!(r.epoch, 2);
+        for _ in 0..2 {
+            rs.tick(&mut r);
+        }
+        let join2 = rs.on_join_send(&mut r);
+        cs.on_heartbeat(&mut c, 1, join2);
+        assert!(c.jnd[0], "second incarnation must be accepted");
+    }
+
+    #[test]
+    fn stale_join_beat_is_filtered_with_epochs() {
+        let (cs, _) = specs(true);
+        let mut c = cs.init_state();
+        // incarnation 1 joined and left: bar is now 2
+        cs.on_heartbeat(&mut c, 1, EpochBeat { flag: true, epoch: 1 });
+        cs.on_heartbeat(&mut c, 1, EpochBeat { flag: false, epoch: 1 });
+        assert!(!c.jnd[0]);
+        // a stale incarnation-1 join resend straggles in: ignored
+        cs.on_heartbeat(&mut c, 1, EpochBeat { flag: true, epoch: 1 });
+        assert!(!c.jnd[0], "stale join must not re-enrol");
+        // the genuine incarnation 2 is accepted
+        cs.on_heartbeat(&mut c, 1, EpochBeat { flag: true, epoch: 2 });
+        assert!(c.jnd[0]);
+    }
+
+    #[test]
+    fn stale_join_beat_re_enrols_without_epochs() {
+        let (cs, _) = specs(false);
+        let mut c = cs.init_state();
+        cs.on_heartbeat(&mut c, 1, EpochBeat { flag: true, epoch: 1 });
+        cs.on_heartbeat(&mut c, 1, EpochBeat { flag: false, epoch: 1 });
+        cs.on_heartbeat(&mut c, 1, EpochBeat { flag: true, epoch: 1 });
+        assert!(c.jnd[0], "the naive coordinator is fooled by the straggler");
+    }
+
+    #[test]
+    fn stale_leave_beat_is_filtered_with_epochs() {
+        let (cs, _) = specs(true);
+        let mut c = cs.init_state();
+        cs.on_heartbeat(&mut c, 1, EpochBeat { flag: true, epoch: 2 });
+        assert!(c.jnd[0]);
+        // a leave from incarnation 1 (already superseded): ignored
+        cs.on_heartbeat(&mut c, 1, EpochBeat { flag: false, epoch: 1 });
+        assert!(c.jnd[0], "stale leave must not un-enrol the new incarnation");
+    }
+
+    #[test]
+    fn responder_ignores_stale_coordinator_beats() {
+        let (_, rs) = specs(true);
+        let mut r = rs.init_state();
+        rs.start_join(&mut r);
+        rs.tick(&mut r);
+        // a coordinator beat echoing the *previous* incarnation is stale
+        assert_eq!(
+            rs.on_beat(&mut r, EpochBeat { flag: true, epoch: 0 }, false),
+            None
+        );
+        assert_eq!(r.phase, RejoinPhase::Joining, "stale beat must not confirm");
+        // the matching epoch confirms
+        let reply = rs.on_beat(&mut r, EpochBeat { flag: true, epoch: 1 }, false);
+        assert_eq!(reply, Some(EpochBeat { flag: true, epoch: 1 }));
+        assert_eq!(r.phase, RejoinPhase::In);
+    }
+
+
+    #[test]
+    fn max_epoch_bounds_rejoins() {
+        let (_, rs) = specs(true);
+        let mut r = rs.init_state();
+        for e in 1..=3 {
+            assert!(rs.may_join(&r));
+            rs.start_join(&mut r);
+            assert_eq!(r.epoch, e);
+            // confirmed then leaves
+            rs.on_beat(&mut r, EpochBeat { flag: true, epoch: e }, true);
+        }
+        assert!(!rs.may_join(&r), "epoch cap reached");
+    }
+
+    #[test]
+    fn watchdog_fires_while_joining() {
+        let (_, rs) = specs(true);
+        let mut r = rs.init_state();
+        rs.start_join(&mut r);
+        let mut t = 0;
+        loop {
+            if rs.watchdog_due(&r) {
+                rs.on_watchdog(&mut r);
+                break;
+            }
+            if rs.join_send_due(&r) {
+                rs.on_join_send(&mut r);
+                continue;
+            }
+            rs.tick(&mut r);
+            t += 1;
+        }
+        assert_eq!(t, rs.watchdog_bound());
+        assert_eq!(r.status, Status::NvInactive);
+    }
+
+    #[test]
+    fn out_participant_is_quiescent() {
+        let (_, rs) = specs(true);
+        let mut r = rs.init_state();
+        assert!(!rs.watchdog_due(&r));
+        assert!(!rs.join_send_due(&r));
+        rs.tick(&mut r);
+        assert_eq!(r.waiting, 0, "clocks frozen while out");
+        assert_eq!(
+            rs.on_beat(&mut r, EpochBeat { flag: true, epoch: 0 }, false),
+            None
+        );
+    }
+}

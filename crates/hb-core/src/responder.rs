@@ -1,0 +1,380 @@
+//! The participant processes `p[i]` (`i >= 1`), for every protocol
+//! variant.
+//!
+//! A participant replies immediately to every coordinator heartbeat and
+//! inactivates itself after a watchdog period without one. In the
+//! expanding/dynamic variants it starts *outside* the protocol, sending a
+//! join heartbeat every `tmin` units until the coordinator's beat confirms
+//! the join; in the dynamic variant it may later leave for good by
+//! replying with a `flag = false` heartbeat.
+
+use crate::fixes::FixLevel;
+use crate::msg::{Heartbeat, Status};
+use crate::params::Params;
+use crate::variant::Variant;
+
+/// Immutable description of a participant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RespSpec {
+    variant: Variant,
+    params: Params,
+    fix: FixLevel,
+}
+
+/// Mutable participant state (hashable; used directly inside model
+/// states).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RespState {
+    /// Liveness status.
+    pub status: Status,
+    /// Time since the last heartbeat from `p[0]` (or since start).
+    pub waiting: u32,
+    /// Time since the last join heartbeat was sent (join phase only).
+    pub join_elapsed: u32,
+    /// Whether the participant has (observed that it has) joined.
+    pub joined: bool,
+    /// Whether the participant has permanently left (dynamic only).
+    pub left: bool,
+}
+
+/// The participant's decision when replying to a coordinator beat in the
+/// dynamic protocol. Ignored by every other variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LeaveDecision {
+    /// Remain in the protocol (reply `flag = true`).
+    Stay,
+    /// Leave the protocol for good (reply `flag = false`).
+    Leave,
+}
+
+impl RespSpec {
+    /// Describe a participant for `variant`.
+    pub fn new(variant: Variant, params: Params, fix: FixLevel) -> Self {
+        Self {
+            variant,
+            params,
+            fix,
+        }
+    }
+
+    /// The protocol variant.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// The timing parameters.
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    /// The fix level in effect.
+    pub fn fix(&self) -> FixLevel {
+        self.fix
+    }
+
+    /// The watchdog bound: time without a coordinator heartbeat after
+    /// which the participant inactivates itself. `3·tmax − tmin` in the
+    /// original protocols; the §6.2 corrected bounds under
+    /// [`FixLevel::corrected_bounds`].
+    pub fn watchdog_bound(&self) -> u32 {
+        if self.fix.corrected_bounds() {
+            self.params.responder_bound_corrected(self.variant)
+        } else {
+            self.params.responder_bound_original()
+        }
+    }
+
+    /// The initial participant state. Participants of non-join variants
+    /// start joined; expanding/dynamic participants start un-joined with
+    /// their first join beat due `tmin` units after start.
+    pub fn init_state(&self) -> RespState {
+        RespState {
+            status: Status::Active,
+            waiting: 0,
+            join_elapsed: 0,
+            joined: !self.variant.has_join_phase(),
+            left: false,
+        }
+    }
+
+    /// Whether the participant's clocks are running (active and not left).
+    fn clocks_running(&self, s: &RespState) -> bool {
+        s.status.is_active() && !s.left
+    }
+
+    /// Whether the watchdog must fire now (urgent).
+    pub fn watchdog_due(&self, s: &RespState) -> bool {
+        self.clocks_running(s) && s.waiting >= self.watchdog_bound()
+    }
+
+    /// Whether a join heartbeat must be sent now (urgent). Join beats go
+    /// out every `tmin` units, the first one `tmin` after start, until the
+    /// coordinator's beat confirms the join.
+    ///
+    /// (The mCRL2/UPPAAL sources are ambiguous about whether the *first*
+    /// join beat is sent at time 0 or time `tmin`; only the latter
+    /// reproduces the paper's Table 2, so that is what we implement. See
+    /// DESIGN.md.)
+    pub fn join_send_due(&self, s: &RespState) -> bool {
+        self.variant.has_join_phase()
+            && self.clocks_running(s)
+            && !s.joined
+            && s.join_elapsed >= self.params.tmin()
+    }
+
+    /// Whether time may pass for this process (no urgent event pending).
+    pub fn may_tick(&self, s: &RespState) -> bool {
+        !self.watchdog_due(s) && !self.join_send_due(s)
+    }
+
+    /// Advance one time unit. Clocks freeze once inactive or left.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if an urgent event is pending.
+    pub fn tick(&self, s: &mut RespState) {
+        debug_assert!(self.may_tick(s), "tick while a participant event is due");
+        if self.clocks_running(s) {
+            s.waiting += 1;
+            if !s.joined {
+                s.join_elapsed += 1;
+            }
+        }
+    }
+
+    /// Voluntarily inactivate (crash). Idempotent once inactive.
+    pub fn crash(&self, s: &mut RespState) {
+        if s.status.is_active() {
+            s.status = Status::Crashed;
+        }
+    }
+
+    /// Fire the watchdog: non-voluntary inactivation.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics unless [`watchdog_due`](Self::watchdog_due).
+    pub fn on_watchdog(&self, s: &mut RespState) {
+        debug_assert!(self.watchdog_due(s));
+        s.status = Status::NvInactive;
+    }
+
+    /// Emit a join heartbeat (resets the join timer).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics unless [`join_send_due`](Self::join_send_due).
+    pub fn on_join_send(&self, s: &mut RespState) -> Heartbeat {
+        debug_assert!(self.join_send_due(s));
+        s.join_elapsed = 0;
+        Heartbeat::plain()
+    }
+
+    /// Handle a heartbeat from the coordinator; returns the immediate
+    /// reply, if any.
+    ///
+    /// An active participant resets its watchdog, marks itself joined and
+    /// replies at once. In the dynamic protocol the reply carries the
+    /// participant's `decision`; a [`LeaveDecision::Leave`] reply makes the
+    /// departure permanent. Inactive or left participants consume the
+    /// message silently, as do coordinator leave-acknowledgements
+    /// (`flag = false`).
+    pub fn on_beat(
+        &self,
+        s: &mut RespState,
+        hb: Heartbeat,
+        decision: LeaveDecision,
+    ) -> Option<Heartbeat> {
+        if !s.status.is_active() || s.left {
+            return None;
+        }
+        if !hb.flag {
+            // Leave acknowledgement from p[0]; nothing further to do (we
+            // already left when we sent the request — this only arrives
+            // here in reordering corner cases and is ignored).
+            return None;
+        }
+        s.waiting = 0;
+        s.joined = true;
+        if self.variant.supports_leave() && decision == LeaveDecision::Leave {
+            s.left = true;
+            Some(Heartbeat::leave())
+        } else {
+            Some(Heartbeat::plain())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(variant: Variant, tmin: u32, tmax: u32, fix: FixLevel) -> RespSpec {
+        RespSpec::new(variant, Params::new(tmin, tmax).unwrap(), fix)
+    }
+
+    #[test]
+    fn watchdog_bounds_per_fix_level() {
+        assert_eq!(
+            spec(Variant::Binary, 1, 10, FixLevel::Original).watchdog_bound(),
+            29
+        );
+        assert_eq!(
+            spec(Variant::Binary, 1, 10, FixLevel::Full).watchdog_bound(),
+            20
+        );
+        assert_eq!(
+            spec(Variant::Expanding, 1, 10, FixLevel::Full).watchdog_bound(),
+            21
+        );
+        assert_eq!(
+            spec(Variant::Dynamic, 4, 10, FixLevel::CorrectedBounds).watchdog_bound(),
+            24
+        );
+        // Receive-priority alone keeps the original bound.
+        assert_eq!(
+            spec(Variant::Binary, 1, 10, FixLevel::ReceivePriority).watchdog_bound(),
+            29
+        );
+    }
+
+    #[test]
+    fn watchdog_fires_exactly_at_bound() {
+        let sp = spec(Variant::Binary, 1, 2, FixLevel::Original); // bound = 5
+        let mut s = sp.init_state();
+        for _ in 0..4 {
+            assert!(!sp.watchdog_due(&s));
+            sp.tick(&mut s);
+        }
+        sp.tick(&mut s);
+        assert!(sp.watchdog_due(&s));
+        assert!(!sp.may_tick(&s));
+        sp.on_watchdog(&mut s);
+        assert_eq!(s.status, Status::NvInactive);
+    }
+
+    #[test]
+    fn beat_resets_watchdog_and_replies() {
+        let sp = spec(Variant::Binary, 1, 2, FixLevel::Original);
+        let mut s = sp.init_state();
+        for _ in 0..3 {
+            sp.tick(&mut s);
+        }
+        let reply = sp.on_beat(&mut s, Heartbeat::plain(), LeaveDecision::Stay);
+        assert_eq!(reply, Some(Heartbeat::plain()));
+        assert_eq!(s.waiting, 0);
+    }
+
+    #[test]
+    fn crashed_participant_never_replies() {
+        let sp = spec(Variant::Binary, 1, 2, FixLevel::Original);
+        let mut s = sp.init_state();
+        sp.crash(&mut s);
+        assert_eq!(sp.on_beat(&mut s, Heartbeat::plain(), LeaveDecision::Stay), None);
+        assert!(!sp.watchdog_due(&s));
+    }
+
+    #[test]
+    fn join_phase_sends_every_tmin_starting_at_tmin() {
+        let sp = spec(Variant::Expanding, 3, 10, FixLevel::Original);
+        let mut s = sp.init_state();
+        assert!(!s.joined);
+        assert!(!sp.join_send_due(&s)); // not at time 0
+        for _ in 0..3 {
+            sp.tick(&mut s);
+        }
+        assert!(sp.join_send_due(&s));
+        assert!(!sp.may_tick(&s));
+        assert_eq!(sp.on_join_send(&mut s), Heartbeat::plain());
+        assert_eq!(s.join_elapsed, 0);
+        // resend cadence continues
+        for _ in 0..3 {
+            sp.tick(&mut s);
+        }
+        assert!(sp.join_send_due(&s));
+    }
+
+    #[test]
+    fn coordinator_beat_confirms_join_and_stops_resends() {
+        let sp = spec(Variant::Expanding, 3, 10, FixLevel::Original);
+        let mut s = sp.init_state();
+        sp.tick(&mut s);
+        let reply = sp.on_beat(&mut s, Heartbeat::plain(), LeaveDecision::Stay);
+        assert_eq!(reply, Some(Heartbeat::plain()));
+        assert!(s.joined);
+        for _ in 0..20 {
+            assert!(!sp.join_send_due(&s));
+            if sp.may_tick(&s) {
+                sp.tick(&mut s);
+            } else {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn join_phase_watchdog_runs_from_start() {
+        // Expanding p[i] inactivates 3*tmax - tmin after start if p[0]
+        // never answers.
+        let sp = spec(Variant::Expanding, 2, 4, FixLevel::Original); // bound 10
+        let mut s = sp.init_state();
+        let mut now = 0;
+        loop {
+            if sp.watchdog_due(&s) {
+                break;
+            }
+            if sp.join_send_due(&s) {
+                sp.on_join_send(&mut s);
+                continue;
+            }
+            sp.tick(&mut s);
+            now += 1;
+        }
+        assert_eq!(now, 10);
+    }
+
+    #[test]
+    fn dynamic_leave_is_permanent_and_silent() {
+        let sp = spec(Variant::Dynamic, 1, 10, FixLevel::Original);
+        let mut s = sp.init_state();
+        sp.on_beat(&mut s, Heartbeat::plain(), LeaveDecision::Stay);
+        assert!(s.joined && !s.left);
+        let reply = sp.on_beat(&mut s, Heartbeat::plain(), LeaveDecision::Leave);
+        assert_eq!(reply, Some(Heartbeat::leave()));
+        assert!(s.left);
+        // After leaving: no watchdog, no replies, clocks frozen.
+        assert!(!sp.watchdog_due(&s));
+        assert_eq!(sp.on_beat(&mut s, Heartbeat::plain(), LeaveDecision::Stay), None);
+        sp.tick(&mut s);
+        assert_eq!(s.waiting, 0);
+    }
+
+    #[test]
+    fn leave_decision_ignored_outside_dynamic() {
+        let sp = spec(Variant::Static, 1, 10, FixLevel::Original);
+        let mut s = sp.init_state();
+        let reply = sp.on_beat(&mut s, Heartbeat::plain(), LeaveDecision::Leave);
+        assert_eq!(reply, Some(Heartbeat::plain()));
+        assert!(!s.left);
+    }
+
+    #[test]
+    fn leave_ack_is_ignored() {
+        let sp = spec(Variant::Dynamic, 1, 10, FixLevel::Original);
+        let mut s = sp.init_state();
+        sp.tick(&mut s);
+        let w = s.waiting;
+        assert_eq!(sp.on_beat(&mut s, Heartbeat::leave(), LeaveDecision::Stay), None);
+        assert_eq!(s.waiting, w, "leave ack must not reset the watchdog");
+    }
+
+    #[test]
+    fn non_join_variants_start_joined() {
+        for v in [Variant::Binary, Variant::RevisedBinary, Variant::TwoPhase, Variant::Static] {
+            assert!(spec(v, 1, 10, FixLevel::Original).init_state().joined);
+        }
+        for v in [Variant::Expanding, Variant::Dynamic] {
+            assert!(!spec(v, 1, 10, FixLevel::Original).init_state().joined);
+        }
+    }
+}

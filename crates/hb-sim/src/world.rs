@@ -1,0 +1,578 @@
+//! The tick-driven simulation world for the accelerated protocols.
+//!
+//! The world advances in unit ticks, mirroring the digital-clock semantics
+//! of the verification models: within a tick, all due events (message
+//! deliveries, the coordinator timeout, participant watchdogs and join
+//! sends) are executed — in *random* order for the original protocols, and
+//! deliveries-first under the §6.1 receive-priority fix — and then every
+//! clock advances by one.
+
+use hb_core::coordinator::{CoordReaction, CoordSpec, CoordState, TimeoutOutcome};
+use hb_core::responder::{LeaveDecision, RespSpec, RespState};
+use hb_core::trace::{Event, EventLog};
+use hb_core::{FixLevel, Params, Pid, Status, Variant};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::channel::{Channel, InFlight, LossModel, Time};
+use crate::metrics::Report;
+
+/// Static configuration of a simulation world.
+#[derive(Clone, Copy, Debug)]
+pub struct WorldConfig {
+    /// Protocol variant.
+    pub variant: Variant,
+    /// Timing parameters.
+    pub params: Params,
+    /// Fix level (affects participant bounds and event ordering).
+    pub fix: FixLevel,
+    /// Number of participants.
+    pub n: usize,
+    /// Per-message loss probability.
+    pub loss_prob: f64,
+    /// Record a full [`EventLog`] (costs memory on long runs).
+    pub log_events: bool,
+}
+
+/// A running simulation.
+#[derive(Debug)]
+pub struct World {
+    cfg: WorldConfig,
+    coord_spec: CoordSpec,
+    resp_spec: RespSpec,
+    coord: CoordState,
+    /// `None` until the participant has started (join variants may start
+    /// late).
+    resps: Vec<Option<RespState>>,
+    start_at: Vec<Time>,
+    leave_after: Vec<Option<Time>>,
+    scheduled_crashes: Vec<(Pid, Time)>,
+    channel: Channel,
+    rng: StdRng,
+    now: Time,
+    crashes: Vec<(Pid, Time)>,
+    nv_inactivations: Vec<(Pid, Time)>,
+    leaves: Vec<(Pid, Time)>,
+    all_inactive_at: Option<Time>,
+    log: EventLog,
+}
+
+/// A due event within the current tick.
+#[derive(Clone, Copy, Debug)]
+enum Due {
+    Deliver(InFlight),
+    CoordTimeout,
+    Watchdog(Pid),
+    JoinSend(Pid),
+}
+
+impl World {
+    /// Create a world; `seed` makes the run reproducible.
+    pub fn new(cfg: WorldConfig, seed: u64) -> Self {
+        let coord_spec = CoordSpec::new(cfg.variant, cfg.params, cfg.n, cfg.fix);
+        let resp_spec = RespSpec::new(cfg.variant, cfg.params, cfg.fix);
+        World {
+            coord: coord_spec.init_state(),
+            resps: vec![None; cfg.n],
+            start_at: vec![0; cfg.n],
+            leave_after: vec![None; cfg.n],
+            scheduled_crashes: Vec::new(),
+            channel: Channel::new(cfg.loss_prob),
+            rng: StdRng::seed_from_u64(seed),
+            now: 0,
+            crashes: Vec::new(),
+            nv_inactivations: Vec::new(),
+            leaves: Vec::new(),
+            all_inactive_at: None,
+            log: EventLog::new(),
+            cfg,
+            coord_spec,
+            resp_spec,
+        }
+    }
+
+    /// Schedule a crash of `pid` at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid > n`.
+    pub fn schedule_crash(&mut self, pid: Pid, t: Time) {
+        assert!(pid <= self.cfg.n, "pid {pid} out of range");
+        self.scheduled_crashes.push((pid, t));
+    }
+
+    /// Delay participant `pid`'s start until time `t` (join variants).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is 0 or out of range, or the run has begun.
+    pub fn schedule_start(&mut self, pid: Pid, t: Time) {
+        assert!((1..=self.cfg.n).contains(&pid));
+        assert_eq!(self.now, 0, "starts must be scheduled before running");
+        self.start_at[pid - 1] = t;
+    }
+
+    /// Replace the channel's loss model (e.g. a Gilbert–Elliott burst
+    /// chain). Resets nothing else; call before running.
+    pub fn set_loss_model(&mut self, model: LossModel) {
+        self.channel = Channel::with_model(model);
+    }
+
+    /// Drop every message sent in `[from, to)` — a total channel outage.
+    pub fn set_outage(&mut self, from: Time, to: Time) {
+        self.channel.set_outage(from, to);
+    }
+
+    /// Make participant `pid` leave at the first beat it answers at or
+    /// after time `t` (dynamic variant).
+    pub fn schedule_leave(&mut self, pid: Pid, t: Time) {
+        assert!((1..=self.cfg.n).contains(&pid));
+        self.leave_after[pid - 1] = Some(t);
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The coordinator's current status.
+    pub fn coord_status(&self) -> Status {
+        self.coord.status
+    }
+
+    /// The status of participant `pid` (`None` if not yet started).
+    pub fn resp_status(&self, pid: Pid) -> Option<Status> {
+        self.resps[pid - 1].as_ref().map(|r| r.status)
+    }
+
+    /// Whether every relevant process is inactive: the coordinator plus
+    /// every started participant that has not left.
+    pub fn all_inactive(&self) -> bool {
+        self.coord.status.is_inactive()
+            && self
+                .resps
+                .iter()
+                .flatten()
+                .all(|r| r.status.is_inactive() || r.left)
+    }
+
+    fn log_event(&mut self, e: Event) {
+        if self.cfg.log_events {
+            self.log.push(e);
+        }
+    }
+
+    fn send(&mut self, src: Pid, dst: Pid, hb: hb_core::Heartbeat, budget: u32) {
+        let now = self.now;
+        let ok = self.channel.send(&mut self.rng, now, src, dst, hb, budget);
+        self.log_event(Event::Send {
+            at: now,
+            from: src,
+            to: dst,
+            hb,
+        });
+        if !ok {
+            self.log_event(Event::Lose {
+                at: now,
+                from: src,
+                to: dst,
+            });
+        }
+    }
+
+    fn gather_due(&mut self) -> Vec<Due> {
+        let mut due: Vec<Due> = self
+            .channel
+            .due(self.now)
+            .into_iter()
+            .map(Due::Deliver)
+            .collect();
+        if self.cfg.fix.receive_priority() && !due.is_empty() {
+            // §6.1 receive priority: as long as any delivery is due, only
+            // deliveries execute — timeouts wait for the next gather round
+            // (which also picks up zero-delay replies produced here).
+            due.shuffle(&mut self.rng);
+            return due;
+        }
+        let mut urgent = Vec::new();
+        if self.coord_spec.timeout_due(&self.coord) {
+            urgent.push(Due::CoordTimeout);
+        }
+        for (i, r) in self.resps.iter().enumerate() {
+            if let Some(r) = r {
+                if self.resp_spec.watchdog_due(r) {
+                    urgent.push(Due::Watchdog(i + 1));
+                }
+                if self.resp_spec.join_send_due(r) {
+                    urgent.push(Due::JoinSend(i + 1));
+                }
+            }
+        }
+        due.extend(urgent);
+        due.shuffle(&mut self.rng);
+        due
+    }
+
+    /// Execute one gathered event, unless an earlier event of the same
+    /// batch already invalidated it (e.g. a delivery reset the watchdog it
+    /// raced against) — exactly the tie-resolution semantics of the
+    /// verification models.
+    fn execute(&mut self, d: Due) {
+        match d {
+            Due::Deliver(m) => {
+                self.log_event(Event::Deliver {
+                    at: self.now,
+                    from: m.src,
+                    to: m.dst,
+                    hb: m.hb,
+                });
+                self.channel.delivered += 1;
+                if m.dst == 0 {
+                    match self.coord_spec.on_heartbeat(&mut self.coord, m.src, m.hb) {
+                        CoordReaction::None => {}
+                        CoordReaction::LeaveAck(pid) => {
+                            let budget = self.cfg.params.tmin();
+                            self.send(0, pid, hb_core::Heartbeat::leave(), budget);
+                        }
+                    }
+                } else {
+                    let idx = m.dst - 1;
+                    let mut reply_to_send = None;
+                    let mut newly_left = false;
+                    if let Some(r) = &mut self.resps[idx] {
+                        let wants_leave = self.leave_after[idx]
+                            .map(|t| self.now >= t)
+                            .unwrap_or(false);
+                        let decision = if wants_leave {
+                            LeaveDecision::Leave
+                        } else {
+                            LeaveDecision::Stay
+                        };
+                        let was_left = r.left;
+                        reply_to_send = self.resp_spec.on_beat(r, m.hb, decision);
+                        newly_left = r.left && !was_left;
+                    }
+                    // messages to not-yet-started participants vanish
+                    if newly_left {
+                        self.leaves.push((m.dst, self.now));
+                        self.log_event(Event::Leave {
+                            at: self.now,
+                            pid: m.dst,
+                        });
+                    }
+                    if let Some(reply) = reply_to_send {
+                        self.send(m.dst, 0, reply, m.budget_left);
+                    }
+                }
+            }
+            Due::CoordTimeout => {
+                if !self.coord_spec.timeout_due(&self.coord) {
+                    return; // stale
+                }
+                self.log_event(Event::Timeout {
+                    at: self.now,
+                    pid: 0,
+                });
+                match self.coord_spec.on_timeout(&mut self.coord) {
+                    TimeoutOutcome::Inactivated => {
+                        self.nv_inactivations.push((0, self.now));
+                        self.log_event(Event::NvInactivate {
+                            at: self.now,
+                            pid: 0,
+                        });
+                    }
+                    TimeoutOutcome::Beat { recipients } => {
+                        let budget = self.cfg.params.tmin();
+                        for pid in recipients {
+                            self.send(0, pid, hb_core::Heartbeat::plain(), budget);
+                        }
+                    }
+                }
+            }
+            Due::Watchdog(pid) => {
+                if let Some(r) = &mut self.resps[pid - 1] {
+                    if !self.resp_spec.watchdog_due(r) {
+                        return; // stale: a delivery won the race
+                    }
+                    self.resp_spec.on_watchdog(r);
+                    self.nv_inactivations.push((pid, self.now));
+                    self.log_event(Event::NvInactivate { at: self.now, pid });
+                }
+            }
+            Due::JoinSend(pid) => {
+                let hb = {
+                    let r = self.resps[pid - 1].as_mut().expect("started");
+                    if !self.resp_spec.join_send_due(r) {
+                        return; // stale: the join was confirmed meanwhile
+                    }
+                    self.resp_spec.on_join_send(r)
+                };
+                let budget = self.cfg.params.tmin();
+                self.send(pid, 0, hb, budget);
+            }
+        }
+    }
+
+    /// Advance the world by one tick.
+    pub fn step(&mut self) {
+        // Injected faults and starts land at the beginning of the tick.
+        let mut crashes = std::mem::take(&mut self.scheduled_crashes);
+        crashes.retain(|&(pid, t)| {
+            if t != self.now {
+                return true;
+            }
+            let crashed = if pid == 0 {
+                let was = self.coord.status.is_active();
+                self.coord_spec.crash(&mut self.coord);
+                was
+            } else if let Some(r) = &mut self.resps[pid - 1] {
+                let was = r.status.is_active();
+                self.resp_spec.crash(r);
+                was
+            } else {
+                false
+            };
+            if crashed {
+                self.crashes.push((pid, self.now));
+                self.log_event(Event::Crash { at: self.now, pid });
+            }
+            false
+        });
+        self.scheduled_crashes = crashes;
+        for i in 0..self.cfg.n {
+            if self.resps[i].is_none() && self.start_at[i] == self.now {
+                self.resps[i] = Some(self.resp_spec.init_state());
+            }
+        }
+
+        // Drain all events due within this tick (replies may become due in
+        // the same tick).
+        loop {
+            let due = self.gather_due();
+            if due.is_empty() {
+                break;
+            }
+            for d in due {
+                self.execute(d);
+            }
+        }
+
+        if self.all_inactive_at.is_none() && self.all_inactive() {
+            self.all_inactive_at = Some(self.now);
+        }
+
+        // Time passes.
+        self.coord_spec.tick(&mut self.coord);
+        for r in self.resps.iter_mut().flatten() {
+            self.resp_spec.tick(r);
+        }
+        self.now += 1;
+    }
+
+    /// Run until time `t` or until every process is inactive.
+    pub fn run_until(&mut self, t: Time) {
+        while self.now < t && !self.all_inactive() {
+            self.step();
+        }
+    }
+
+    /// Finish the run and produce the metrics report.
+    pub fn into_report(self) -> Report {
+        let first_crash = self.crashes.iter().map(|&(_, t)| t).min();
+        let detection_delay = match (first_crash, self.all_inactive_at) {
+            (Some(c), Some(d)) => Some(d.saturating_sub(c)),
+            _ => None,
+        };
+        let false_inactivations = if self.crashes.is_empty() {
+            self.nv_inactivations.len() as u32
+        } else {
+            0
+        };
+        let mut final_status = vec![self.coord.status];
+        final_status.extend(
+            self.resps
+                .iter()
+                .map(|r| r.as_ref().map(|r| r.status).unwrap_or(Status::Active)),
+        );
+        Report {
+            duration: self.now,
+            messages_sent: self.channel.sent,
+            messages_delivered: self.channel.delivered,
+            messages_lost: self.channel.lost,
+            crashes: self.crashes,
+            nv_inactivations: self.nv_inactivations,
+            leaves: self.leaves,
+            detection_delay,
+            false_inactivations,
+            final_status,
+            log: self.log,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(variant: Variant, tmin: u32, tmax: u32) -> WorldConfig {
+        WorldConfig {
+            variant,
+            params: Params::new(tmin, tmax).unwrap(),
+            fix: FixLevel::Original,
+            n: 1,
+            loss_prob: 0.0,
+            log_events: false,
+        }
+    }
+
+    #[test]
+    fn lossless_steady_state_never_inactivates() {
+        for seed in 0..5 {
+            let mut w = World::new(cfg(Variant::Binary, 2, 8), seed);
+            w.run_until(2_000);
+            let r = w.into_report();
+            assert_eq!(r.false_inactivations, 0, "seed {seed}");
+            assert!(r.nv_inactivations.is_empty());
+        }
+    }
+
+    #[test]
+    fn steady_state_message_rate_is_two_per_tmax() {
+        let mut w = World::new(cfg(Variant::Binary, 2, 10), 1);
+        w.run_until(10_000);
+        let r = w.into_report();
+        // one beat + one reply per tmax round
+        let expected = 2.0 / 10.0;
+        assert!(
+            (r.message_rate() - expected).abs() < 0.02,
+            "rate {}",
+            r.message_rate()
+        );
+    }
+
+    #[test]
+    fn participant_crash_is_detected_within_bound() {
+        for seed in 0..10 {
+            let mut w = World::new(cfg(Variant::Binary, 2, 8), seed);
+            w.schedule_crash(1, 100);
+            w.run_until(100_000);
+            let r = w.into_report();
+            let delay = r.detection_delay.expect("must detect");
+            // p0 detects within its corrected bound; p1 (crashed) counts as
+            // inactive immediately; add tmax slack for the round phase.
+            let bound = u64::from(
+                Params::new(2, 8).unwrap().p0_bound_corrected(Variant::Binary),
+            );
+            assert!(delay <= bound, "seed {seed}: delay {delay} > {bound}");
+        }
+    }
+
+    #[test]
+    fn coordinator_crash_inactivates_participant() {
+        for seed in 0..10 {
+            let mut w = World::new(cfg(Variant::Binary, 2, 8), seed);
+            w.schedule_crash(0, 50);
+            w.run_until(100_000);
+            let r = w.into_report();
+            assert!(r.all_inactive(), "seed {seed}");
+            let t = r.nv_time_of(1).expect("p1 inactivates");
+            // within the original 3*tmax - tmin of the last beat received,
+            // so within 50 + (3*8-2) + slack overall
+            assert!(t <= 50 + 22 + 10, "seed {seed}: t={t}");
+        }
+    }
+
+    #[test]
+    fn heavy_loss_causes_false_inactivation() {
+        let mut any = 0;
+        for seed in 0..10 {
+            let mut w = World::new(
+                WorldConfig {
+                    loss_prob: 0.9,
+                    ..cfg(Variant::Binary, 2, 8)
+                },
+                seed,
+            );
+            w.run_until(5_000);
+            let r = w.into_report();
+            any += r.false_inactivations;
+        }
+        assert!(any > 0, "90% loss must eventually bottom out the halving");
+    }
+
+    #[test]
+    fn expanding_participant_joins_late_and_exchanges_beats() {
+        let mut w = World::new(cfg(Variant::Expanding, 2, 8), 3);
+        w.schedule_start(1, 40);
+        w.run_until(400);
+        let r = w.into_report();
+        assert!(r.nv_inactivations.is_empty());
+        assert!(r.messages_sent > 40);
+        assert_eq!(r.final_status[1], Status::Active);
+    }
+
+    #[test]
+    fn dynamic_leave_is_graceful() {
+        let mut w = World::new(cfg(Variant::Dynamic, 2, 8), 4);
+        w.schedule_leave(1, 100);
+        w.run_until(2_000);
+        let r = w.into_report();
+        assert_eq!(r.leaves.len(), 1);
+        assert_eq!(r.leaves[0].0, 1);
+        assert!(r.leaves[0].1 >= 100);
+        // Leaving disturbs nobody: no inactivations anywhere.
+        assert!(r.nv_inactivations.is_empty());
+        assert_eq!(r.final_status[0], Status::Active);
+    }
+
+    #[test]
+    fn event_log_records_when_enabled() {
+        let mut w = World::new(
+            WorldConfig {
+                log_events: true,
+                ..cfg(Variant::Binary, 2, 8)
+            },
+            5,
+        );
+        w.run_until(50);
+        let r = w.into_report();
+        assert!(!r.log.is_empty());
+        assert!(r.log.to_string().contains("timeout at p[0]"));
+    }
+
+    #[test]
+    fn seeds_are_reproducible() {
+        let run = |seed| {
+            let mut w = World::new(
+                WorldConfig {
+                    loss_prob: 0.2,
+                    ..cfg(Variant::Binary, 2, 8)
+                },
+                seed,
+            );
+            w.run_until(1_000);
+            let r = w.into_report();
+            (r.messages_sent, r.messages_lost, r.nv_inactivations.len())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn static_world_with_three_participants() {
+        let mut w = World::new(
+            WorldConfig {
+                n: 3,
+                ..cfg(Variant::Static, 2, 8)
+            },
+            6,
+        );
+        w.schedule_crash(2, 100);
+        w.run_until(100_000);
+        let r = w.into_report();
+        // any crash brings the whole network down (GM98's goal)
+        assert!(r.all_inactive());
+        assert!(r.detection_delay.is_some());
+    }
+}

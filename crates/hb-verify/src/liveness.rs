@@ -1,0 +1,118 @@
+//! The original paper's *liveness* guarantee, checked as a genuine
+//! leads-to property.
+//!
+//! GM98 (p. 2): *"if one or more processes ever choose to become
+//! inactive, then all processes in the network eventually become
+//! inactive."*
+//!
+//! Requirement R1 is the *bounded-time* refinement of this statement (and
+//! is violated by the original protocols because the claimed bound is
+//! wrong); the **unbounded** eventuality itself holds for every variant,
+//! original or fixed — the halving chain always bottoms out. This module
+//! checks it with the [`mck::liveness`] lasso search:
+//!
+//! * **trigger** — some process in the network crashed: the coordinator,
+//!   or a participant that had joined and not left (a crash of a process
+//!   that never joined, or that left first, is outside the network and
+//!   obligates nobody);
+//! * **goal** — every network member is inactive: the coordinator, and
+//!   every participant that has not left.
+//!
+//! Both predicates are absorbing (crashes, inactivations, joins and
+//! leaves are all permanent), as the lasso checker requires.
+
+use hb_core::{FixLevel, Params, Status, Variant};
+use mck::liveness::{check_leads_to, LeadsToOutcome};
+
+use crate::model::{HbModel, HbState};
+
+/// The trigger: a network member crashed.
+pub fn network_crash(s: &HbState) -> bool {
+    s.coord.status == Status::Crashed
+        || s.resps
+            .iter()
+            .any(|r| r.status == Status::Crashed && r.joined && !r.left)
+}
+
+/// The goal: every network member is inactive (left participants are out
+/// of the network and may stay alive).
+pub fn network_down(s: &HbState) -> bool {
+    s.coord.status.is_inactive()
+        && s.resps
+            .iter()
+            .all(|r| r.status.is_inactive() || r.left)
+}
+
+/// Check GM98's eventual-inactivation guarantee on one configuration.
+///
+/// All fault actions (crash, loss) stay enabled: the property must hold
+/// under arbitrary additional faults.
+pub fn check_eventual_inactivation(
+    variant: Variant,
+    params: Params,
+    fix: FixLevel,
+    n: usize,
+    max_states: usize,
+) -> LeadsToOutcome<HbModel> {
+    let model = HbModel::new(variant, params, n, fix);
+    check_leads_to(&model, network_crash, network_down, max_states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: usize = 4_000_000;
+
+    #[test]
+    fn eventual_inactivation_holds_for_originals() {
+        // The liveness core of GM98 is sound even where the *timed*
+        // requirement R1 fails: eventually everything dies.
+        for variant in Variant::ALL {
+            let params = Params::new(1, 4).unwrap();
+            let out =
+                check_eventual_inactivation(variant, params, FixLevel::Original, 1, CAP);
+            assert!(out.holds(), "{variant}: {:?}", out.stem().map(|p| p.len()));
+        }
+    }
+
+    #[test]
+    fn eventual_inactivation_holds_for_fixed() {
+        for variant in Variant::ALL {
+            let params = Params::new(2, 4).unwrap();
+            let out = check_eventual_inactivation(variant, params, FixLevel::Full, 1, CAP);
+            assert!(out.holds(), "{variant}");
+        }
+    }
+
+    #[test]
+    fn eventual_inactivation_holds_at_tmin_eq_tmax() {
+        // Even in the race-prone tmin = tmax regime the *eventual*
+        // guarantee survives (the races only make inactivation spurious,
+        // never avoidable).
+        let params = Params::new(3, 3).unwrap();
+        let out =
+            check_eventual_inactivation(Variant::Binary, params, FixLevel::Original, 1, CAP);
+        assert!(out.holds());
+    }
+
+    #[test]
+    fn a_broken_variant_would_be_caught() {
+        // Sanity for the harness: against an *unreachable* goal the lasso
+        // search must produce a violation (the protocol runs forever).
+        let params = Params::new(2, 4).unwrap();
+        let model = HbModel::new(Variant::Binary, params, 1, FixLevel::Original);
+        let out = check_leads_to(&model, network_crash, |_| false, CAP);
+        assert!(!out.holds());
+    }
+
+    #[test]
+    fn dynamic_leave_then_crash_obligates_nobody() {
+        // A participant that left and then "crashed" is outside the
+        // network: the trigger must not fire for it, so the system may
+        // legitimately run forever.
+        let params = Params::new(2, 4).unwrap();
+        let out = check_eventual_inactivation(Variant::Dynamic, params, FixLevel::Full, 1, CAP);
+        assert!(out.holds());
+    }
+}

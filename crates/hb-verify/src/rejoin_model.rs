@@ -1,0 +1,445 @@
+//! Verification model for the rejoinable dynamic protocol (the papers'
+//! future-work extension, `hb_core::rejoin`).
+//!
+//! Composition mirrors [`crate::model::HbModel`] — digital clocks,
+//! round-trip delay budgets, receive-priority (the extension builds on
+//! the *fixed* base protocol) — with two new ingredients:
+//!
+//! * participants may (re)start a join phase whenever they are out of
+//!   the protocol ([`RejoinAction::StartJoin`]), up to a configurable
+//!   incarnation cap (finiteness);
+//! * messages carry the incarnation number
+//!   ([`hb_core::rejoin::EpochBeat`]).
+//!
+//! The headline results (`rejoin_results` and the integration tests):
+//! with **naive rejoin** the coordinator can be starved into non-
+//! voluntary inactivation *without any fault* — a stale join beat from a
+//! dead incarnation re-enrols a departed participant; with **epoch
+//! filtering** the fault-free model satisfies both safety properties.
+
+use hb_core::rejoin::{
+    EpochBeat, RejoinCoordReaction, RejoinCoordSpec, RejoinCoordState, RejoinRespSpec,
+    RejoinRespState, RejoinTimeoutOutcome,
+};
+use hb_core::{Params, Pid, Status};
+use mck::Model;
+
+/// An in-flight epoch-tagged message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RejoinMsg {
+    /// Sender (`0` = coordinator).
+    pub src: Pid,
+    /// Destination.
+    pub dst: Pid,
+    /// Payload.
+    pub beat: EpochBeat,
+    /// Remaining delay budget.
+    pub budget: u32,
+}
+
+/// Global state of the rejoin composition.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RejoinState {
+    /// Coordinator.
+    pub coord: RejoinCoordState,
+    /// Participants.
+    pub resps: Vec<RejoinRespState>,
+    /// In-flight messages (sorted canonical form).
+    pub channel: Vec<RejoinMsg>,
+}
+
+/// Transitions of the rejoin composition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RejoinAction {
+    /// Time passes everywhere.
+    Tick,
+    /// Coordinator round timeout.
+    CoordTimeout,
+    /// Participant watchdog (non-voluntary inactivation).
+    Watchdog(Pid),
+    /// Participant starts a (re)join phase.
+    StartJoin(Pid),
+    /// Participant sends a join beat.
+    JoinSend(Pid),
+    /// Deliver a message; if `leave`, an enrolled participant replies
+    /// with a leave beat.
+    Deliver {
+        /// The message.
+        msg: RejoinMsg,
+        /// Reply with a leave.
+        leave: bool,
+    },
+}
+
+/// The composed fault-free rejoin model.
+#[derive(Clone, Debug)]
+pub struct RejoinModel {
+    coord: RejoinCoordSpec,
+    resp: RejoinRespSpec,
+    n: usize,
+}
+
+impl RejoinModel {
+    /// A model with `n` participants, each allowed `max_epoch`
+    /// incarnations; `epochs` selects naive vs epoch-tagged rejoin.
+    pub fn new(params: Params, n: usize, epochs: bool, max_epoch: u8) -> Self {
+        Self {
+            coord: RejoinCoordSpec::new(params, n, epochs),
+            resp: RejoinRespSpec::new(params, epochs, max_epoch),
+            n,
+        }
+    }
+
+    /// The timing parameters.
+    pub fn params(&self) -> Params {
+        self.coord.params()
+    }
+
+    fn any_urgent_delivery(&self, s: &RejoinState) -> bool {
+        s.channel.iter().any(|m| m.budget == 0)
+    }
+
+    /// Whether time may pass (no urgent event).
+    pub fn may_tick(&self, s: &RejoinState) -> bool {
+        self.coord.may_tick(&s.coord)
+            && s.resps.iter().all(|r| self.resp.may_tick(r))
+            && s.channel.iter().all(|m| m.budget > 0)
+    }
+
+    fn push(channel: &mut Vec<RejoinMsg>, m: RejoinMsg) {
+        channel.push(m);
+        channel.sort_unstable();
+    }
+
+    fn remove(channel: &mut Vec<RejoinMsg>, m: &RejoinMsg) -> bool {
+        if let Some(pos) = channel.iter().position(|x| x == m) {
+            channel.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Safety predicate 1 (the fault-free R2 analogue): no participant is
+    /// ever NV-inactivated.
+    pub fn some_participant_nv(s: &RejoinState) -> bool {
+        s.resps.iter().any(|r| r.status == Status::NvInactive)
+    }
+
+    /// Safety predicate 2 (the fault-free R3 analogue): the coordinator
+    /// is NV-inactivated while every participant is healthy.
+    pub fn coordinator_nv(s: &RejoinState) -> bool {
+        s.coord.status == Status::NvInactive && s.resps.iter().all(|r| r.status.is_active())
+    }
+}
+
+impl Model for RejoinModel {
+    type State = RejoinState;
+    type Action = RejoinAction;
+
+    fn initial_states(&self) -> Vec<RejoinState> {
+        vec![RejoinState {
+            coord: self.coord.init_state(),
+            resps: (0..self.n).map(|_| self.resp.init_state()).collect(),
+            channel: Vec::new(),
+        }]
+    }
+
+    fn actions(&self, s: &RejoinState, out: &mut Vec<RejoinAction>) {
+        // The extension builds on the fixed base protocol: receive
+        // priority is always on.
+        let defer_timeouts = self.any_urgent_delivery(s);
+        if self.coord.timeout_due(&s.coord) && !defer_timeouts {
+            out.push(RejoinAction::CoordTimeout);
+        }
+        for (i, r) in s.resps.iter().enumerate() {
+            let pid = i + 1;
+            if self.resp.watchdog_due(r) && !defer_timeouts {
+                out.push(RejoinAction::Watchdog(pid));
+            }
+            if self.resp.join_send_due(r) {
+                out.push(RejoinAction::JoinSend(pid));
+            }
+            if self.resp.may_join(r) {
+                out.push(RejoinAction::StartJoin(pid));
+            }
+        }
+        let mut seen: Option<&RejoinMsg> = None;
+        for m in &s.channel {
+            if seen == Some(m) {
+                continue;
+            }
+            seen = Some(m);
+            out.push(RejoinAction::Deliver { msg: *m, leave: false });
+            if m.dst != 0 && m.beat.flag {
+                out.push(RejoinAction::Deliver { msg: *m, leave: true });
+            }
+        }
+        if self.may_tick(s) {
+            out.push(RejoinAction::Tick);
+        }
+    }
+
+    fn next_state(&self, s: &RejoinState, action: &RejoinAction) -> Option<RejoinState> {
+        let mut next = s.clone();
+        match action {
+            RejoinAction::Tick => {
+                if !self.may_tick(s) {
+                    return None;
+                }
+                self.coord.tick(&mut next.coord);
+                for r in &mut next.resps {
+                    self.resp.tick(r);
+                }
+                for m in &mut next.channel {
+                    m.budget -= 1;
+                }
+            }
+            RejoinAction::CoordTimeout => {
+                if !self.coord.timeout_due(&s.coord) {
+                    return None;
+                }
+                match self.coord.on_timeout(&mut next.coord) {
+                    RejoinTimeoutOutcome::Inactivated => {}
+                    RejoinTimeoutOutcome::Beat(beats) => {
+                        for (pid, beat) in beats {
+                            Self::push(
+                                &mut next.channel,
+                                RejoinMsg {
+                                    src: 0,
+                                    dst: pid,
+                                    beat,
+                                    budget: self.params().tmin(),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            RejoinAction::Watchdog(pid) => {
+                let r = &mut next.resps[pid - 1];
+                if !self.resp.watchdog_due(r) {
+                    return None;
+                }
+                self.resp.on_watchdog(r);
+            }
+            RejoinAction::StartJoin(pid) => {
+                let r = &mut next.resps[pid - 1];
+                if !self.resp.may_join(r) {
+                    return None;
+                }
+                self.resp.start_join(r);
+            }
+            RejoinAction::JoinSend(pid) => {
+                let r = &mut next.resps[pid - 1];
+                if !self.resp.join_send_due(r) {
+                    return None;
+                }
+                let beat = self.resp.on_join_send(r);
+                Self::push(
+                    &mut next.channel,
+                    RejoinMsg {
+                        src: *pid,
+                        dst: 0,
+                        beat,
+                        budget: self.params().tmin(),
+                    },
+                );
+            }
+            RejoinAction::Deliver { msg, leave } => {
+                if !Self::remove(&mut next.channel, msg) {
+                    return None;
+                }
+                if msg.dst == 0 {
+                    match self.coord.on_heartbeat(&mut next.coord, msg.src, msg.beat) {
+                        RejoinCoordReaction::None => {}
+                        RejoinCoordReaction::LeaveAck(pid, ack) => {
+                            Self::push(
+                                &mut next.channel,
+                                RejoinMsg {
+                                    src: 0,
+                                    dst: pid,
+                                    beat: ack,
+                                    budget: self.params().tmin(),
+                                },
+                            );
+                        }
+                    }
+                } else {
+                    let r = &mut next.resps[msg.dst - 1];
+                    if let Some(reply) = self.resp.on_beat(r, msg.beat, *leave) {
+                        Self::push(
+                            &mut next.channel,
+                            RejoinMsg {
+                                src: msg.dst,
+                                dst: 0,
+                                beat: reply,
+                                budget: msg.budget,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        Some(next)
+    }
+
+    fn format_action(&self, a: &RejoinAction) -> String {
+        match a {
+            RejoinAction::Tick => "tick".into(),
+            RejoinAction::CoordTimeout => "timeout at p[0]".into(),
+            RejoinAction::Watchdog(p) => format!("nv-inactivate p[{p}]"),
+            RejoinAction::StartJoin(p) => format!("p[{p}] starts (re)join"),
+            RejoinAction::JoinSend(p) => format!("p[{p}] sends join beat"),
+            RejoinAction::Deliver { msg, leave } => format!(
+                "deliver e{}{} p[{}]->p[{}] (budget {}){}",
+                msg.beat.epoch,
+                if msg.beat.flag { "" } else { "(leave)" },
+                msg.src,
+                msg.dst,
+                msg.budget,
+                if *leave { " (replies leave)" } else { "" },
+            ),
+        }
+    }
+}
+
+/// Verdicts for the two rejoin flavours on both safety predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RejoinResults {
+    /// Naive rejoin: no participant ever NV-inactivated?
+    pub naive_participant_safe: bool,
+    /// Naive rejoin: coordinator never NV-inactivated with healthy
+    /// participants?
+    pub naive_coordinator_safe: bool,
+    /// Epoch-tagged rejoin: participant safety.
+    pub epoch_participant_safe: bool,
+    /// Epoch-tagged rejoin: coordinator safety.
+    pub epoch_coordinator_safe: bool,
+}
+
+/// Check all four cells exhaustively (fault-free, `n = 1`,
+/// two incarnations).
+pub fn rejoin_results(params: Params) -> RejoinResults {
+    use mck::Checker;
+    let run = |epochs: bool, pred: fn(&RejoinState) -> bool| {
+        let model = RejoinModel::new(params, 1, epochs, 2);
+        Checker::new(&model).check_invariant(|s| !pred(s)).holds()
+    };
+    RejoinResults {
+        naive_participant_safe: run(false, RejoinModel::some_participant_nv),
+        naive_coordinator_safe: run(false, RejoinModel::coordinator_nv),
+        epoch_participant_safe: run(true, RejoinModel::some_participant_nv),
+        epoch_coordinator_safe: run(true, RejoinModel::coordinator_nv),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mck::Checker;
+
+    fn params() -> Params {
+        Params::new(2, 4).unwrap()
+    }
+
+    #[test]
+    fn naive_rejoin_kills_the_coordinator_without_faults() {
+        let model = RejoinModel::new(params(), 1, false, 2);
+        let ce = Checker::new(&model).find_state(RejoinModel::coordinator_nv);
+        let path = ce.expect("the stale-join race must be reachable");
+        // The witness must contain a leave followed by a straggler join
+        // delivery — i.e. a genuine rejoin artefact, not a plain timeout.
+        let labels: Vec<String> = path
+            .actions()
+            .iter()
+            .map(|a| model.format_action(a))
+            .collect();
+        assert!(
+            labels.iter().any(|l| l.contains("replies leave")),
+            "{labels:?}"
+        );
+    }
+
+    #[test]
+    fn epoch_rejoin_is_coordinator_safe() {
+        let model = RejoinModel::new(params(), 1, true, 2);
+        let out = Checker::new(&model).check_invariant(|s| !RejoinModel::coordinator_nv(s));
+        assert!(out.holds(), "{:?}", out.stats());
+    }
+
+    #[test]
+    fn epoch_rejoin_is_participant_safe() {
+        let model = RejoinModel::new(params(), 1, true, 2);
+        let out =
+            Checker::new(&model).check_invariant(|s| !RejoinModel::some_participant_nv(s));
+        assert!(out.holds(), "{:?}", out.stats());
+    }
+
+    #[test]
+    fn full_result_grid() {
+        let r = rejoin_results(params());
+        assert!(!r.naive_coordinator_safe, "naive rejoin must be broken");
+        assert!(r.epoch_participant_safe);
+        assert!(r.epoch_coordinator_safe);
+    }
+
+    #[test]
+    fn single_incarnation_epoch_model_matches_the_fixed_dynamic_protocol() {
+        // With max_epoch = 1, the epoch flavour reduces to the fixed
+        // dynamic protocol (leave raises the bar, like that protocol's
+        // "never rejoin" latch) and is safe.
+        let model = RejoinModel::new(params(), 1, true, 1);
+        let out = Checker::new(&model).check_invariant(|s| {
+            !RejoinModel::coordinator_nv(s) && !RejoinModel::some_participant_nv(s)
+        });
+        assert!(out.holds(), "{:?}", out.stats());
+    }
+
+    #[test]
+    fn naive_model_is_broken_even_without_rejoining() {
+        // An instructive corollary: dropping the dynamic protocol's
+        // "never rejoin" latch is *already* unsafe with a single
+        // incarnation — a straggler join resend delivered after the leave
+        // re-enrols the departed participant. The latch (or its
+        // generalization, epochs) is load-bearing, not merely a
+        // restriction.
+        let model = RejoinModel::new(params(), 1, false, 1);
+        let ce = Checker::new(&model).find_state(RejoinModel::coordinator_nv);
+        assert!(ce.is_some(), "the straggler-join race must be reachable");
+    }
+
+    #[test]
+    fn epoch_rejoin_safe_even_at_tmin_eq_tmax() {
+        // The regime that exposed the phase-dependence of the §6.2 join
+        // bound: at tmin = tmax an arbitrary-phase rejoin needs
+        // tmax + 3*tmin, not 2*tmax + tmin.
+        let p = Params::new(2, 2).unwrap();
+        let model = RejoinModel::new(p, 1, true, 2);
+        let out = Checker::new(&model).check_invariant(|s| {
+            !RejoinModel::some_participant_nv(s) && !RejoinModel::coordinator_nv(s)
+        });
+        assert!(out.holds(), "{:?}", out.stats());
+    }
+
+    #[test]
+    fn rejoin_watchdog_bound_is_saturated() {
+        // The arbitrary-phase bound is tight: some reachable state has the
+        // joining participant waiting exactly the bound (one unit less and
+        // the watchdog would fire spuriously).
+        let p = Params::new(2, 2).unwrap();
+        let model = RejoinModel::new(p, 1, true, 2);
+        let bound = hb_core::rejoin::RejoinRespSpec::new(p, true, 2).watchdog_bound();
+        let hit = Checker::new(&model)
+            .find_state(|s| s.resps.iter().any(|r| r.waiting + 1 >= bound));
+        assert!(hit.is_some(), "bound {bound} is never approached: too loose");
+    }
+
+    #[test]
+    fn model_is_finite_and_deadlock_free() {
+        let model = RejoinModel::new(params(), 1, true, 2);
+        let graph = mck::graph::StateGraph::explore(&model, 2_000_000);
+        assert!(!graph.truncated, "blow-up: {} states", graph.states.len());
+        assert_eq!(graph.stats().deadlocks, 0);
+    }
+}

@@ -1,0 +1,525 @@
+//! Isolated-process transition systems (the paper's Figures 1 and 2).
+//!
+//! The paper presents the "reduced transition system" of `p[0]` (Figure 1,
+//! for `tmax = 2, tmin = 1`) and the transition system of `p[1]`
+//! (Figure 2) — each process composed with its stopwatch, with a *free*
+//! environment (heartbeats may arrive at any time) and internal clock
+//! bookkeeping hidden, reduced modulo weak-trace equivalence.
+//!
+//! This module rebuilds those systems from our coordinator/responder
+//! semantics and exposes them as [`mck::lts::Lts`] values so the reduction
+//! pipeline (`hide → determinize_weak → minimize_traces`) regenerates the
+//! figures' shapes.
+
+use hb_core::Params;
+use mck::graph::StateGraph;
+use mck::lts::Lts;
+use mck::Model;
+
+/// Action labels of the isolated `p[0]` (the mCRL2 names of Figure 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum P0Label {
+    /// Clock tick.
+    Tick,
+    /// A heartbeat from `p[1]` arrives (free environment).
+    FromP1,
+    /// Voluntary inactivation.
+    InactivateV,
+    /// The round timeout fires.
+    Timeout,
+    /// The heartbeat to `p[1]` goes out.
+    ForP1,
+    /// Non-voluntary inactivation (acceleration bottomed out).
+    InactivateNv,
+}
+
+impl P0Label {
+    /// The mCRL2 action name used in the paper's figure.
+    pub fn name(self) -> &'static str {
+        match self {
+            P0Label::Tick => "tick p0",
+            P0Label::FromP1 => "from p1(hb1)",
+            P0Label::InactivateV => "inactivate v p0",
+            P0Label::Timeout => "timeout at P0",
+            P0Label::ForP1 => "for p1(hb0)",
+            P0Label::InactivateNv => "inactivate nv p0",
+        }
+    }
+}
+
+/// What the isolated `p[0]` has committed to after its timeout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum P0Pending {
+    /// Send the next beat and start a round of this length.
+    Send(u32),
+    /// Become non-voluntarily inactive.
+    Inactivate,
+}
+
+/// State of the isolated `p[0]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct P0SoloState {
+    active: bool,
+    t: u32,
+    elapsed: u32,
+    rcvd: bool,
+    pending: Option<P0Pending>,
+}
+
+/// The isolated coordinator of the binary protocol with a free
+/// environment, mirroring the mCRL2 process `P0` of the paper §3.2.
+#[derive(Clone, Copy, Debug)]
+pub struct P0Solo {
+    params: Params,
+}
+
+impl P0Solo {
+    /// Isolated `p[0]` with the given timing parameters.
+    pub fn new(params: Params) -> Self {
+        Self { params }
+    }
+}
+
+impl Model for P0Solo {
+    type State = P0SoloState;
+    type Action = P0Label;
+
+    fn initial_states(&self) -> Vec<P0SoloState> {
+        vec![P0SoloState {
+            active: true,
+            t: self.params.tmax(),
+            elapsed: 0,
+            rcvd: true,
+            pending: None,
+        }]
+    }
+
+    fn actions(&self, s: &P0SoloState, out: &mut Vec<P0Label>) {
+        if let Some(p) = s.pending {
+            // Committed location: resolve the timeout outcome first.
+            out.push(match p {
+                P0Pending::Send(_) => P0Label::ForP1,
+                P0Pending::Inactivate => P0Label::InactivateNv,
+            });
+            return;
+        }
+        let timeout_due = s.active && s.elapsed >= s.t;
+        if !timeout_due {
+            out.push(P0Label::Tick);
+        }
+        out.push(P0Label::FromP1);
+        if s.active {
+            out.push(P0Label::InactivateV);
+            if timeout_due {
+                out.push(P0Label::Timeout);
+            }
+        }
+    }
+
+    fn next_state(&self, s: &P0SoloState, a: &P0Label) -> Option<P0SoloState> {
+        let mut n = *s;
+        match a {
+            P0Label::Tick => {
+                if s.active {
+                    if s.elapsed >= s.t {
+                        return None;
+                    }
+                    n.elapsed += 1;
+                }
+            }
+            P0Label::FromP1 => {
+                if s.active && s.pending.is_none() {
+                    n.rcvd = true;
+                } // inactive / committed: message consumed, no effect
+            }
+            P0Label::InactivateV => {
+                if !s.active || s.pending.is_some() {
+                    return None;
+                }
+                n.active = false;
+            }
+            P0Label::Timeout => {
+                if !s.active || s.pending.is_some() || s.elapsed < s.t {
+                    return None;
+                }
+                n.pending = Some(if s.rcvd {
+                    P0Pending::Send(self.params.tmax())
+                } else {
+                    let half = Params::halve(s.t);
+                    if half >= self.params.tmin() {
+                        P0Pending::Send(half)
+                    } else {
+                        P0Pending::Inactivate
+                    }
+                });
+            }
+            P0Label::ForP1 => match s.pending {
+                Some(P0Pending::Send(nt)) => {
+                    n.t = nt;
+                    n.elapsed = 0;
+                    n.rcvd = false;
+                    n.pending = None;
+                }
+                _ => return None,
+            },
+            P0Label::InactivateNv => match s.pending {
+                Some(P0Pending::Inactivate) => {
+                    n.active = false;
+                    n.pending = None;
+                }
+                _ => return None,
+            },
+        }
+        Some(n)
+    }
+
+    fn format_action(&self, a: &P0Label) -> String {
+        a.name().to_string()
+    }
+}
+
+/// Action labels of the isolated `p[1]` (Figure 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum P1Label {
+    /// Clock tick.
+    Tick,
+    /// A heartbeat from `p[0]` arrives.
+    FromP0,
+    /// The reply heartbeat goes out.
+    ForP0,
+    /// The stopwatch reset message (internal; hidden in the reduction).
+    SndResetSw,
+    /// Voluntary inactivation.
+    InactivateV,
+    /// The `3·tmax − tmin` timeout fires.
+    Timeout,
+    /// Non-voluntary inactivation.
+    InactivateNv,
+}
+
+impl P1Label {
+    /// The mCRL2 action name used in the paper's figure.
+    pub fn name(self) -> &'static str {
+        match self {
+            P1Label::Tick => "tick p1",
+            P1Label::FromP0 => "from p0(hb0)",
+            P1Label::ForP0 => "for p0(hb1)",
+            P1Label::SndResetSw => "snd reset sw p1",
+            P1Label::InactivateV => "inactivate v p1",
+            P1Label::Timeout => "timeout at P1",
+            P1Label::InactivateNv => "inactivate nv p1",
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum P1Pending {
+    /// Received a beat; must reply.
+    Reply,
+    /// Replied; must reset the stopwatch.
+    Reset,
+    /// Timeout fired; must inactivate.
+    Inactivate,
+}
+
+/// State of the isolated `p[1]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct P1SoloState {
+    active: bool,
+    waiting: u32,
+    pending: Option<P1Pending>,
+}
+
+/// The isolated responder of the binary protocol with a free environment,
+/// mirroring the mCRL2 process `P1` of the paper §3.2.
+#[derive(Clone, Copy, Debug)]
+pub struct P1Solo {
+    params: Params,
+}
+
+impl P1Solo {
+    /// Isolated `p[1]` with the given timing parameters.
+    pub fn new(params: Params) -> Self {
+        Self { params }
+    }
+
+    fn bound(&self) -> u32 {
+        self.params.responder_bound_original()
+    }
+}
+
+impl Model for P1Solo {
+    type State = P1SoloState;
+    type Action = P1Label;
+
+    fn initial_states(&self) -> Vec<P1SoloState> {
+        vec![P1SoloState {
+            active: true,
+            waiting: 0,
+            pending: None,
+        }]
+    }
+
+    fn actions(&self, s: &P1SoloState, out: &mut Vec<P1Label>) {
+        if let Some(p) = s.pending {
+            out.push(match p {
+                P1Pending::Reply => P1Label::ForP0,
+                P1Pending::Reset => P1Label::SndResetSw,
+                P1Pending::Inactivate => P1Label::InactivateNv,
+            });
+            return;
+        }
+        let timeout_due = s.active && s.waiting >= self.bound();
+        if !timeout_due {
+            out.push(P1Label::Tick);
+        }
+        out.push(P1Label::FromP0);
+        if s.active {
+            out.push(P1Label::InactivateV);
+            if timeout_due {
+                out.push(P1Label::Timeout);
+            }
+        }
+    }
+
+    fn next_state(&self, s: &P1SoloState, a: &P1Label) -> Option<P1SoloState> {
+        let mut n = *s;
+        match a {
+            P1Label::Tick => {
+                if s.active {
+                    if s.waiting >= self.bound() {
+                        return None;
+                    }
+                    n.waiting += 1;
+                }
+            }
+            P1Label::FromP0 => {
+                if s.active && s.pending.is_none() {
+                    n.pending = Some(P1Pending::Reply);
+                }
+            }
+            P1Label::ForP0 => match s.pending {
+                Some(P1Pending::Reply) => n.pending = Some(P1Pending::Reset),
+                _ => return None,
+            },
+            P1Label::SndResetSw => match s.pending {
+                Some(P1Pending::Reset) => {
+                    n.pending = None;
+                    n.waiting = 0;
+                }
+                _ => return None,
+            },
+            P1Label::InactivateV => {
+                if !s.active || s.pending.is_some() {
+                    return None;
+                }
+                n.active = false;
+            }
+            P1Label::Timeout => {
+                if !s.active || s.pending.is_some() || s.waiting < self.bound() {
+                    return None;
+                }
+                n.pending = Some(P1Pending::Inactivate);
+            }
+            P1Label::InactivateNv => match s.pending {
+                Some(P1Pending::Inactivate) => {
+                    n.active = false;
+                    n.pending = None;
+                }
+                _ => return None,
+            },
+        }
+        Some(n)
+    }
+
+    fn format_action(&self, a: &P1Label) -> String {
+        a.name().to_string()
+    }
+}
+
+/// Build the reduced LTS of the isolated `p[0]` as in Figure 1: explore,
+/// hide ticks (the paper hides the internal `send ticking time`; ticks are
+/// the equivalent clock bookkeeping here), determinize modulo weak traces
+/// and minimize.
+pub fn p0_reduced_lts(params: Params) -> Lts {
+    let model = P0Solo::new(params);
+    let graph = StateGraph::explore(&model, 1 << 20);
+    let lts = Lts::from_graph(&graph, |a| a.name().to_string());
+    lts.hide(&["tick p0"]).determinize_weak().minimize_traces()
+}
+
+/// The raw (unreduced) LTS of the isolated `p[0]`.
+pub fn p0_raw_lts(params: Params) -> Lts {
+    let model = P0Solo::new(params);
+    let graph = StateGraph::explore(&model, 1 << 20);
+    Lts::from_graph(&graph, |a| a.name().to_string())
+}
+
+/// Build the reduced LTS of the isolated `p[1]` as in Figure 2 (the
+/// stopwatch-reset message and ticks are hidden).
+pub fn p1_reduced_lts(params: Params) -> Lts {
+    let model = P1Solo::new(params);
+    let graph = StateGraph::explore(&model, 1 << 20);
+    let lts = Lts::from_graph(&graph, |a| a.name().to_string());
+    lts.hide(&["tick p1", "snd reset sw p1"])
+        .determinize_weak()
+        .minimize_traces()
+}
+
+/// The raw (unreduced) LTS of the isolated `p[1]`.
+pub fn p1_raw_lts(params: Params) -> Lts {
+    let model = P1Solo::new(params);
+    let graph = StateGraph::explore(&model, 1 << 20);
+    Lts::from_graph(&graph, |a| a.name().to_string())
+}
+
+/// The figure-faithful reduction of `p[0]`: the paper's Figure 1 keeps
+/// clock ticks *visible* (only the internal stopwatch communication was
+/// hidden, and our encoding has no separate stopwatch process), so this
+/// reduces modulo weak traces without hiding anything.
+pub fn p0_figure_lts(params: Params) -> Lts {
+    p0_raw_lts(params).determinize_weak().minimize_traces()
+}
+
+/// The figure-faithful reduction of `p[1]` (Figure 2): ticks stay
+/// visible; only the stopwatch-reset message is hidden.
+pub fn p1_figure_lts(params: Params) -> Lts {
+    p1_raw_lts(params)
+        .hide(&["snd reset sw p1"])
+        .determinize_weak()
+        .minimize_traces()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig_params() -> Params {
+        Params::new(1, 2).unwrap() // the figures use tmax = 2, tmin = 1
+    }
+
+    #[test]
+    fn p0_alphabet_matches_figure1() {
+        let lts = p0_reduced_lts(fig_params());
+        let alphabet = lts.alphabet();
+        for name in [
+            "from p1(hb1)",
+            "inactivate v p0",
+            "timeout at P0",
+            "for p1(hb0)",
+            "inactivate nv p0",
+        ] {
+            assert!(alphabet.contains(name), "missing {name}: {alphabet:?}");
+        }
+        assert!(!alphabet.contains("tick p0"), "ticks must be hidden");
+    }
+
+    #[test]
+    fn p0_reduced_is_small_and_deterministic() {
+        let lts = p0_reduced_lts(fig_params());
+        // Figure 1 is a single-digit-state diagram; our reduction must land
+        // in the same regime.
+        assert!(lts.num_states <= 16, "too large: {}", lts.num_states);
+        assert!(lts.num_states >= 4);
+        // deterministic: no duplicate (src, label) pairs
+        let mut seen = std::collections::HashSet::new();
+        for (s, l, _) in &lts.transitions {
+            assert!(seen.insert((*s, l.clone())), "nondeterminism after subset construction");
+        }
+    }
+
+    #[test]
+    fn p0_admits_the_paper_traces() {
+        let lts = p0_reduced_lts(fig_params());
+        // Steady-state round: timeout, beat out, receive reply, repeat.
+        assert!(lts.accepts_weak_trace(&[
+            "timeout at P0",
+            "for p1(hb0)",
+            "from p1(hb1)",
+            "timeout at P0",
+            "for p1(hb0)",
+        ]));
+        // Silent decay to non-voluntary inactivation (tmax=2: one halving).
+        assert!(lts.accepts_weak_trace(&[
+            "timeout at P0",
+            "for p1(hb0)",
+            "timeout at P0",
+            "for p1(hb0)",
+            "timeout at P0",
+            "inactivate nv p0",
+        ]));
+        // Voluntary inactivation is always available while active.
+        assert!(lts.accepts_weak_trace(&["inactivate v p0"]));
+        // But no beat can follow non-voluntary inactivation.
+        assert!(!lts.accepts_weak_trace(&[
+            "timeout at P0",
+            "for p1(hb0)",
+            "timeout at P0",
+            "for p1(hb0)",
+            "timeout at P0",
+            "inactivate nv p0",
+            "for p1(hb0)",
+        ]));
+    }
+
+    #[test]
+    fn p1_alphabet_matches_figure2() {
+        let lts = p1_reduced_lts(fig_params());
+        let alphabet = lts.alphabet();
+        for name in [
+            "from p0(hb0)",
+            "for p0(hb1)",
+            "inactivate v p1",
+            "timeout at P1",
+            "inactivate nv p1",
+        ] {
+            assert!(alphabet.contains(name), "missing {name}: {alphabet:?}");
+        }
+    }
+
+    #[test]
+    fn p1_replies_then_can_time_out() {
+        let lts = p1_reduced_lts(fig_params());
+        assert!(lts.accepts_weak_trace(&["from p0(hb0)", "for p0(hb1)"]));
+        assert!(lts.accepts_weak_trace(&["timeout at P1", "inactivate nv p1"]));
+        // After non-voluntary inactivation p1 never replies again.
+        assert!(!lts.accepts_weak_trace(&[
+            "timeout at P1",
+            "inactivate nv p1",
+            "from p0(hb0)",
+            "for p0(hb1)",
+        ]));
+    }
+
+    #[test]
+    fn figure_faithful_reductions_keep_ticks() {
+        let p0 = p0_figure_lts(fig_params());
+        assert!(p0.alphabet().contains("tick p0"));
+        // Figure 1 is a small diagram; the tick-visible reduction must
+        // stay in the same single-digit regime.
+        assert!(p0.num_states <= 24, "{}", p0.num_states);
+        // the timed steady-state loop of Figure 1: wait two ticks, beat,
+        // receive the reply, wait again
+        assert!(p0.accepts_weak_trace(&[
+            "tick p0",
+            "tick p0",
+            "timeout at P0",
+            "for p1(hb0)",
+            "from p1(hb1)",
+            "tick p0",
+        ]));
+        let p1 = p1_figure_lts(fig_params());
+        assert!(p1.alphabet().contains("tick p1"));
+        assert!(!p1.alphabet().contains("snd reset sw p1"));
+    }
+
+    #[test]
+    fn raw_systems_are_finite_and_larger_than_reduced() {
+        let raw = p0_raw_lts(fig_params());
+        let red = p0_reduced_lts(fig_params());
+        assert!(raw.num_states > red.num_states);
+        let raw1 = p1_raw_lts(fig_params());
+        let red1 = p1_reduced_lts(fig_params());
+        assert!(raw1.num_states > red1.num_states);
+    }
+}

@@ -1,0 +1,185 @@
+//! Participant-permutation symmetry for the composed heartbeat models.
+//!
+//! In the static/expanding/dynamic protocols all participants run the
+//! same code, so global states that differ only by a renaming of the
+//! participants are bisimilar. [`canonical`] picks the lexicographically
+//! least state over all participant permutations (brute force over `n!`,
+//! fine for the small `n` these models use), which lets
+//! [`mck::symmetry::Symmetric`] explore the quotient:
+//!
+//! ```
+//! use hb_core::{Params, Variant, FixLevel};
+//! use hb_verify::{HbModel, symmetry::canonical};
+//! use mck::{Checker, symmetry::Symmetric};
+//!
+//! let model = HbModel::new(Variant::Static, Params::new(1, 3).unwrap(), 2, FixLevel::Original);
+//! let sym = Symmetric::new(&model, |s| canonical(s));
+//! let full = Checker::new(&model).check_invariant(|_| true).stats().states;
+//! let reduced = Checker::new(&sym).check_invariant(|_| true).stats().states;
+//! assert!(reduced < full);
+//! ```
+//!
+//! Only use the quotient with *symmetric* properties (invariant under the
+//! same renaming) — R2 ("some participant NV-inactive"), R3, and the
+//! liveness goal all qualify; "participant **2** specifically fails" does
+//! not. The soundness obligation also requires the model's fault switches
+//! to be uniform across participants (the default).
+
+use hb_core::Pid;
+
+use crate::model::{HbState, Msg};
+
+fn permute(s: &HbState, perm: &[usize]) -> HbState {
+    let n = perm.len();
+    let mut out = s.clone();
+    // perm[i] = index of the participant that moves to slot i.
+    for (i, &j) in perm.iter().enumerate() {
+        out.resps[i] = s.resps[j].clone();
+        out.coord.rcvd[i] = s.coord.rcvd[j];
+        out.coord.tm[i] = s.coord.tm[j];
+        out.coord.jnd[i] = s.coord.jnd[j];
+        out.coord.left[i] = s.coord.left[j];
+        if !s.monitors.is_empty() {
+            out.monitors[i] = s.monitors[j];
+        }
+    }
+    // relabel message endpoints: old pid j+1 becomes new pid i+1
+    let mut new_pid = vec![0 as Pid; n + 1];
+    for i in 0..n {
+        new_pid[perm[i] + 1] = i + 1;
+    }
+    out.channel = s
+        .channel
+        .iter()
+        .map(|m| Msg {
+            src: if m.src == 0 { 0 } else { new_pid[m.src] },
+            dst: if m.dst == 0 { 0 } else { new_pid[m.dst] },
+            ..*m
+        })
+        .collect();
+    out.channel.sort_unstable();
+    out
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    let mut items: Vec<usize> = (0..n).collect();
+    heap_permute(&mut items, n, &mut out);
+    out
+}
+
+fn heap_permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+    if k == 1 {
+        out.push(items.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permute(items, k - 1, out);
+        if k.is_multiple_of(2) {
+            items.swap(i, k - 1);
+        } else {
+            items.swap(0, k - 1);
+        }
+    }
+}
+
+/// The canonical representative of `s` under participant permutation:
+/// the least permuted state in the derived `Ord` on [`HbState`].
+pub fn canonical(s: &HbState) -> HbState {
+    let n = s.resps.len();
+    if n <= 1 {
+        return s.clone();
+    }
+    permutations(n)
+        .into_iter()
+        .map(|p| permute(s, &p))
+        .min()
+        .expect("at least the identity permutation exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::requirements::{build_model, error_predicate, Requirement};
+    use hb_core::{FixLevel, Params, Variant};
+    use mck::symmetry::Symmetric;
+    use mck::Checker;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(n: usize) -> crate::model::HbModel {
+        build_model(
+            Variant::Static,
+            Params::new(1, 3).unwrap(),
+            FixLevel::Original,
+            n,
+            Requirement::R2,
+        )
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent_and_permutation_invariant() {
+        let m = model(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let path = mck::sim::random_walk(&m, &mut rng, 50);
+            for s in path.states() {
+                let c = canonical(&s);
+                assert_eq!(canonical(&c), c, "idempotent");
+                let swapped = permute(&s, &[1, 0]);
+                assert_eq!(canonical(&swapped), c, "orbit-invariant");
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_agrees_with_full_model_on_r2() {
+        let m = model(2);
+        let sym = Symmetric::new(&m, canonical);
+        let pred = |s: &HbState| error_predicate(&m, Requirement::R2)(s);
+        let full = Checker::new(&m).find_state(pred);
+        let red = Checker::new(&sym).find_state(pred);
+        assert_eq!(full.is_some(), red.is_some());
+        if let (Some(f), Some(r)) = (full, red) {
+            assert_eq!(f.len(), r.len(), "shortest violation depth must agree");
+        }
+    }
+
+    #[test]
+    fn quotient_is_strictly_smaller_with_two_participants() {
+        let m = model(2);
+        let sym = Symmetric::new(&m, canonical);
+        let full = Checker::new(&m).check_invariant(|_| true).stats().states;
+        let reduced = Checker::new(&sym).check_invariant(|_| true).stats().states;
+        assert!(
+            reduced < full,
+            "no reduction: {reduced} vs {full} states"
+        );
+    }
+
+    #[test]
+    fn symmetry_self_check_passes() {
+        let m = model(2);
+        let sym = Symmetric::new(&m, canonical);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(sym.verify_symmetric(&mut rng, 8, 30));
+    }
+
+    #[test]
+    fn three_participant_quotient_shrinks_substantially() {
+        let m = model(3);
+        let sym = Symmetric::new(&m, canonical);
+        let full = Checker::new(&m)
+            .max_states(400_000)
+            .check_invariant(|_| true);
+        let reduced = Checker::new(&sym)
+            .max_states(400_000)
+            .check_invariant(|_| true);
+        // With 3! = 6 permutations the quotient approaches a 6x saving on
+        // the participant-distinguishing portion of the space.
+        assert!(reduced.stats().states * 2 < full.stats().states.max(1) * 3);
+    }
+}

@@ -1,0 +1,302 @@
+//! Regeneration of the paper's verification tables.
+//!
+//! * [`table1`] — Table 1: (revised) binary, two-phase and static
+//!   protocols on the five data sets `tmin ∈ {1,4,5,9,10}`, `tmax = 10`.
+//! * [`table2`] — Table 2: expanding and dynamic protocols, same data
+//!   sets.
+//! * [`table_fixed`] — the §6 result: every variant at
+//!   [`FixLevel::Full`] satisfies every requirement on every data set.
+//!
+//! Each report carries the paper's expected verdicts next to the measured
+//! ones and renders as the same `T`/`F` grid the paper prints.
+
+use std::fmt::Write as _;
+
+use hb_core::params::PAPER_DATASETS;
+use hb_core::{FixLevel, Params, Variant};
+
+use crate::requirements::{verify_with_n, Requirement, Verdict};
+
+/// The paper's Table 1 verdicts (rows R1, R2, R3 × the five data sets).
+pub const TABLE1_EXPECTED: [[bool; 5]; 3] = [
+    [false, false, false, true, true], // R1
+    [true, true, true, true, false],   // R2
+    [true, true, true, true, false],   // R3
+];
+
+/// The paper's Table 2 verdicts.
+pub const TABLE2_EXPECTED: [[bool; 5]; 3] = [
+    [false, false, false, true, true], // R1
+    [true, true, false, false, false], // R2
+    [true, true, true, true, false],   // R3
+];
+
+/// The §6 expectation for the fully fixed protocols: everything holds.
+pub const FIXED_EXPECTED: [[bool; 5]; 3] = [[true; 5]; 3];
+
+/// One row of a table report: a (variant, requirement) pair swept over the
+/// data sets.
+#[derive(Clone, Debug)]
+pub struct RowReport {
+    /// The protocol variant of this row.
+    pub variant: Variant,
+    /// The requirement of this row.
+    pub requirement: Requirement,
+    /// One verdict per data set.
+    pub verdicts: Vec<Verdict>,
+    /// The paper's expected truth values for this row.
+    pub expected: Vec<bool>,
+}
+
+impl RowReport {
+    /// Whether every measured verdict matches the paper.
+    pub fn matches(&self) -> bool {
+        self.verdicts.len() == self.expected.len()
+            && self
+                .verdicts
+                .iter()
+                .zip(&self.expected)
+                .all(|(v, e)| v.holds == *e)
+    }
+}
+
+/// A regenerated verification table.
+#[derive(Clone, Debug)]
+pub struct TableReport {
+    /// Table caption.
+    pub title: String,
+    /// The data sets (columns).
+    pub datasets: Vec<Params>,
+    /// Rows, grouped by variant then requirement.
+    pub rows: Vec<RowReport>,
+}
+
+impl TableReport {
+    /// Whether every cell matches the paper's verdict.
+    pub fn matches_expected(&self) -> bool {
+        self.rows.iter().all(RowReport::matches)
+    }
+
+    /// Total states explored across all cells.
+    pub fn total_states(&self) -> usize {
+        self.rows
+            .iter()
+            .flat_map(|r| &r.verdicts)
+            .map(|v| v.stats.states)
+            .sum()
+    }
+
+    /// Render the table in the paper's format, with a `paper:` line under
+    /// each measured row and a trailing match summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let _ = write!(out, "{:<24}", "tmin");
+        for p in &self.datasets {
+            let _ = write!(out, "{:>4}", p.tmin());
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "{:<24}", "tmax");
+        for p in &self.datasets {
+            let _ = write!(out, "{:>4}", p.tmax());
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{}", "-".repeat(24 + 4 * self.datasets.len() + 22));
+        let mut last_variant = None;
+        for row in &self.rows {
+            if last_variant != Some(row.variant) {
+                let _ = writeln!(out, "[{}]", row.variant);
+                last_variant = Some(row.variant);
+            }
+            let _ = write!(out, "  {:<22}", row.requirement.name());
+            for v in &row.verdicts {
+                let _ = write!(out, "{:>4}", v.symbol());
+            }
+            let _ = write!(out, "   paper:");
+            for e in &row.expected {
+                let _ = write!(out, " {}", if *e { "T" } else { "F" });
+            }
+            let _ = writeln!(
+                out,
+                "  {}",
+                if row.matches() {
+                    "MATCH"
+                } else {
+                    "** MISMATCH **"
+                }
+            );
+        }
+        let _ = writeln!(
+            out,
+            "overall: {} ({} states explored)",
+            if self.matches_expected() {
+                "all cells match the paper"
+            } else {
+                "MISMATCHES PRESENT"
+            },
+            self.total_states()
+        );
+        out
+    }
+}
+
+/// The five `tmax = 10` data sets of the paper as validated [`Params`].
+pub fn paper_params() -> Vec<Params> {
+    PAPER_DATASETS
+        .iter()
+        .map(|&(tmin, tmax)| Params::new(tmin, tmax).expect("paper data sets are valid"))
+        .collect()
+}
+
+fn run_table(
+    title: &str,
+    variants: &[Variant],
+    fix: FixLevel,
+    datasets: &[Params],
+    expected: &[[bool; 5]; 3],
+) -> TableReport {
+    let mut rows = Vec::new();
+    for &variant in variants {
+        for (ri, req) in Requirement::ALL.into_iter().enumerate() {
+            let verdicts = datasets
+                .iter()
+                .map(|&p| verify_with_n(variant, p, fix, req, 1))
+                .collect();
+            rows.push(RowReport {
+                variant,
+                requirement: req,
+                verdicts,
+                expected: expected[ri].to_vec(),
+            });
+        }
+    }
+    TableReport {
+        title: title.to_string(),
+        datasets: datasets.to_vec(),
+        rows,
+    }
+}
+
+/// Regenerate the paper's **Table 1** (verification results for the
+/// (revised) binary, two-phase and static protocols).
+///
+/// Explores a few hundred thousand states; order of seconds in release
+/// mode.
+pub fn table1() -> TableReport {
+    run_table(
+        "Table 1: verification results for (revised) binary, two-phase and static protocols",
+        &Variant::TABLE1,
+        FixLevel::Original,
+        &paper_params(),
+        &TABLE1_EXPECTED,
+    )
+}
+
+/// Regenerate the paper's **Table 2** (verification results for the
+/// expanding and dynamic protocols).
+pub fn table2() -> TableReport {
+    run_table(
+        "Table 2: verification results for expanding and dynamic protocols",
+        &Variant::TABLE2,
+        FixLevel::Original,
+        &paper_params(),
+        &TABLE2_EXPECTED,
+    )
+}
+
+/// Regenerate the §6 result: all six variants at [`FixLevel::Full`] pass
+/// every requirement on every data set.
+pub fn table_fixed() -> TableReport {
+    run_table(
+        "Fixed protocols (receive priority + corrected bounds): all requirements hold",
+        &Variant::ALL,
+        FixLevel::Full,
+        &paper_params(),
+        &FIXED_EXPECTED,
+    )
+}
+
+/// Sweep a single variant at a given fix level over arbitrary data sets,
+/// with no paper expectation attached (the `expected` column repeats the
+/// measurement). Used by the ablation bench to show what each of the two
+/// fixes repairs on its own.
+pub fn sweep_variant(variant: Variant, fix: FixLevel, datasets: &[Params]) -> TableReport {
+    let rows = Requirement::ALL
+        .into_iter()
+        .map(|req| {
+            let verdicts: Vec<Verdict> = datasets
+                .iter()
+                .map(|&p| verify_with_n(variant, p, fix, req, 1))
+                .collect();
+            let expected = verdicts.iter().map(|v| v.holds).collect();
+            RowReport {
+                variant,
+                requirement: req,
+                verdicts,
+                expected,
+            }
+        })
+        .collect();
+    TableReport {
+        title: format!("{variant} at fix level {fix}"),
+        datasets: datasets.to_vec(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The full tmax=10 campaigns run in the integration tests and benches;
+    // here we exercise the report plumbing on miniature parameters.
+
+    #[test]
+    fn expected_grids_have_paper_shape() {
+        assert_eq!(TABLE1_EXPECTED[0], [false, false, false, true, true]);
+        assert_eq!(TABLE2_EXPECTED[1], [true, true, false, false, false]);
+        assert!(FIXED_EXPECTED.iter().flatten().all(|&b| b));
+    }
+
+    #[test]
+    fn paper_params_match_constants() {
+        let ps = paper_params();
+        assert_eq!(ps.len(), 5);
+        assert_eq!(ps[0].tmin(), 1);
+        assert!(ps.iter().all(|p| p.tmax() == 10));
+    }
+
+    #[test]
+    fn render_contains_headers_and_verdicts() {
+        let datasets = vec![Params::new(2, 4).unwrap()];
+        let report = sweep_variant(Variant::Binary, FixLevel::Full, &datasets);
+        let text = report.render();
+        assert!(text.contains("binary"));
+        assert!(text.contains("tmin"));
+        assert!(text.contains("R2"));
+        assert!(report.total_states() > 0);
+        assert!(report.matches_expected(), "self-expectation always matches");
+    }
+
+    #[test]
+    fn mismatch_is_reported() {
+        let datasets = vec![Params::new(2, 4).unwrap()];
+        let mut report = sweep_variant(Variant::Binary, FixLevel::Full, &datasets);
+        report.rows[0].expected = vec![!report.rows[0].verdicts[0].holds];
+        assert!(!report.matches_expected());
+        assert!(report.render().contains("MISMATCH"));
+    }
+
+    #[test]
+    fn miniature_table_matches_itself_across_fixes() {
+        // Tiny end-to-end: binary at (2,4) original has R1 violated,
+        // fixed has it satisfied — visible through the table API.
+        let datasets = vec![Params::new(1, 4).unwrap()];
+        let orig = sweep_variant(Variant::Binary, FixLevel::Original, &datasets);
+        let full = sweep_variant(Variant::Binary, FixLevel::Full, &datasets);
+        let r1_orig = &orig.rows[0].verdicts[0];
+        let r1_full = &full.rows[0].verdicts[0];
+        assert!(!r1_orig.holds);
+        assert!(r1_full.holds);
+    }
+}

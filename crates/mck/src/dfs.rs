@@ -1,0 +1,277 @@
+//! Depth-first exploration: memory-lean reachability, deadlock detection,
+//! and iterative deepening.
+//!
+//! BFS ([`crate::bfs::Checker`]) is the default engine because it yields
+//! shortest counterexamples; the DFS engine is useful when the frontier
+//! would not fit in memory, when any counterexample (not necessarily
+//! shortest) suffices, or to enumerate deadlocks.
+
+use std::collections::HashSet;
+
+use crate::bfs::Stats;
+use crate::model::Model;
+use crate::trace::Path;
+
+/// Result of a DFS search.
+#[derive(Clone, Debug)]
+pub enum DfsOutcome<M: Model> {
+    /// A goal state was found; the (not necessarily shortest) path is
+    /// attached.
+    Found {
+        /// Path from an initial state to the found state.
+        path: Path<M>,
+        /// Exploration statistics.
+        stats: Stats,
+    },
+    /// The goal is unreachable within the explored depth.
+    Unreachable(Stats),
+    /// The search was truncated by the state bound.
+    Unknown(Stats),
+}
+
+impl<M: Model> DfsOutcome<M> {
+    /// The witness path if found.
+    pub fn path(&self) -> Option<&Path<M>> {
+        match self {
+            DfsOutcome::Found { path, .. } => Some(path),
+            _ => None,
+        }
+    }
+
+    /// Exploration statistics.
+    pub fn stats(&self) -> Stats {
+        match self {
+            DfsOutcome::Found { stats, .. } => *stats,
+            DfsOutcome::Unreachable(s) | DfsOutcome::Unknown(s) => *s,
+        }
+    }
+}
+
+/// Depth-first searcher.
+pub struct Dfs<'a, M: Model> {
+    model: &'a M,
+    max_depth: usize,
+    max_states: usize,
+}
+
+impl<'a, M: Model> Dfs<'a, M> {
+    /// Create a DFS engine with no practical limits.
+    pub fn new(model: &'a M) -> Self {
+        Self {
+            model,
+            max_depth: usize::MAX,
+            max_states: usize::MAX,
+        }
+    }
+
+    /// Bound the search depth.
+    pub fn max_depth(mut self, d: usize) -> Self {
+        self.max_depth = d;
+        self
+    }
+
+    /// Bound the number of distinct visited states.
+    pub fn max_states(mut self, n: usize) -> Self {
+        self.max_states = n;
+        self
+    }
+
+    /// Depth-first search for a state satisfying `goal`.
+    ///
+    /// Visited-state deduplication is global, so with an unbounded depth the
+    /// search is exhaustive. With a depth bound, dedup is still global,
+    /// which may miss goal states only reachable by a short path explored
+    /// after a longer one — acceptable for its use as a bounded smoke check;
+    /// use [`iterative_deepening`](Dfs::iterative_deepening) for
+    /// depth-bounded completeness.
+    pub fn find<F>(&self, goal: F) -> DfsOutcome<M>
+    where
+        F: Fn(&M::State) -> bool,
+    {
+        let mut stats = Stats::default();
+        let mut visited: HashSet<M::State> = HashSet::new();
+        // Explicit stack of (path-so-far) frames to avoid recursion depth
+        // limits: each frame is (state, action-iterator index, actions).
+        for init in self.model.initial_states() {
+            if !visited.insert(init.clone()) {
+                continue;
+            }
+            stats.states += 1;
+            if goal(&init) {
+                return DfsOutcome::Found {
+                    path: Path::new(init),
+                    stats,
+                };
+            }
+            let mut frames: Vec<(M::State, Vec<M::Action>, usize)> = Vec::new();
+            let mut trail: Vec<(M::Action, M::State)> = Vec::new();
+            let mut acts = Vec::new();
+            self.model.actions(&init, &mut acts);
+            frames.push((init.clone(), acts, 0));
+            while !frames.is_empty() {
+                let depth_now = frames.len();
+                let (state, actions, idx) = frames.last_mut().expect("non-empty");
+                if *idx >= actions.len() || depth_now > self.max_depth {
+                    frames.pop();
+                    trail.pop();
+                    continue;
+                }
+                let a = actions[*idx].clone();
+                *idx += 1;
+                let Some(next) = self.model.next_state(state, &a) else {
+                    continue;
+                };
+                stats.transitions += 1;
+                if !visited.insert(next.clone()) {
+                    continue;
+                }
+                stats.states += 1;
+                stats.depth = stats.depth.max(frames.len());
+                trail.push((a, next.clone()));
+                if goal(&next) {
+                    return DfsOutcome::Found {
+                        path: Path::from_steps(init, trail),
+                        stats,
+                    };
+                }
+                if stats.states >= self.max_states {
+                    stats.truncated = true;
+                    return DfsOutcome::Unknown(stats);
+                }
+                let mut nacts = Vec::new();
+                self.model.actions(&next, &mut nacts);
+                frames.push((next, nacts, 0));
+            }
+        }
+        if self.max_depth != usize::MAX && stats.depth >= self.max_depth {
+            stats.truncated = true;
+            DfsOutcome::Unknown(stats)
+        } else {
+            DfsOutcome::Unreachable(stats)
+        }
+    }
+
+    /// Iterative-deepening search: repeated depth-bounded DFS with depth
+    /// 1, 2, 4, ... up to `limit`. Returns a shortest-or-near-shortest
+    /// witness using far less memory than BFS (visited set is cleared per
+    /// round).
+    pub fn iterative_deepening<F>(&self, goal: F, limit: usize) -> DfsOutcome<M>
+    where
+        F: Fn(&M::State) -> bool + Copy,
+    {
+        let mut depth = 1usize;
+        loop {
+            let out = Dfs::new(self.model)
+                .max_depth(depth)
+                .max_states(self.max_states)
+                .find(goal);
+            match out {
+                DfsOutcome::Found { .. } => return out,
+                DfsOutcome::Unreachable(s) => return DfsOutcome::Unreachable(s),
+                DfsOutcome::Unknown(s) => {
+                    if depth >= limit {
+                        return DfsOutcome::Unknown(s);
+                    }
+                }
+            }
+            depth = (depth * 2).min(limit);
+        }
+    }
+
+    /// Enumerate all reachable deadlock states (no enabled transitions),
+    /// up to the configured state bound.
+    pub fn deadlocks(&self) -> Vec<M::State> {
+        let mut visited: HashSet<M::State> = HashSet::new();
+        let mut stack: Vec<M::State> = Vec::new();
+        let mut found = Vec::new();
+        for init in self.model.initial_states() {
+            if visited.insert(init.clone()) {
+                stack.push(init);
+            }
+        }
+        let mut acts = Vec::new();
+        while let Some(s) = stack.pop() {
+            acts.clear();
+            self.model.actions(&s, &mut acts);
+            let mut any = false;
+            for a in &acts {
+                if let Some(n) = self.model.next_state(&s, a) {
+                    any = true;
+                    if visited.len() < self.max_states && visited.insert(n.clone()) {
+                        stack.push(n);
+                    }
+                }
+            }
+            if !any {
+                found.push(s);
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Chain(u32);
+    impl Model for Chain {
+        type State = u32;
+        type Action = ();
+        fn initial_states(&self) -> Vec<u32> {
+            vec![0]
+        }
+        fn actions(&self, s: &u32, out: &mut Vec<()>) {
+            if *s < self.0 {
+                out.push(());
+            }
+        }
+        fn next_state(&self, s: &u32, _: &()) -> Option<u32> {
+            Some(s + 1)
+        }
+    }
+
+    #[test]
+    fn dfs_finds_goal() {
+        let out = Dfs::new(&Chain(10)).find(|s| *s == 7);
+        assert_eq!(out.path().unwrap().last_state(), &7);
+        assert_eq!(out.path().unwrap().len(), 7);
+    }
+
+    #[test]
+    fn dfs_exhaustive_unreachable() {
+        let out = Dfs::new(&Chain(10)).find(|s| *s == 42);
+        assert!(matches!(out, DfsOutcome::Unreachable(_)));
+        assert_eq!(out.stats().states, 11);
+    }
+
+    #[test]
+    fn depth_bound_truncates() {
+        let out = Dfs::new(&Chain(10)).max_depth(3).find(|s| *s == 7);
+        assert!(matches!(out, DfsOutcome::Unknown(_)));
+    }
+
+    #[test]
+    fn iterative_deepening_finds_goal() {
+        let out = Dfs::new(&Chain(100)).iterative_deepening(|s| *s == 9, 64);
+        assert_eq!(out.path().unwrap().len(), 9);
+    }
+
+    #[test]
+    fn iterative_deepening_respects_limit() {
+        let out = Dfs::new(&Chain(100)).iterative_deepening(|s| *s == 90, 16);
+        assert!(matches!(out, DfsOutcome::Unknown(_)));
+    }
+
+    #[test]
+    fn deadlock_enumeration() {
+        let dl = Dfs::new(&Chain(5)).deadlocks();
+        assert_eq!(dl, vec![5]);
+    }
+
+    #[test]
+    fn goal_in_initial_state() {
+        let out = Dfs::new(&Chain(5)).find(|s| *s == 0);
+        assert!(out.path().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,324 @@
+//! Leads-to liveness checking: `AG (trigger → AF goal)`.
+//!
+//! "Once `trigger` has happened, every execution eventually reaches
+//! `goal`." A counterexample is a *lasso*: a finite stem from an initial
+//! state to a trigger state, followed by an infinite goal-avoiding
+//! suffix — either a cycle of goal-free states or a goal-free deadlock.
+//!
+//! The checker requires `trigger` to be **absorbing** (once true it stays
+//! true along every path — e.g. "some process has crashed" in a model
+//! without recovery); this makes the property expressible over states
+//! without adding history variables, and it is asserted per transition in
+//! debug builds.
+//!
+//! # Example
+//!
+//! ```
+//! use mck::{Model, liveness::check_leads_to};
+//!
+//! /// Counts up to 3 and stops; from 1 onward, 3 is inevitable.
+//! struct M;
+//! impl Model for M {
+//!     type State = u8; type Action = ();
+//!     fn initial_states(&self) -> Vec<u8> { vec![0] }
+//!     fn actions(&self, s: &u8, out: &mut Vec<()>) { if *s < 3 { out.push(()); } }
+//!     fn next_state(&self, s: &u8, _: &()) -> Option<u8> { Some(s + 1) }
+//! }
+//! let out = check_leads_to(&M, |s| *s >= 1, |s| *s == 3, 1 << 20);
+//! assert!(out.holds());
+//! ```
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::graph::StateGraph;
+use crate::model::Model;
+use crate::trace::Path;
+
+/// Result of a leads-to check.
+#[derive(Clone, Debug)]
+pub enum LeadsToOutcome<M: Model> {
+    /// Every post-trigger execution reaches the goal (exhaustive).
+    Holds {
+        /// States explored.
+        states: usize,
+    },
+    /// A goal-avoiding lasso exists.
+    Violated {
+        /// Stem from an initial state to a trigger state inside the
+        /// avoid-region.
+        stem: Path<M>,
+        /// A goal-avoiding suffix from the stem's end, walked until a
+        /// state repeats (a cycle) or a goal-free deadlock is hit.
+        cycle: Vec<M::State>,
+    },
+    /// Exploration hit the state cap before an answer was known.
+    Unknown {
+        /// States explored when the cap was hit.
+        states: usize,
+    },
+}
+
+impl<M: Model> LeadsToOutcome<M> {
+    /// Whether the property was proven.
+    pub fn holds(&self) -> bool {
+        matches!(self, LeadsToOutcome::Holds { .. })
+    }
+
+    /// The violating stem, if any.
+    pub fn stem(&self) -> Option<&Path<M>> {
+        match self {
+            LeadsToOutcome::Violated { stem, .. } => Some(stem),
+            _ => None,
+        }
+    }
+}
+
+/// Check `AG (trigger → AF goal)` on `model`, exploring at most
+/// `max_states` states.
+///
+/// # Panics
+///
+/// Debug-panics if `trigger` turns out not to be absorbing on an explored
+/// transition.
+pub fn check_leads_to<M, FT, FG>(
+    model: &M,
+    trigger: FT,
+    goal: FG,
+    max_states: usize,
+) -> LeadsToOutcome<M>
+where
+    M: Model,
+    FT: Fn(&M::State) -> bool,
+    FG: Fn(&M::State) -> bool,
+{
+    let graph = StateGraph::explore(model, max_states);
+    if graph.truncated {
+        return LeadsToOutcome::Unknown {
+            states: graph.states.len(),
+        };
+    }
+    let n = graph.states.len();
+
+    #[cfg(debug_assertions)]
+    for (s, _, t) in &graph.transitions {
+        debug_assert!(
+            !trigger(&graph.states[*s]) || trigger(&graph.states[*t]),
+            "trigger predicate is not absorbing"
+        );
+    }
+
+    // Greatest fixpoint of "goal-free and can continue goal-free":
+    // start from all goal-free states and repeatedly remove states whose
+    // every successor left the set — unless they are deadlocks (a
+    // goal-free deadlock avoids the goal forever, too).
+    let goal_flags: Vec<bool> = graph.states.iter().map(&goal).collect();
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut pred: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut outdeg = vec![0usize; n];
+    for (s, _, t) in &graph.transitions {
+        succ[*s].push(*t);
+        pred[*t].push(*s);
+        outdeg[*s] += 1;
+    }
+
+    let mut in_avoid: Vec<bool> = goal_flags.iter().map(|g| !g).collect();
+    // successors-in-avoid counters (deadlocks stay unconditionally)
+    let mut avoid_succ = vec![0usize; n];
+    for s in 0..n {
+        if in_avoid[s] {
+            avoid_succ[s] = succ[s].iter().filter(|&&t| in_avoid[t]).count();
+        }
+    }
+    let mut queue: VecDeque<usize> = (0..n)
+        .filter(|&s| in_avoid[s] && outdeg[s] > 0 && avoid_succ[s] == 0)
+        .collect();
+    while let Some(s) = queue.pop_front() {
+        if !in_avoid[s] {
+            continue;
+        }
+        in_avoid[s] = false;
+        for &p in &pred[s] {
+            if in_avoid[p] && outdeg[p] > 0 {
+                avoid_succ[p] -= 1;
+                if avoid_succ[p] == 0 {
+                    queue.push_back(p);
+                }
+            }
+        }
+    }
+
+    // A violation is a reachable state with trigger ∧ ¬goal that can avoid
+    // the goal forever. (All graph states are reachable by construction.)
+    let bad = (0..n).find(|&s| in_avoid[s] && trigger(&graph.states[s]));
+    let Some(bad) = bad else {
+        return LeadsToOutcome::Holds { states: n };
+    };
+
+    // Stem: BFS through the full graph from the initial states to `bad`.
+    let stem = bfs_path(model, &graph, bad);
+    // Cycle: walk inside the avoid set from `bad` until a repeat.
+    let mut cycle = Vec::new();
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut cur = bad;
+    loop {
+        if !seen.insert(cur) {
+            break;
+        }
+        let Some(&next) = succ[cur].iter().find(|&&t| in_avoid[t]) else {
+            break; // goal-free deadlock: empty-cycle witness
+        };
+        cycle.push(graph.states[next].clone());
+        cur = next;
+    }
+
+    LeadsToOutcome::Violated { stem, cycle }
+}
+
+fn bfs_path<M: Model>(model: &M, graph: &StateGraph<M>, target: usize) -> Path<M> {
+    let n = graph.states.len();
+    let mut adj: Vec<Vec<(usize, M::Action)>> = vec![Vec::new(); n];
+    for (s, a, t) in &graph.transitions {
+        adj[*s].push((*t, a.clone()));
+    }
+    let mut parent: HashMap<usize, (usize, M::Action)> = HashMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut visited: HashSet<usize> = HashSet::new();
+    for &i in &graph.initial {
+        visited.insert(i);
+        queue.push_back(i);
+    }
+    while let Some(u) = queue.pop_front() {
+        if u == target {
+            break;
+        }
+        for (v, a) in &adj[u] {
+            if visited.insert(*v) {
+                parent.insert(*v, (u, a.clone()));
+                queue.push_back(*v);
+            }
+        }
+    }
+    let mut rev = Vec::new();
+    let mut cur = target;
+    while let Some((p, a)) = parent.get(&cur) {
+        rev.push((a.clone(), graph.states[cur].clone()));
+        cur = *p;
+    }
+    rev.reverse();
+    let _ = model;
+    Path::from_steps(graph.states[cur].clone(), rev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 → 1 → 2 → 3 (absorbing); trigger at ≥1, goal at 3.
+    #[derive(Debug)]
+    struct Chain;
+    impl Model for Chain {
+        type State = u8;
+        type Action = ();
+        fn initial_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn actions(&self, s: &u8, out: &mut Vec<()>) {
+            if *s < 3 {
+                out.push(());
+            }
+        }
+        fn next_state(&self, s: &u8, _: &()) -> Option<u8> {
+            Some(s + 1)
+        }
+    }
+
+    #[test]
+    fn inevitable_goal_holds() {
+        let out = check_leads_to(&Chain, |s| *s >= 1, |s| *s == 3, 1 << 10);
+        assert!(out.holds());
+    }
+
+    /// 0 → 1, then 1 ⇄ 2 forever (no goal state reachable post-trigger).
+    #[derive(Debug)]
+    struct Swing;
+    impl Model for Swing {
+        type State = u8;
+        type Action = ();
+        fn initial_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn actions(&self, _: &u8, out: &mut Vec<()>) {
+            out.push(());
+        }
+        fn next_state(&self, s: &u8, _: &()) -> Option<u8> {
+            Some(match s {
+                0 => 1,
+                1 => 2,
+                _ => 1,
+            })
+        }
+    }
+
+    #[test]
+    fn cycle_violates() {
+        let out = check_leads_to(&Swing, |s| *s >= 1, |s| *s == 9, 1 << 10);
+        match out {
+            LeadsToOutcome::Violated { stem, cycle } => {
+                assert!(!cycle.is_empty());
+                assert!(*stem.last_state() >= 1);
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    /// A branch where the goal is possible but evitable: 1 → 2(goal) or
+    /// 1 → 1 (self-loop). AF fails: the self-loop avoids the goal.
+    struct Evitable;
+    impl Model for Evitable {
+        type State = u8;
+        type Action = u8;
+        fn initial_states(&self) -> Vec<u8> {
+            vec![1]
+        }
+        fn actions(&self, s: &u8, out: &mut Vec<u8>) {
+            if *s == 1 {
+                out.push(0);
+                out.push(1);
+            }
+        }
+        fn next_state(&self, s: &u8, a: &u8) -> Option<u8> {
+            Some(if *a == 0 { *s } else { 2 })
+        }
+    }
+
+    #[test]
+    fn evitable_goal_is_a_violation() {
+        let out = check_leads_to(&Evitable, |_| true, |s| *s == 2, 1 << 10);
+        assert!(!out.holds(), "EF goal is not AF goal");
+    }
+
+    #[test]
+    fn goal_free_deadlock_is_a_violation() {
+        // Chain with goal never reached: the deadlock at 3 avoids it.
+        let out = check_leads_to(&Chain, |s| *s >= 1, |s| *s == 99, 1 << 10);
+        match out {
+            LeadsToOutcome::Violated { cycle, .. } => {
+                // the suffix walk ends at the deadlock state 3
+                assert_eq!(cycle.last(), Some(&3));
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vacuous_trigger_holds() {
+        let out = check_leads_to(&Swing, |_| false, |s| *s == 9, 1 << 10);
+        assert!(out.holds(), "no trigger state: vacuously true");
+    }
+
+    #[test]
+    fn truncation_reports_unknown() {
+        let out = check_leads_to(&Chain, |_| true, |s| *s == 3, 2);
+        assert!(matches!(out, LeadsToOutcome::Unknown { .. }));
+    }
+}

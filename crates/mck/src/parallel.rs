@@ -1,0 +1,276 @@
+//! Frontier-parallel BFS over all cores.
+//!
+//! Level-synchronous parallel breadth-first search: each BFS level is split
+//! across worker threads (crossbeam scoped threads); the visited set is
+//! sharded behind `parking_lot` mutexes. Preserves the shortest-
+//! counterexample guarantee *per level* (a violation is reported from the
+//! shallowest level containing one).
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::bfs::{CheckOutcome, Stats};
+use crate::model::Model;
+use crate::trace::Path;
+
+const SHARDS: usize = 64;
+
+fn shard_of<T: Hash>(value: &T) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    value.hash(&mut h);
+    (h.finish() as usize) % SHARDS
+}
+
+/// A parallel breadth-first invariant checker.
+///
+/// Requires `State: Send + Sync` and `Action: Send` in addition to the
+/// usual [`Model`] bounds. For small models the sequential
+/// [`crate::bfs::Checker`] is faster; this engine pays off on state spaces
+/// above ~10^6 states.
+pub struct ParallelChecker<'a, M: Model> {
+    model: &'a M,
+    threads: usize,
+    max_states: usize,
+}
+
+impl<'a, M> ParallelChecker<'a, M>
+where
+    M: Model + Sync,
+    M::State: Send + Sync,
+    M::Action: Send + Sync,
+{
+    /// Create a parallel checker using all available parallelism.
+    pub fn new(model: &'a M) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self {
+            model,
+            threads,
+            max_states: usize::MAX,
+        }
+    }
+
+    /// Override the number of worker threads.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Bound the number of distinct states explored.
+    pub fn max_states(mut self, n: usize) -> Self {
+        self.max_states = n;
+        self
+    }
+
+    /// Check that `invariant` holds on every reachable state.
+    pub fn check_invariant<F>(&self, invariant: F) -> CheckOutcome<M>
+    where
+        F: Fn(&M::State) -> bool + Sync,
+    {
+        // Sharded visited set; each shard also records the parent link so a
+        // counterexample can be rebuilt after the fact.
+        type Parent<M> = Option<(<M as Model>::State, <M as Model>::Action)>;
+        let visited: Vec<Mutex<HashMap<M::State, Parent<M>>>> =
+            (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
+
+        let states_count = AtomicUsize::new(0);
+        let transitions_count = AtomicUsize::new(0);
+        let truncated = AtomicBool::new(false);
+        let violation: Mutex<Option<M::State>> = Mutex::new(None);
+        let found = AtomicBool::new(false);
+
+        let mut frontier: Vec<M::State> = Vec::new();
+        for init in self.model.initial_states() {
+            let shard = shard_of(&init);
+            let mut guard = visited[shard].lock();
+            if !guard.contains_key(&init) {
+                guard.insert(init.clone(), None);
+                states_count.fetch_add(1, Ordering::Relaxed);
+                if !invariant(&init) {
+                    *violation.lock() = Some(init.clone());
+                    found.store(true, Ordering::SeqCst);
+                }
+                frontier.push(init);
+            }
+        }
+
+        let mut depth = 0usize;
+        while !frontier.is_empty() && !found.load(Ordering::SeqCst) {
+            if states_count.load(Ordering::Relaxed) >= self.max_states {
+                truncated.store(true, Ordering::SeqCst);
+                break;
+            }
+            depth += 1;
+            let chunk = frontier.len().div_ceil(self.threads);
+            let next_frontier: Mutex<Vec<M::State>> = Mutex::new(Vec::new());
+
+            let model = self.model;
+            let next_frontier_ref = &next_frontier;
+            let visited_ref = &visited;
+            let violation_ref = &violation;
+            let found_ref = &found;
+            let states_count_ref = &states_count;
+            let transitions_count_ref = &transitions_count;
+            let invariant_ref = &invariant;
+            crossbeam::scope(|scope| {
+                for work in frontier.chunks(chunk.max(1)) {
+                    scope.spawn(move |_| {
+                        let mut local_next = Vec::new();
+                        let mut acts = Vec::new();
+                        for cur in work {
+                            if found_ref.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            acts.clear();
+                            model.actions(cur, &mut acts);
+                            for a in &acts {
+                                let Some(next) = model.next_state(cur, a) else {
+                                    continue;
+                                };
+                                transitions_count_ref.fetch_add(1, Ordering::Relaxed);
+                                let shard = shard_of(&next);
+                                let mut guard = visited_ref[shard].lock();
+                                if guard.contains_key(&next) {
+                                    continue;
+                                }
+                                guard.insert(next.clone(), Some((cur.clone(), a.clone())));
+                                drop(guard);
+                                states_count_ref.fetch_add(1, Ordering::Relaxed);
+                                if !invariant_ref(&next) {
+                                    let mut v = violation_ref.lock();
+                                    if v.is_none() {
+                                        *v = Some(next.clone());
+                                    }
+                                    found_ref.store(true, Ordering::SeqCst);
+                                }
+                                local_next.push(next);
+                            }
+                        }
+                        next_frontier_ref.lock().extend(local_next);
+                    });
+                }
+            })
+            .expect("worker thread panicked");
+
+            frontier = next_frontier.into_inner();
+        }
+
+        let stats = Stats {
+            states: states_count.load(Ordering::Relaxed),
+            transitions: transitions_count.load(Ordering::Relaxed),
+            depth,
+            truncated: truncated.load(Ordering::Relaxed),
+        };
+
+        let bad = violation.into_inner();
+        if let Some(bad) = bad {
+            // Rebuild the path by walking parent links through the shards.
+            let mut rev: Vec<(M::Action, M::State)> = Vec::new();
+            let mut cur = bad;
+            loop {
+                let shard = shard_of(&cur);
+                let guard = visited[shard].lock();
+                match guard.get(&cur).cloned().flatten() {
+                    Some((parent, action)) => {
+                        drop(guard);
+                        rev.push((action, cur));
+                        cur = parent;
+                    }
+                    None => break,
+                }
+            }
+            rev.reverse();
+            return CheckOutcome::Violated {
+                path: Path::from_steps(cur, rev),
+                stats,
+            };
+        }
+        if stats.truncated {
+            CheckOutcome::Incomplete(stats)
+        } else {
+            CheckOutcome::Holds(stats)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::Checker;
+
+    /// 3-dimensional grid: enough states to exercise the parallel path.
+    struct Grid3(u8);
+    impl Model for Grid3 {
+        type State = (u8, u8, u8);
+        type Action = u8;
+        fn initial_states(&self) -> Vec<(u8, u8, u8)> {
+            vec![(0, 0, 0)]
+        }
+        fn actions(&self, s: &(u8, u8, u8), out: &mut Vec<u8>) {
+            if s.0 < self.0 {
+                out.push(0);
+            }
+            if s.1 < self.0 {
+                out.push(1);
+            }
+            if s.2 < self.0 {
+                out.push(2);
+            }
+        }
+        fn next_state(&self, s: &(u8, u8, u8), a: &u8) -> Option<(u8, u8, u8)> {
+            Some(match a {
+                0 => (s.0 + 1, s.1, s.2),
+                1 => (s.0, s.1 + 1, s.2),
+                _ => (s.0, s.1, s.2 + 1),
+            })
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_state_count() {
+        let m = Grid3(6);
+        let seq = Checker::new(&m).check_invariant(|_| true);
+        let par = ParallelChecker::new(&m).threads(4).check_invariant(|_| true);
+        assert!(seq.holds() && par.holds());
+        assert_eq!(seq.stats().states, par.stats().states);
+    }
+
+    #[test]
+    fn parallel_finds_violation_with_valid_path() {
+        let m = Grid3(6);
+        let out = ParallelChecker::new(&m)
+            .threads(4)
+            .check_invariant(|s| *s != (3, 3, 3));
+        let path = out.counterexample().expect("violation");
+        assert_eq!(path.last_state(), &(3, 3, 3));
+        // Replay the path to confirm validity.
+        let mut cur = *path.initial_state();
+        for (a, s) in path.steps() {
+            cur = m.next_state(&cur, a).unwrap();
+            assert_eq!(&cur, s);
+        }
+        // Level-synchronous BFS still gives a shortest path here.
+        assert_eq!(path.len(), 9);
+    }
+
+    #[test]
+    fn parallel_state_cap() {
+        let m = Grid3(20);
+        let out = ParallelChecker::new(&m)
+            .threads(2)
+            .max_states(100)
+            .check_invariant(|_| true);
+        assert!(matches!(out, CheckOutcome::Incomplete(_)));
+    }
+
+    #[test]
+    fn violation_in_initial_state() {
+        let m = Grid3(2);
+        let out = ParallelChecker::new(&m).check_invariant(|s| *s != (0, 0, 0));
+        assert_eq!(out.counterexample().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Digital-clock helpers for discrete-time models.
+//!
+//! All heartbeat models use the *digital clocks* encoding: integer-valued
+//! clocks advanced together by a single `Tick` action. Two ingredients keep
+//! this sound and finite:
+//!
+//! * **Urgency** — `Tick` must be disabled whenever a deadline action is
+//!   pending (a timeout whose time has come, a committed location, a message
+//!   whose delay budget is exhausted). The model composer is responsible for
+//!   this; [`Clock`] exposes the predicates.
+//! * **Saturation** — a clock compared only against constants `≤ c` carries
+//!   no information beyond `c + 1`, so it saturates there, keeping the state
+//!   space finite without changing any guard's truth value.
+
+/// A saturating integer clock.
+///
+/// The clock counts `0..=cap` and sticks at `cap`. Choose `cap` strictly
+/// larger than every constant the clock is compared against; then
+/// saturation is invisible to all guards.
+///
+/// # Example
+///
+/// ```
+/// use mck::timed::Clock;
+/// let mut c = Clock::new(5);
+/// for _ in 0..10 { c.tick(); }
+/// assert_eq!(c.value(), 5);
+/// assert!(c.at_least(5));
+/// c.reset();
+/// assert_eq!(c.value(), 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Clock {
+    value: u16,
+    cap: u16,
+}
+
+impl Clock {
+    /// A clock at zero saturating at `cap`.
+    pub fn new(cap: u16) -> Self {
+        Self { value: 0, cap }
+    }
+
+    /// A clock starting at `value` (clamped to the cap).
+    pub fn at(value: u16, cap: u16) -> Self {
+        Self {
+            value: value.min(cap),
+            cap,
+        }
+    }
+
+    /// Current value (saturated).
+    pub fn value(&self) -> u16 {
+        self.value
+    }
+
+    /// The saturation cap.
+    pub fn cap(&self) -> u16 {
+        self.cap
+    }
+
+    /// Advance one time unit (saturating).
+    pub fn tick(&mut self) {
+        self.value = (self.value + 1).min(self.cap);
+    }
+
+    /// Reset to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// `value >= t` (beware: meaningless for `t > cap`; debug-asserted).
+    pub fn at_least(&self, t: u16) -> bool {
+        debug_assert!(
+            t <= self.cap,
+            "comparing clock (cap {}) against constant {} beyond cap",
+            self.cap,
+            t
+        );
+        self.value >= t
+    }
+
+    /// `value == t` exactly (requires `t <= cap` to be meaningful).
+    pub fn is(&self, t: u16) -> bool {
+        debug_assert!(t <= self.cap);
+        self.value == t
+    }
+
+    /// Whether the clock has saturated (no longer distinguishes later times).
+    pub fn saturated(&self) -> bool {
+        self.value == self.cap
+    }
+}
+
+/// A countdown deadline: a budget of time units that may elapse before an
+/// event *must* happen. Used for channel-delay budgets.
+///
+/// # Example
+///
+/// ```
+/// use mck::timed::Budget;
+/// let mut b = Budget::new(3);
+/// assert!(b.may_wait());
+/// b.spend(3);
+/// assert!(!b.may_wait()); // the event is now urgent
+/// assert_eq!(b.remaining(), 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Budget {
+    remaining: u16,
+}
+
+impl Budget {
+    /// A fresh budget of `n` time units.
+    pub fn new(n: u16) -> Self {
+        Self { remaining: n }
+    }
+
+    /// Time units left before the event becomes urgent.
+    pub fn remaining(&self) -> u16 {
+        self.remaining
+    }
+
+    /// Whether at least one more time unit may pass.
+    pub fn may_wait(&self) -> bool {
+        self.remaining > 0
+    }
+
+    /// Spend `n` units (saturating at zero).
+    pub fn spend(&mut self, n: u16) {
+        self.remaining = self.remaining.saturating_sub(n);
+    }
+
+    /// Spend one unit; returns `false` if the budget was already exhausted
+    /// (i.e. time was not allowed to pass).
+    pub fn tick(&mut self) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        self.remaining -= 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_saturates() {
+        let mut c = Clock::new(3);
+        for _ in 0..10 {
+            c.tick();
+        }
+        assert_eq!(c.value(), 3);
+        assert!(c.saturated());
+        assert!(c.at_least(3));
+        assert!(c.is(3));
+    }
+
+    #[test]
+    fn clock_reset() {
+        let mut c = Clock::at(2, 5);
+        assert_eq!(c.value(), 2);
+        c.reset();
+        assert_eq!(c.value(), 0);
+        assert!(!c.saturated());
+    }
+
+    #[test]
+    fn clock_at_clamps() {
+        let c = Clock::at(99, 5);
+        assert_eq!(c.value(), 5);
+        assert_eq!(c.cap(), 5);
+    }
+
+    #[test]
+    fn budget_lifecycle() {
+        let mut b = Budget::new(2);
+        assert!(b.tick());
+        assert!(b.tick());
+        assert!(!b.tick());
+        assert_eq!(b.remaining(), 0);
+        assert!(!b.may_wait());
+    }
+
+    #[test]
+    fn budget_spend_saturates() {
+        let mut b = Budget::new(2);
+        b.spend(10);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn clock_ordering() {
+        assert!(Clock::at(1, 5) < Clock::at(2, 5));
+    }
+}

@@ -1,0 +1,162 @@
+//! Counterexample / witness paths through a model.
+
+use crate::model::Model;
+
+/// A finite path through a model: an initial state followed by
+/// `(action, state)` steps.
+pub struct Path<M: Model> {
+    initial: M::State,
+    steps: Vec<(M::Action, M::State)>,
+}
+
+// Manual impls: deriving would wrongly bound `M` itself instead of its
+// associated state/action types (C-STRUCT-BOUNDS).
+impl<M: Model> Clone for Path<M> {
+    fn clone(&self) -> Self {
+        Path {
+            initial: self.initial.clone(),
+            steps: self.steps.clone(),
+        }
+    }
+}
+
+impl<M: Model> std::fmt::Debug for Path<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Path")
+            .field("initial", &self.initial)
+            .field("steps", &self.steps.len())
+            .finish()
+    }
+}
+
+impl<M: Model> PartialEq for Path<M>
+where
+    M::Action: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.initial == other.initial && self.steps == other.steps
+    }
+}
+
+impl<M: Model> Eq for Path<M> where M::Action: Eq {}
+
+impl<M: Model> Path<M> {
+    /// A path consisting of just an initial state.
+    pub fn new(initial: M::State) -> Self {
+        Self {
+            initial,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Construct from an initial state and steps.
+    pub fn from_steps(initial: M::State, steps: Vec<(M::Action, M::State)>) -> Self {
+        Self { initial, steps }
+    }
+
+    /// The initial state.
+    pub fn initial_state(&self) -> &M::State {
+        &self.initial
+    }
+
+    /// The final state of the path (the initial state for an empty path).
+    pub fn last_state(&self) -> &M::State {
+        self.steps.last().map(|(_, s)| s).unwrap_or(&self.initial)
+    }
+
+    /// The `(action, state)` steps after the initial state.
+    pub fn steps(&self) -> &[(M::Action, M::State)] {
+        &self.steps
+    }
+
+    /// The sequence of actions along the path.
+    pub fn actions(&self) -> Vec<M::Action> {
+        self.steps.iter().map(|(a, _)| a.clone()).collect()
+    }
+
+    /// All states along the path, starting with the initial state.
+    pub fn states(&self) -> Vec<M::State> {
+        let mut v = Vec::with_capacity(self.steps.len() + 1);
+        v.push(self.initial.clone());
+        v.extend(self.steps.iter().map(|(_, s)| s.clone()));
+        v
+    }
+
+    /// Number of transitions in the path.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the path has no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Extend the path by one step.
+    pub fn push(&mut self, action: M::Action, state: M::State) {
+        self.steps.push((action, state));
+    }
+
+    /// Render the path with one action per line, using the model's
+    /// formatting hooks. States are shown for the first and last step only;
+    /// pass `verbose = true` to show every intermediate state.
+    pub fn render(&self, model: &M, verbose: bool) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("  state: {}\n", model.format_state(&self.initial)));
+        for (i, (a, s)) in self.steps.iter().enumerate() {
+            out.push_str(&format!("  --{}-->\n", model.format_action(a)));
+            if verbose || i + 1 == self.steps.len() {
+                out.push_str(&format!("  state: {}\n", model.format_state(s)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Inc;
+    impl Model for Inc {
+        type State = u32;
+        type Action = u32;
+        fn initial_states(&self) -> Vec<u32> {
+            vec![0]
+        }
+        fn actions(&self, _: &u32, out: &mut Vec<u32>) {
+            out.push(1);
+        }
+        fn next_state(&self, s: &u32, a: &u32) -> Option<u32> {
+            Some(s + a)
+        }
+    }
+
+    #[test]
+    fn path_accessors() {
+        let mut p: Path<Inc> = Path::new(0);
+        assert!(p.is_empty());
+        assert_eq!(p.last_state(), &0);
+        p.push(1, 1);
+        p.push(2, 3);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.last_state(), &3);
+        assert_eq!(p.actions(), vec![1, 2]);
+        assert_eq!(p.states(), vec![0, 1, 3]);
+        assert_eq!(p.initial_state(), &0);
+    }
+
+    #[test]
+    fn render_contains_actions_and_final_state() {
+        let mut p: Path<Inc> = Path::new(0);
+        p.push(1, 1);
+        p.push(1, 2);
+        let text = p.render(&Inc, false);
+        assert!(text.contains("--1-->"));
+        assert!(text.contains("state: 2"));
+        // non-verbose: intermediate state 1 not printed as a state line
+        assert!(!text.contains("state: 1\n  --1-->\n  state: 2") || text.contains("state: 0"));
+        let verbose = p.render(&Inc, true);
+        assert!(verbose.contains("state: 1"));
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerate the paper's counter-example figures (Figures 10–13) by
+//! replaying their exact schedules against the composed models.
+//!
+//! ```text
+//! cargo run --release --example counterexample_gallery
+//! ```
+
+use accelerated_heartbeat::verify::figures::all_figures;
+
+fn main() {
+    println!("== Atif & Mousavi (2009), Figures 10-13: counter-example gallery ==\n");
+    for figure in all_figures() {
+        println!("{}", figure.render());
+        println!("{}", "=".repeat(60));
+    }
+    println!(
+        "Each replay is the paper's schedule step-for-step; 'replay valid' means\n\
+         every step was an enabled transition of our model and 'error reached'\n\
+         means the run passed through the requirement's error state. The BFS\n\
+         length is an independently found shortest counterexample for the same\n\
+         protocol configuration."
+    );
+}

@@ -1,0 +1,52 @@
+//! Export graphical artifacts: the reduced transition systems of
+//! Figures 1–2 as Graphviz DOT files, plus the full composed binary model
+//! at miniature parameters (for inspection with `dot -Tsvg`).
+//!
+//! ```text
+//! cargo run --release --example export_artifacts [out_dir]
+//! ```
+
+use accelerated_heartbeat::core::{FixLevel, Params, Variant};
+use accelerated_heartbeat::verify::solo::{p0_figure_lts, p1_figure_lts};
+use accelerated_heartbeat::verify::HbModel;
+use mck::graph::StateGraph;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "artifacts".into())
+        .into();
+    fs::create_dir_all(&out_dir)?;
+
+    let fig_params = Params::new(1, 2)?;
+    let artifacts = [
+        ("figure1_p0.dot", p0_figure_lts(fig_params).to_dot()),
+        ("figure2_p1.dot", p1_figure_lts(fig_params).to_dot()),
+    ];
+    for (name, dot) in artifacts {
+        let path = out_dir.join(name);
+        fs::write(&path, dot)?;
+        println!("wrote {}", path.display());
+    }
+
+    // The full composed model of the binary protocol at (1,2), fault-free:
+    // small enough to look at as a graph.
+    let model = HbModel::new(Variant::Binary, Params::new(1, 2)?, 1, FixLevel::Original)
+        .allow_loss(false)
+        .allow_crashes(false);
+    let graph = StateGraph::explore(&model, 10_000);
+    let stats = graph.stats();
+    let path = out_dir.join("binary_composed_1_2.dot");
+    fs::write(&path, graph.to_dot(&model))?;
+    println!(
+        "wrote {} ({} states, {} transitions, diameter {})",
+        path.display(),
+        stats.states,
+        stats.transitions,
+        stats.diameter
+    );
+    println!("\nrender with e.g.: dot -Tsvg {}/figure1_p0.dot -o figure1.svg", out_dir.display());
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! The headline trade-off of the ICDCS '98 paper: accelerated heartbeats
+//! get low steady-state overhead, bounded detection delay *and* loss
+//! tolerance at once, while a naive fixed-period heartbeat must pick two.
+//!
+//! Sweeps the acceleration ratio `tmax/tmin` and compares against naive
+//! baselines tuned to match the accelerated protocol on one axis at a
+//! time.
+//!
+//! ```text
+//! cargo run --release --example overhead_tradeoff
+//! ```
+
+use accelerated_heartbeat::core::{Params, Variant};
+use accelerated_heartbeat::sim::{run_scenario, NaiveConfig, NaiveWorld, Scenario};
+
+fn measured_rate_accelerated(params: Params) -> f64 {
+    let sc = Scenario::steady_state(Variant::Binary, params, 20_000);
+    run_scenario(&sc, 7).message_rate()
+}
+
+fn measured_rate_naive(cfg: NaiveConfig) -> f64 {
+    let mut w = NaiveWorld::new(cfg, 7);
+    w.run_until(20_000);
+    w.into_report().message_rate()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tmin = 2;
+    println!("accelerated heartbeat vs naive fixed-period heartbeat (tmin = {tmin})\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} | {:>14} {:>14}",
+        "tmax",
+        "acc rate",
+        "acc detect",
+        "acc losses",
+        "naive@detect",
+        "naive@losses"
+    );
+    println!("{}", "-".repeat(80));
+
+    for ratio in [1u32, 2, 4, 8, 16, 32] {
+        let tmax = tmin * ratio;
+        let params = Params::new(tmin, tmax)?;
+        let acc_rate = measured_rate_accelerated(params);
+        let acc_detect = params.p0_bound_corrected(Variant::Binary);
+        let acc_tolerance = params.silent_rounds_to_inactivation() - 1;
+
+        // Naive tuned to match the accelerated *detection* bound with the
+        // same loss tolerance: period = bound / (tolerance + 1).
+        let period_d = (acc_detect / (acc_tolerance + 1)).max(1);
+        let naive_detect_rate = measured_rate_naive(NaiveConfig {
+            period: period_d,
+            tolerance: acc_tolerance,
+            delay_bound: tmin,
+            n: 1,
+            loss_prob: 0.0,
+        });
+
+        // Naive tuned to match the accelerated *rate*: period = tmax; at
+        // the same loss tolerance its detection bound balloons.
+        let naive_rate_cfg = NaiveConfig {
+            period: tmax,
+            tolerance: acc_tolerance,
+            delay_bound: tmin,
+            n: 1,
+            loss_prob: 0.0,
+        };
+
+        println!(
+            "{:>6} {:>12.4} {:>12} {:>12} | {:>10.4} x{:<3.1} {:>10} unit",
+            tmax,
+            acc_rate,
+            acc_detect,
+            acc_tolerance,
+            naive_detect_rate,
+            naive_detect_rate / acc_rate.max(1e-9),
+            naive_rate_cfg.detection_bound(),
+        );
+    }
+
+    println!(
+        "\nreading the table: to match the accelerated protocol's detection bound\n\
+         and loss tolerance, the naive protocol must send x-times more messages\n\
+         (column 5-6); to match its message rate instead, the naive detection\n\
+         bound balloons (last column vs column 3). The accelerated protocol's\n\
+         advantage grows with tmax/tmin — the '98 paper's acceleration thesis."
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quickstart: run the binary accelerated heartbeat protocol in the
+//! discrete-event simulator, crash the participant, and watch the
+//! coordinator detect it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use accelerated_heartbeat::core::{Params, Variant};
+use accelerated_heartbeat::sim::{run_scenario, Scenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // tmin = 2 (round-trip delay bound / fastest round),
+    // tmax = 8 (steady-state round length).
+    let params = Params::new(2, 8)?;
+
+    println!("== accelerated binary heartbeat, {params} ==\n");
+    println!(
+        "steady-state overhead : ~2/tmax = {:.3} msgs/unit",
+        2.0 / f64::from(params.tmax())
+    );
+    println!(
+        "detection bound (p[0]): {} units (corrected, Atif & Mousavi '09 §6.2)",
+        params.p0_bound_corrected(Variant::Binary)
+    );
+    println!(
+        "loss tolerance        : {} consecutive beats\n",
+        params.silent_rounds_to_inactivation()
+    );
+
+    // Run 200 time units, crash p[1] at t = 100, log everything.
+    let scenario = Scenario {
+        crashes: vec![(1, 100)],
+        duration: 200,
+        ..Scenario::steady_state(Variant::Binary, params, 0)
+    }
+    .with_log();
+
+    let report = run_scenario(&scenario, 42);
+
+    println!("{}", report.log.render_chart(1));
+    println!("messages sent      : {}", report.messages_sent);
+    println!("message rate       : {:.3} msgs/unit", report.message_rate());
+    match report.detection_delay {
+        Some(d) => println!("crash detected in  : {d} time units"),
+        None => println!("crash not detected within the horizon"),
+    }
+    println!(
+        "final status       : p[0] {:?}, p[1] {:?}",
+        report.final_status[0], report.final_status[1]
+    );
+    Ok(())
+}

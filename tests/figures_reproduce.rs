@@ -1,0 +1,122 @@
+//! Integration: the five counter-example figures replay and reproduce.
+
+use accelerated_heartbeat::core::trace::Event;
+use accelerated_heartbeat::verify::figures::{
+    all_figures, figure10a, figure10b, figure11, figure12, figure13,
+};
+
+#[test]
+fn all_five_figures_reproduce() {
+    for f in all_figures() {
+        assert!(f.replay_valid, "{}: replay must be valid", f.name);
+        assert!(f.error_reached, "{}: error must be reached", f.name);
+        assert!(
+            f.shortest_ce_len.is_some(),
+            "{}: BFS must confirm the violation",
+            f.name
+        );
+    }
+}
+
+#[test]
+fn figure10a_shape() {
+    let f = figure10a();
+    // p[1] replies once, crashes, p[0] halves to inactivation.
+    let events = f.log.events();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::Crash { pid: 1, at: 10 })));
+    let timeouts: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Timeout { at, pid: 0 } => Some(*at),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(timeouts, vec![10, 20, 30, 35], "halving chain 10,10,5");
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::NvInactivate { pid: 0, at: 35 })));
+}
+
+#[test]
+fn figure10b_shape() {
+    let f = figure10b();
+    let last = f.log.events().last().unwrap();
+    assert!(matches!(last, Event::NvInactivate { pid: 0, at: 35 }));
+}
+
+#[test]
+fn figure11_shape() {
+    let f = figure11();
+    let events = f.log.events();
+    // exactly one coordinator beat, delivered never; p[1] dies at 20
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::Send { from: 0, to: 1, at: 10, .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::NvInactivate { pid: 1, at: 20 })));
+    assert!(!events.iter().any(|e| matches!(e, Event::Crash { .. })));
+    assert!(!events.iter().any(|e| matches!(e, Event::Lose { .. })));
+}
+
+#[test]
+fn figure12_shape() {
+    let f = figure12();
+    let events = f.log.events();
+    // p[1] replied on time, yet p[0] dies at 20 with p[1] alive
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::Send { from: 1, to: 0, at: 10, .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::NvInactivate { pid: 0, at: 20 })));
+    assert!(!events
+        .iter()
+        .any(|e| matches!(e, Event::NvInactivate { pid: 1, .. })));
+}
+
+#[test]
+fn figure13_shape() {
+    let f = figure13();
+    let events = f.log.events();
+    // four join beats at the tmin cadence
+    let join_sends: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Send { from: 1, to: 0, at, .. } => Some(*at),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(join_sends, vec![5, 10, 15, 20]);
+    // p[0]'s first useful broadcast only at 2*tmax...
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::Send { from: 0, to: 1, at: 20, .. })));
+    // ...and p[1] gives up exactly at 3*tmax - tmin = 25.
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::NvInactivate { pid: 1, at: 25 })));
+}
+
+#[test]
+fn bfs_counterexamples_are_no_longer_than_replays() {
+    // BFS finds shortest violations; the paper's replays cannot be shorter.
+    for f in all_figures() {
+        let replay_len = f.log.len();
+        let bfs = f.shortest_ce_len.unwrap();
+        // The replay log counts events, the BFS length counts transitions
+        // (including ticks), so compare through a generous tick allowance:
+        // BFS length <= replay events + ticks (time of last event).
+        let horizon = f.log.events().last().unwrap().at() as usize;
+        assert!(
+            bfs <= replay_len + horizon + 2,
+            "{}: BFS {} vs replay {} + {}",
+            f.name,
+            bfs,
+            replay_len,
+            horizon
+        );
+    }
+}
