@@ -18,8 +18,7 @@ const HORIZON: u64 = 4_000;
 fn false_rate(params: Params, model: LossModel) -> f64 {
     let mut failures = 0;
     for seed in 0..SEEDS {
-        let sc = Scenario::steady_state(Variant::Binary, params, HORIZON)
-            .with_loss_model(model);
+        let sc = Scenario::steady_state(Variant::Binary, params, HORIZON).with_loss_model(model);
         if run_scenario(&sc, seed).false_inactivations > 0 {
             failures += 1;
         }
@@ -71,7 +70,10 @@ fn main() {
     );
 
     println!("\n== survival vs outage length ==\n");
-    println!("{:>8} | {:>10} | {:>14}", "outage", "survives", "halving chain");
+    println!(
+        "{:>8} | {:>10} | {:>14}",
+        "outage", "survives", "halving chain"
+    );
     println!("{}", "-".repeat(40));
     let chain = params.halving_chain_duration(); // 8+4+2+1 = 15
     for len in [2u64, 6, 10, 14, 16, 24, 48] {
@@ -86,7 +88,11 @@ fn main() {
         println!(
             "{len:>8} | {:>9.2} | {:>14}",
             survived as f64 / SEEDS as f64,
-            if u32::try_from(len).unwrap() <= chain { "within" } else { "beyond" }
+            if u32::try_from(len).unwrap() <= chain {
+                "within"
+            } else {
+                "beyond"
+            }
         );
     }
     println!(

@@ -1,8 +1,12 @@
-//! Criterion micro-benchmarks of the verification substrate itself:
-//! sequential vs parallel BFS throughput on the composed heartbeat
-//! models, DFS, random walks, and the LTS reduction pipeline.
+//! Micro-benchmarks of the verification substrate itself: sequential vs
+//! parallel BFS throughput on the composed heartbeat models, DFS, random
+//! walks, and the LTS reduction pipeline.
+//!
+//! Plain timing harness (the offline toolchain has no criterion): each
+//! workload is run a few times and the best wall time is reported.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
 use hb_core::{FixLevel, Params, Variant};
 use hb_verify::requirements::{build_model, Requirement};
 use hb_verify::solo::p0_reduced_lts;
@@ -13,9 +17,23 @@ use mck::Checker;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn bfs_exhaustive(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bfs_exhaustive");
-    group.sample_size(10);
+const RUNS: usize = 3;
+
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        out = Some(std::hint::black_box(f()));
+        best = best.min(t0.elapsed());
+    }
+    drop(out);
+    println!("{name:<40} {best:>12.1?}  (best of {RUNS})");
+}
+
+fn main() {
+    println!("== checker_perf ==");
+
     for tmin in [4u32, 9] {
         let params = Params::new(tmin, 10).unwrap();
         let model = build_model(
@@ -25,23 +43,14 @@ fn bfs_exhaustive(c: &mut Criterion) {
             1,
             Requirement::R1,
         );
-        group.bench_with_input(
-            BenchmarkId::new("binary_r1", tmin),
-            &model,
-            |b, model| {
-                b.iter(|| {
-                    let out = Checker::new(model).check_invariant(|s| !model.monitor_error(s));
-                    std::hint::black_box(out.stats().states)
-                })
-            },
-        );
+        bench(&format!("bfs_exhaustive/binary_r1/tmin={tmin}"), || {
+            Checker::new(&model)
+                .check_invariant(|s| !model.monitor_error(s))
+                .stats()
+                .states
+        });
     }
-    group.finish();
-}
 
-fn parallel_vs_sequential(c: &mut Criterion) {
-    let mut group = c.benchmark_group("parallel_bfs");
-    group.sample_size(10);
     let params = Params::new(9, 10).unwrap();
     let model = build_model(
         Variant::Binary,
@@ -50,33 +59,22 @@ fn parallel_vs_sequential(c: &mut Criterion) {
         1,
         Requirement::R1,
     );
-    group.bench_function("sequential", |b| {
-        b.iter(|| {
-            Checker::new(&model)
+    bench("parallel_bfs/sequential", || {
+        Checker::new(&model)
+            .check_invariant(|s| !model.monitor_error(s))
+            .stats()
+            .states
+    });
+    for threads in [2usize, 4, 8] {
+        bench(&format!("parallel_bfs/threads={threads}"), || {
+            ParallelChecker::new(&model)
+                .threads(threads)
                 .check_invariant(|s| !model.monitor_error(s))
                 .stats()
                 .states
-        })
-    });
-    for threads in [2usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("threads", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    ParallelChecker::new(&model)
-                        .threads(threads)
-                        .check_invariant(|s| !model.monitor_error(s))
-                        .stats()
-                        .states
-                })
-            },
-        );
+        });
     }
-    group.finish();
-}
 
-fn dfs_and_walks(c: &mut Criterion) {
     let params = Params::new(4, 10).unwrap();
     let model = build_model(
         Variant::Binary,
@@ -85,32 +83,17 @@ fn dfs_and_walks(c: &mut Criterion) {
         1,
         Requirement::R2,
     );
-    c.bench_function("dfs_exhaustive_r2", |b| {
-        b.iter(|| {
-            Dfs::new(&model)
-                .find(|s| s.coord.status == hb_core::Status::NvInactive)
-                .stats()
-                .states
-        })
+    bench("dfs_exhaustive_r2", || {
+        Dfs::new(&model)
+            .find(|s| s.coord.status == hb_core::Status::NvInactive)
+            .stats()
+            .states
     });
-    c.bench_function("random_walk_1k", |b| {
-        let mut rng = StdRng::seed_from_u64(1);
-        b.iter(|| random_walk(&model, &mut rng, 1_000).len())
+    let mut rng = StdRng::seed_from_u64(1);
+    bench("random_walk_1k", || {
+        random_walk(&model, &mut rng, 1_000).len()
     });
-}
 
-fn lts_reduction(c: &mut Criterion) {
-    c.bench_function("p0_solo_reduction", |b| {
-        let params = Params::new(1, 4).unwrap();
-        b.iter(|| p0_reduced_lts(params).num_states)
-    });
+    let params = Params::new(1, 4).unwrap();
+    bench("p0_solo_reduction", || p0_reduced_lts(params).num_states);
 }
-
-criterion_group!(
-    benches,
-    bfs_exhaustive,
-    parallel_vs_sequential,
-    dfs_and_walks,
-    lts_reduction
-);
-criterion_main!(benches);

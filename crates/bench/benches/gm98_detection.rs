@@ -78,7 +78,11 @@ fn main() {
                     "{:<16} {:>8} {:>6} | {:>24} {:>8.0} {:>8.0} | {:>7}",
                     variant.name(),
                     format!("p[{victim}]"),
-                    if fix == FixLevel::Full { "full" } else { "orig" },
+                    if fix == FixLevel::Full {
+                        "full"
+                    } else {
+                        "orig"
+                    },
                     cell(&samples),
                     quantile(&samples, 0.99),
                     bound,
@@ -93,5 +97,8 @@ fn main() {
          (2*tmax instead of 3*tmax - tmin on the participant side, §6.2)."
     );
     println!("wall time: {:.1?}", t0.elapsed());
-    assert!(all_ok, "a measured detection delay exceeded its analytic bound");
+    assert!(
+        all_ok,
+        "a measured detection delay exceeded its analytic bound"
+    );
 }

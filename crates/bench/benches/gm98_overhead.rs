@@ -20,14 +20,7 @@ fn main() {
     println!("steady-state overhead vs acceleration ratio (tmin = {tmin}, horizon = {horizon})\n");
     println!(
         "{:>6} {:>7} | {:>10} {:>10} {:>9} | {:>12} {:>9} | {:>8}",
-        "tmax",
-        "ratio",
-        "acc meas",
-        "acc ~2/tmax",
-        "detect",
-        "naive match",
-        "detect",
-        "overhead*"
+        "tmax", "ratio", "acc meas", "acc ~2/tmax", "detect", "naive match", "detect", "overhead*"
     );
     println!("{}", "-".repeat(88));
     for ratio in [1u32, 2, 4, 8, 16, 32] {

@@ -40,9 +40,7 @@ fn naive_false_rate(cfg: NaiveConfig) -> f64 {
 fn main() {
     let t0 = Instant::now();
     let params = Params::new(1, 8).expect("valid");
-    println!(
-        "false-inactivation probability within {HORIZON} units, {SEEDS} runs each, {params}"
-    );
+    println!("false-inactivation probability within {HORIZON} units, {SEEDS} runs each, {params}");
     println!(
         "(accelerated tolerates {} consecutive losses; naive baselines are rate-matched at period = tmax)\n",
         params.silent_rounds_to_inactivation() - 1

@@ -20,7 +20,10 @@ fn main() {
     println!("fault-free model, n = 1, up to 2 incarnations, {params}\n");
 
     let r = rejoin_results(params);
-    println!("{:<22} {:>22} {:>22}", "", "participant safety", "coordinator safety");
+    println!(
+        "{:<22} {:>22} {:>22}",
+        "", "participant safety", "coordinator safety"
+    );
     println!(
         "{:<22} {:>22} {:>22}",
         "naive rejoin",

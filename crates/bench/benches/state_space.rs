@@ -44,10 +44,11 @@ fn main() {
     println!("total states explored: {grand_total}");
 
     println!("\n== GM98 liveness: a network crash leads to full inactivation ==\n");
+    println!("(checked as AG(crash -> AF all-inactive) with a lasso search; faults on)\n");
     println!(
-        "(checked as AG(crash -> AF all-inactive) with a lasso search; faults on)\n"
+        "{:<16} {:>8} {:>10} {:>10}",
+        "variant", "params", "verdict", "states"
     );
-    println!("{:<16} {:>8} {:>10} {:>10}", "variant", "params", "verdict", "states");
     println!("{}", "-".repeat(50));
     for variant in Variant::ALL {
         let params = Params::new(1, 4).unwrap();
@@ -57,7 +58,13 @@ fn main() {
             LeadsToOutcome::Violated { .. } => ("VIOLATED", 0),
             LeadsToOutcome::Unknown { states } => ("unknown", *states),
         };
-        println!("{:<16} {:>8} {:>10} {:>10}", variant.name(), "(1,4)", verdict, states);
+        println!(
+            "{:<16} {:>8} {:>10} {:>10}",
+            variant.name(),
+            "(1,4)",
+            verdict,
+            states
+        );
         assert!(out.holds(), "{variant}: GM98's liveness core must hold");
     }
     println!(

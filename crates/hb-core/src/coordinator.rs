@@ -274,7 +274,12 @@ mod tests {
     use super::*;
 
     fn spec(variant: Variant, tmin: u32, tmax: u32, n: usize) -> CoordSpec {
-        CoordSpec::new(variant, Params::new(tmin, tmax).unwrap(), n, FixLevel::Original)
+        CoordSpec::new(
+            variant,
+            Params::new(tmin, tmax).unwrap(),
+            n,
+            FixLevel::Original,
+        )
     }
 
     fn run_to_timeout(spec: &CoordSpec, s: &mut CoordState) -> TimeoutOutcome {
@@ -329,7 +334,10 @@ mod tests {
         run_to_timeout(&sp, &mut s);
         run_to_timeout(&sp, &mut s); // silent: t = 5
         assert_eq!(s.t, 5);
-        assert_eq!(sp.on_heartbeat(&mut s, 1, Heartbeat::plain()), CoordReaction::None);
+        assert_eq!(
+            sp.on_heartbeat(&mut s, 1, Heartbeat::plain()),
+            CoordReaction::None
+        );
         run_to_timeout(&sp, &mut s);
         assert_eq!(s.t, 10);
     }
@@ -422,7 +430,10 @@ mod tests {
         assert!(!s.jnd[0]);
         assert!(s.left[0]);
         // A stale join/stay beat must not re-join a left participant.
-        assert_eq!(sp.on_heartbeat(&mut s, 1, Heartbeat::plain()), CoordReaction::None);
+        assert_eq!(
+            sp.on_heartbeat(&mut s, 1, Heartbeat::plain()),
+            CoordReaction::None
+        );
         assert!(!s.jnd[0]);
     }
 
@@ -451,7 +462,10 @@ mod tests {
         sp.crash(&mut s);
         assert_eq!(s.status, Status::Crashed);
         s.rcvd[0] = false;
-        assert_eq!(sp.on_heartbeat(&mut s, 1, Heartbeat::plain()), CoordReaction::None);
+        assert_eq!(
+            sp.on_heartbeat(&mut s, 1, Heartbeat::plain()),
+            CoordReaction::None
+        );
         assert!(!s.rcvd[0], "crashed coordinator must not record receipts");
         assert!(!sp.timeout_due(&s));
         assert_eq!(sp.next_timeout_in(&s), None);

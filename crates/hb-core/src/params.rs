@@ -224,11 +224,20 @@ mod tests {
     #[test]
     fn silent_rounds_matches_log2() {
         // tmax=10, tmin=1: chain 10,5,2,1 -> halve(1)=0 < 1 => 4 rounds.
-        assert_eq!(Params::new(1, 10).unwrap().silent_rounds_to_inactivation(), 4);
+        assert_eq!(
+            Params::new(1, 10).unwrap().silent_rounds_to_inactivation(),
+            4
+        );
         // tmax=10, tmin=4: chain 10,5 -> halve(5)=2 < 4 => 2 rounds.
-        assert_eq!(Params::new(4, 10).unwrap().silent_rounds_to_inactivation(), 2);
+        assert_eq!(
+            Params::new(4, 10).unwrap().silent_rounds_to_inactivation(),
+            2
+        );
         // tmin=9: 10 -> 5 < 9 => 1 round.
-        assert_eq!(Params::new(9, 10).unwrap().silent_rounds_to_inactivation(), 1);
+        assert_eq!(
+            Params::new(9, 10).unwrap().silent_rounds_to_inactivation(),
+            1
+        );
         // tmin=tmax: 1 round.
         assert_eq!(
             Params::new(10, 10).unwrap().silent_rounds_to_inactivation(),

@@ -208,10 +208,13 @@ impl RejoinCoordSpec {
             if self.epochs {
                 s.min_epoch[i] = beat.epoch.saturating_add(1);
             }
-            RejoinCoordReaction::LeaveAck(from, EpochBeat {
-                flag: false,
-                epoch: beat.epoch,
-            })
+            RejoinCoordReaction::LeaveAck(
+                from,
+                EpochBeat {
+                    flag: false,
+                    epoch: beat.epoch,
+                },
+            )
         }
     }
 }
@@ -330,9 +333,7 @@ impl RejoinRespSpec {
     /// Whether the watchdog is due (urgent). Runs while joining or in;
     /// out-of-protocol participants have nothing to watch.
     pub fn watchdog_due(&self, s: &RejoinRespState) -> bool {
-        s.status.is_active()
-            && s.phase != RejoinPhase::Out
-            && s.waiting >= self.watchdog_bound()
+        s.status.is_active() && s.phase != RejoinPhase::Out && s.waiting >= self.watchdog_bound()
     }
 
     /// Fire the watchdog: non-voluntary inactivation.
@@ -429,7 +430,14 @@ mod tests {
         assert!(c.jnd[0]);
         // coordinator beat confirms; participant immediately leaves
         let reply = rs
-            .on_beat(&mut r, EpochBeat { flag: true, epoch: 1 }, true)
+            .on_beat(
+                &mut r,
+                EpochBeat {
+                    flag: true,
+                    epoch: 1,
+                },
+                true,
+            )
             .unwrap();
         assert!(!reply.flag);
         assert_eq!(r.phase, RejoinPhase::Out);
@@ -453,14 +461,42 @@ mod tests {
         let (cs, _) = specs(true);
         let mut c = cs.init_state();
         // incarnation 1 joined and left: bar is now 2
-        cs.on_heartbeat(&mut c, 1, EpochBeat { flag: true, epoch: 1 });
-        cs.on_heartbeat(&mut c, 1, EpochBeat { flag: false, epoch: 1 });
+        cs.on_heartbeat(
+            &mut c,
+            1,
+            EpochBeat {
+                flag: true,
+                epoch: 1,
+            },
+        );
+        cs.on_heartbeat(
+            &mut c,
+            1,
+            EpochBeat {
+                flag: false,
+                epoch: 1,
+            },
+        );
         assert!(!c.jnd[0]);
         // a stale incarnation-1 join resend straggles in: ignored
-        cs.on_heartbeat(&mut c, 1, EpochBeat { flag: true, epoch: 1 });
+        cs.on_heartbeat(
+            &mut c,
+            1,
+            EpochBeat {
+                flag: true,
+                epoch: 1,
+            },
+        );
         assert!(!c.jnd[0], "stale join must not re-enrol");
         // the genuine incarnation 2 is accepted
-        cs.on_heartbeat(&mut c, 1, EpochBeat { flag: true, epoch: 2 });
+        cs.on_heartbeat(
+            &mut c,
+            1,
+            EpochBeat {
+                flag: true,
+                epoch: 2,
+            },
+        );
         assert!(c.jnd[0]);
     }
 
@@ -468,9 +504,30 @@ mod tests {
     fn stale_join_beat_re_enrols_without_epochs() {
         let (cs, _) = specs(false);
         let mut c = cs.init_state();
-        cs.on_heartbeat(&mut c, 1, EpochBeat { flag: true, epoch: 1 });
-        cs.on_heartbeat(&mut c, 1, EpochBeat { flag: false, epoch: 1 });
-        cs.on_heartbeat(&mut c, 1, EpochBeat { flag: true, epoch: 1 });
+        cs.on_heartbeat(
+            &mut c,
+            1,
+            EpochBeat {
+                flag: true,
+                epoch: 1,
+            },
+        );
+        cs.on_heartbeat(
+            &mut c,
+            1,
+            EpochBeat {
+                flag: false,
+                epoch: 1,
+            },
+        );
+        cs.on_heartbeat(
+            &mut c,
+            1,
+            EpochBeat {
+                flag: true,
+                epoch: 1,
+            },
+        );
         assert!(c.jnd[0], "the naive coordinator is fooled by the straggler");
     }
 
@@ -478,11 +535,28 @@ mod tests {
     fn stale_leave_beat_is_filtered_with_epochs() {
         let (cs, _) = specs(true);
         let mut c = cs.init_state();
-        cs.on_heartbeat(&mut c, 1, EpochBeat { flag: true, epoch: 2 });
+        cs.on_heartbeat(
+            &mut c,
+            1,
+            EpochBeat {
+                flag: true,
+                epoch: 2,
+            },
+        );
         assert!(c.jnd[0]);
         // a leave from incarnation 1 (already superseded): ignored
-        cs.on_heartbeat(&mut c, 1, EpochBeat { flag: false, epoch: 1 });
-        assert!(c.jnd[0], "stale leave must not un-enrol the new incarnation");
+        cs.on_heartbeat(
+            &mut c,
+            1,
+            EpochBeat {
+                flag: false,
+                epoch: 1,
+            },
+        );
+        assert!(
+            c.jnd[0],
+            "stale leave must not un-enrol the new incarnation"
+        );
     }
 
     #[test]
@@ -493,16 +567,35 @@ mod tests {
         rs.tick(&mut r);
         // a coordinator beat echoing the *previous* incarnation is stale
         assert_eq!(
-            rs.on_beat(&mut r, EpochBeat { flag: true, epoch: 0 }, false),
+            rs.on_beat(
+                &mut r,
+                EpochBeat {
+                    flag: true,
+                    epoch: 0
+                },
+                false
+            ),
             None
         );
         assert_eq!(r.phase, RejoinPhase::Joining, "stale beat must not confirm");
         // the matching epoch confirms
-        let reply = rs.on_beat(&mut r, EpochBeat { flag: true, epoch: 1 }, false);
-        assert_eq!(reply, Some(EpochBeat { flag: true, epoch: 1 }));
+        let reply = rs.on_beat(
+            &mut r,
+            EpochBeat {
+                flag: true,
+                epoch: 1,
+            },
+            false,
+        );
+        assert_eq!(
+            reply,
+            Some(EpochBeat {
+                flag: true,
+                epoch: 1
+            })
+        );
         assert_eq!(r.phase, RejoinPhase::In);
     }
-
 
     #[test]
     fn max_epoch_bounds_rejoins() {
@@ -513,7 +606,14 @@ mod tests {
             rs.start_join(&mut r);
             assert_eq!(r.epoch, e);
             // confirmed then leaves
-            rs.on_beat(&mut r, EpochBeat { flag: true, epoch: e }, true);
+            rs.on_beat(
+                &mut r,
+                EpochBeat {
+                    flag: true,
+                    epoch: e,
+                },
+                true,
+            );
         }
         assert!(!rs.may_join(&r), "epoch cap reached");
     }
@@ -549,7 +649,14 @@ mod tests {
         rs.tick(&mut r);
         assert_eq!(r.waiting, 0, "clocks frozen while out");
         assert_eq!(
-            rs.on_beat(&mut r, EpochBeat { flag: true, epoch: 0 }, false),
+            rs.on_beat(
+                &mut r,
+                EpochBeat {
+                    flag: true,
+                    epoch: 0
+                },
+                false
+            ),
             None
         );
     }

@@ -170,6 +170,25 @@ impl RespSpec {
         Heartbeat::plain()
     }
 
+    /// Time until the next urgent participant event — the watchdog or, in
+    /// the join phase, the next join-heartbeat send — whichever comes
+    /// first. `None` once the clocks are frozen (inactive or left).
+    ///
+    /// This is the participant-side counterpart of
+    /// [`CoordSpec::next_timeout_in`](crate::coordinator::CoordSpec::next_timeout_in);
+    /// deadline-driven runtimes use it to sleep exactly until the next
+    /// protocol event.
+    pub fn next_event_in(&self, s: &RespState) -> Option<u32> {
+        if !self.clocks_running(s) {
+            return None;
+        }
+        let mut next = self.watchdog_bound().saturating_sub(s.waiting);
+        if self.variant.has_join_phase() && !s.joined {
+            next = next.min(self.params.tmin().saturating_sub(s.join_elapsed));
+        }
+        Some(next)
+    }
+
     /// Handle a heartbeat from the coordinator; returns the immediate
     /// reply, if any.
     ///
@@ -270,7 +289,10 @@ mod tests {
         let sp = spec(Variant::Binary, 1, 2, FixLevel::Original);
         let mut s = sp.init_state();
         sp.crash(&mut s);
-        assert_eq!(sp.on_beat(&mut s, Heartbeat::plain(), LeaveDecision::Stay), None);
+        assert_eq!(
+            sp.on_beat(&mut s, Heartbeat::plain(), LeaveDecision::Stay),
+            None
+        );
         assert!(!sp.watchdog_due(&s));
     }
 
@@ -334,6 +356,33 @@ mod tests {
     }
 
     #[test]
+    fn next_event_in_tracks_watchdog_and_join_timer() {
+        let sp = spec(Variant::Expanding, 3, 10, FixLevel::Original); // bound 27
+        let mut s = sp.init_state();
+        // Join phase: the join send (due at tmin = 3) comes first.
+        assert_eq!(sp.next_event_in(&s), Some(3));
+        sp.tick(&mut s);
+        assert_eq!(sp.next_event_in(&s), Some(2));
+        // Once joined, only the watchdog remains.
+        sp.on_beat(&mut s, Heartbeat::plain(), LeaveDecision::Stay);
+        assert_eq!(sp.next_event_in(&s), Some(27));
+        // Frozen clocks report no deadline.
+        sp.crash(&mut s);
+        assert_eq!(sp.next_event_in(&s), None);
+    }
+
+    #[test]
+    fn next_event_in_zero_when_due() {
+        let sp = spec(Variant::Binary, 1, 2, FixLevel::Original); // bound 5
+        let mut s = sp.init_state();
+        for _ in 0..5 {
+            sp.tick(&mut s);
+        }
+        assert!(sp.watchdog_due(&s));
+        assert_eq!(sp.next_event_in(&s), Some(0));
+    }
+
+    #[test]
     fn dynamic_leave_is_permanent_and_silent() {
         let sp = spec(Variant::Dynamic, 1, 10, FixLevel::Original);
         let mut s = sp.init_state();
@@ -344,7 +393,10 @@ mod tests {
         assert!(s.left);
         // After leaving: no watchdog, no replies, clocks frozen.
         assert!(!sp.watchdog_due(&s));
-        assert_eq!(sp.on_beat(&mut s, Heartbeat::plain(), LeaveDecision::Stay), None);
+        assert_eq!(
+            sp.on_beat(&mut s, Heartbeat::plain(), LeaveDecision::Stay),
+            None
+        );
         sp.tick(&mut s);
         assert_eq!(s.waiting, 0);
     }
@@ -364,13 +416,21 @@ mod tests {
         let mut s = sp.init_state();
         sp.tick(&mut s);
         let w = s.waiting;
-        assert_eq!(sp.on_beat(&mut s, Heartbeat::leave(), LeaveDecision::Stay), None);
+        assert_eq!(
+            sp.on_beat(&mut s, Heartbeat::leave(), LeaveDecision::Stay),
+            None
+        );
         assert_eq!(s.waiting, w, "leave ack must not reset the watchdog");
     }
 
     #[test]
     fn non_join_variants_start_joined() {
-        for v in [Variant::Binary, Variant::RevisedBinary, Variant::TwoPhase, Variant::Static] {
+        for v in [
+            Variant::Binary,
+            Variant::RevisedBinary,
+            Variant::TwoPhase,
+            Variant::Static,
+        ] {
             assert!(spec(v, 1, 10, FixLevel::Original).init_state().joined);
         }
         for v in [Variant::Expanding, Variant::Dynamic] {

@@ -315,7 +315,11 @@ mod tests {
     #[test]
     fn leave_and_lose_render() {
         let mut log = EventLog::new();
-        log.push(Event::Lose { at: 3, from: 0, to: 1 });
+        log.push(Event::Lose {
+            at: 3,
+            from: 0,
+            to: 1,
+        });
         log.push(Event::Leave { at: 5, pid: 1 });
         let chart = log.render_chart(1);
         assert!(chart.contains("~~lost~~"));

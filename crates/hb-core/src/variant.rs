@@ -125,8 +125,7 @@ mod tests {
 
     #[test]
     fn names_unique() {
-        let names: std::collections::HashSet<_> =
-            Variant::ALL.iter().map(|v| v.name()).collect();
+        let names: std::collections::HashSet<_> = Variant::ALL.iter().map(|v| v.name()).collect();
         assert_eq!(names.len(), Variant::ALL.len());
     }
 

@@ -1,0 +1,355 @@
+//! A deterministically steppable cluster: coordinator + N participants
+//! over loopback, under virtual time.
+//!
+//! [`VirtualCluster`] wires [`NodeRuntime`]s together over a
+//! [`LoopbackNet`] and advances them tick by tick, with scheduled crash /
+//! leave injection delivered over the control channel — the live
+//! counterpart of [`hb_sim::World`], producing the same
+//! [`RunSummary`](hb_sim::schema::RunSummary) schema so runs from the two
+//! substrates can be compared directly.
+
+use hb_core::coordinator::CoordSpec;
+use hb_core::responder::RespSpec;
+use hb_core::{FixLevel, Params, Pid, Status, Variant};
+use hb_sim::schema::RunSummary;
+
+use crate::events::EventSink;
+use crate::loopback::{Faults, LoopbackEndpoint, LoopbackNet};
+use crate::node::{NodeReport, NodeRuntime};
+use crate::time::Time;
+use crate::transport::Transport;
+use crate::wire::{Command, Frame};
+
+/// Static configuration of a virtual cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Protocol variant.
+    pub variant: Variant,
+    /// Timing parameters.
+    pub params: Params,
+    /// Fix level.
+    pub fix: FixLevel,
+    /// Number of participants.
+    pub n: usize,
+    /// Loopback fault plan.
+    pub faults: Faults,
+    /// Seed for the network's loss/delay randomness.
+    pub seed: u64,
+    /// Record per-node event logs.
+    pub record_events: bool,
+}
+
+/// What one live cluster run produced.
+#[derive(Debug)]
+pub struct LiveReport {
+    /// The run summary in the shared sim/live schema.
+    pub summary: RunSummary,
+    /// Per-node reports (index 0 = coordinator; participants that never
+    /// started are absent).
+    pub nodes: Vec<NodeReport>,
+}
+
+/// A stepping live cluster under virtual time.
+pub struct VirtualCluster {
+    cfg: ClusterConfig,
+    net: LoopbackNet,
+    /// `nodes[0]` is the coordinator; `nodes[i]` participant `i` (absent
+    /// until its start time).
+    nodes: Vec<Option<NodeRuntime<LoopbackEndpoint>>>,
+    injector: LoopbackEndpoint,
+    start_at: Vec<Time>,
+    injections: Vec<(Time, Pid, Command)>,
+    now: Time,
+    statuses: Vec<Option<(Status, bool)>>,
+    crashes: Vec<(Pid, Time)>,
+    nv_inactivations: Vec<(Pid, Time)>,
+    leaves: Vec<(Pid, Time)>,
+    all_inactive_at: Option<Time>,
+}
+
+impl VirtualCluster {
+    /// Build a cluster; nothing runs until [`step`](Self::step).
+    pub fn new(cfg: ClusterConfig) -> Self {
+        // endpoints: 0..=n for the nodes, n+1 for the out-of-band injector
+        let net = LoopbackNet::new(cfg.n + 2, cfg.faults, cfg.seed);
+        let coord_spec = CoordSpec::new(cfg.variant, cfg.params, cfg.n, cfg.fix);
+        let mut coord = NodeRuntime::coordinator(coord_spec, net.endpoint(0));
+        if cfg.record_events {
+            coord = coord.with_sink(EventSink::memory());
+        }
+        let mut nodes: Vec<Option<NodeRuntime<LoopbackEndpoint>>> = vec![Some(coord)];
+        nodes.extend((0..cfg.n).map(|_| None));
+        let injector = net.endpoint(cfg.n + 1);
+        VirtualCluster {
+            net,
+            nodes,
+            injector,
+            start_at: vec![0; cfg.n],
+            injections: Vec::new(),
+            now: 0,
+            statuses: vec![None; cfg.n + 1],
+            crashes: Vec::new(),
+            nv_inactivations: Vec::new(),
+            leaves: Vec::new(),
+            all_inactive_at: None,
+            cfg,
+        }
+    }
+
+    /// Crash `pid` at tick `t` (delivered as a control frame).
+    pub fn schedule_crash(&mut self, pid: Pid, t: Time) {
+        assert!(pid <= self.cfg.n, "pid {pid} out of range");
+        self.injections.push((t, pid, Command::Crash));
+    }
+
+    /// Make participant `pid` leave at the first beat at or after `t`.
+    pub fn schedule_leave(&mut self, pid: Pid, t: Time) {
+        assert!((1..=self.cfg.n).contains(&pid), "pid {pid} out of range");
+        self.injections.push((t, pid, Command::Leave));
+    }
+
+    /// Delay participant `pid`'s start until tick `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has begun or `pid` is out of range.
+    pub fn schedule_start(&mut self, pid: Pid, t: Time) {
+        assert!((1..=self.cfg.n).contains(&pid), "pid {pid} out of range");
+        assert_eq!(self.now, 0, "starts must be scheduled before running");
+        self.start_at[pid - 1] = t;
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Whether the coordinator and every started, not-left participant
+    /// are inactive — the cluster-wide detection condition.
+    pub fn all_inactive(&self) -> bool {
+        let coord_inactive = self.nodes[0]
+            .as_ref()
+            .is_some_and(|c| c.status().is_inactive());
+        coord_inactive
+            && self.nodes[1..]
+                .iter()
+                .flatten()
+                .all(|p| p.status().is_inactive() || p.left())
+    }
+
+    /// Advance the cluster by one tick: start late joiners, deliver due
+    /// injections, drain every node (and every zero-delay reply chain)
+    /// at the current tick, then move time forward.
+    pub fn step(&mut self) {
+        let now = self.now;
+        for i in 0..self.cfg.n {
+            if self.nodes[i + 1].is_none() && self.start_at[i] == now {
+                // Frames sent before a node exists vanish, as in the sim.
+                self.net.purge(i + 1);
+                let spec = RespSpec::new(self.cfg.variant, self.cfg.params, self.cfg.fix);
+                let mut node =
+                    NodeRuntime::participant(i + 1, spec, self.net.endpoint(i + 1)).started_at(now);
+                if self.cfg.record_events {
+                    node = node.with_sink(EventSink::memory());
+                }
+                self.nodes[i + 1] = Some(node);
+            }
+        }
+        let src = self.cfg.n + 1;
+        let mut pending = std::mem::take(&mut self.injections);
+        pending.retain(|&(t, pid, cmd)| {
+            if t != now {
+                return true;
+            }
+            self.injector
+                .send(now, pid, &Frame::control(src, cmd), 0)
+                .expect("loopback send cannot fail");
+            false
+        });
+        self.injections = pending;
+
+        loop {
+            for node in self.nodes.iter_mut().flatten() {
+                node.poll(now).expect("loopback polling cannot fail");
+            }
+            if !self.net.any_deliverable(now) {
+                break;
+            }
+        }
+
+        self.observe(now);
+        if self.all_inactive_at.is_none() && self.all_inactive() {
+            self.all_inactive_at = Some(now);
+        }
+        self.now += 1;
+    }
+
+    /// Record status transitions (crash / nv-inactivation / leave times).
+    fn observe(&mut self, now: Time) {
+        for (pid, node) in self.nodes.iter().enumerate() {
+            let Some(node) = node else { continue };
+            let cur = (node.status(), node.left());
+            let prev = self.statuses[pid];
+            if prev.map(|(s, _)| s) != Some(cur.0) {
+                match cur.0 {
+                    Status::Crashed => self.crashes.push((pid, now)),
+                    Status::NvInactive => self.nv_inactivations.push((pid, now)),
+                    Status::Active => {}
+                }
+            }
+            if prev.map(|(_, l)| l) != Some(cur.1) && cur.1 {
+                self.leaves.push((pid, now));
+            }
+            self.statuses[pid] = Some(cur);
+        }
+    }
+
+    /// Run until tick `t` or until everything is inactive.
+    pub fn run_until(&mut self, t: Time) {
+        while self.now < t && !self.all_inactive() {
+            self.step();
+        }
+    }
+
+    /// Finish the run and produce the report.
+    pub fn into_report(self) -> LiveReport {
+        let stats = self.net.stats();
+        let first_crash = self.crashes.iter().map(|&(_, t)| t).min();
+        let detection_delay = match (first_crash, self.all_inactive_at) {
+            (Some(c), Some(d)) => Some(d.saturating_sub(c)),
+            _ => None,
+        };
+        let false_inactivations = if self.crashes.is_empty() {
+            self.nv_inactivations.len() as u32
+        } else {
+            0
+        };
+        let final_status: Vec<Status> = self
+            .nodes
+            .iter()
+            .map(|n| n.as_ref().map_or(Status::Active, |n| n.status()))
+            .collect();
+        let summary = RunSummary {
+            source: "live",
+            duration: self.now,
+            messages_sent: stats.sent,
+            messages_delivered: stats.delivered,
+            messages_lost: stats.lost,
+            crashes: self.crashes,
+            nv_inactivations: self.nv_inactivations,
+            leaves: self.leaves,
+            detection_delay,
+            false_inactivations,
+            final_status,
+        };
+        let nodes = self
+            .nodes
+            .into_iter()
+            .flatten()
+            .map(NodeRuntime::finish)
+            .collect();
+        LiveReport { summary, nodes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(variant: Variant, tmin: u32, tmax: u32, n: usize) -> ClusterConfig {
+        ClusterConfig {
+            variant,
+            params: Params::new(tmin, tmax).unwrap(),
+            fix: FixLevel::Full,
+            n,
+            faults: Faults::none(),
+            seed: 1,
+            record_events: false,
+        }
+    }
+
+    #[test]
+    fn lossless_steady_state_never_inactivates() {
+        let mut cl = VirtualCluster::new(cfg(Variant::Binary, 2, 8, 1));
+        cl.run_until(2_000);
+        let r = cl.into_report();
+        assert_eq!(r.summary.false_inactivations, 0);
+        assert!(r.summary.nv_inactivations.is_empty());
+        // steady-state overhead ≈ 2/tmax
+        let rate = r.summary.messages_sent as f64 / r.summary.duration as f64;
+        assert!((rate - 0.25).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn participant_crash_detected_within_bound_static_n3() {
+        let mut cl = VirtualCluster::new(cfg(Variant::Static, 2, 8, 3));
+        cl.schedule_crash(2, 100);
+        cl.run_until(10_000);
+        assert!(cl.all_inactive(), "a crash must bring the network down");
+        let r = cl.into_report();
+        let delay = r.summary.detection_delay.expect("detection");
+        let bound = Time::from(
+            cfg(Variant::Static, 2, 8, 3)
+                .params
+                .p0_bound_corrected(Variant::Static)
+                + cfg(Variant::Static, 2, 8, 3)
+                    .params
+                    .responder_bound_corrected(Variant::Static)
+                + 2,
+        );
+        assert!(delay <= bound, "delay {delay} > bound {bound}");
+    }
+
+    #[test]
+    fn expanding_late_start_joins_cleanly() {
+        let mut cl = VirtualCluster::new(cfg(Variant::Expanding, 2, 8, 1));
+        cl.schedule_start(1, 40);
+        cl.run_until(400);
+        let r = cl.into_report();
+        assert!(r.summary.nv_inactivations.is_empty());
+        assert_eq!(r.summary.final_status, vec![Status::Active, Status::Active]);
+        assert!(r.nodes[1].counters.join_sends >= 1);
+    }
+
+    #[test]
+    fn dynamic_leave_disturbs_nobody() {
+        let mut cl = VirtualCluster::new(cfg(Variant::Dynamic, 2, 8, 2));
+        cl.schedule_leave(1, 100);
+        cl.run_until(2_000);
+        let r = cl.into_report();
+        assert_eq!(r.summary.leaves.len(), 1);
+        assert_eq!(r.summary.leaves[0].0, 1);
+        assert!(r.summary.nv_inactivations.is_empty());
+        assert_eq!(r.summary.final_status[0], Status::Active);
+    }
+
+    #[test]
+    fn identical_seeds_are_bit_identical() {
+        let run = |seed| {
+            let mut c = cfg(Variant::Binary, 2, 8, 1);
+            c.faults = Faults::bernoulli(0.2);
+            c.seed = seed;
+            let mut cl = VirtualCluster::new(c);
+            cl.schedule_crash(1, 200);
+            cl.run_until(5_000);
+            cl.into_report().summary
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn event_logs_capture_the_story() {
+        let mut c = cfg(Variant::Binary, 2, 8, 1);
+        c.record_events = true;
+        let mut cl = VirtualCluster::new(c);
+        cl.schedule_crash(1, 50);
+        cl.run_until(1_000);
+        let r = cl.into_report();
+        let coord_log = &r.nodes[0].log;
+        assert!(!coord_log.is_empty());
+        let text = coord_log.to_string();
+        assert!(text.contains("timeout at p[0]"), "{text}");
+        assert!(text.contains("NON-VOLUNTARILY"), "{text}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-node observability: counters and an event sink.
+//!
+//! The live runtime records the same [`Event`]s as the simulator and can
+//! stream them as JSON lines in the shared schema
+//! ([`hb_sim::schema::event_json`]), so a live run and a simulated run are
+//! directly diffable.
+
+use std::io::Write;
+
+use hb_core::trace::{Event, EventLog};
+use hb_sim::schema::event_json;
+
+/// Cheap always-on counters for one node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Heartbeats handed to the transport.
+    pub beats_sent: u64,
+    /// Heartbeats received.
+    pub beats_received: u64,
+    /// Coordinator round timeouts fired.
+    pub timeouts: u64,
+    /// Coordinator rounds that shortened the waiting time (the
+    /// acceleration visibly kicking in).
+    pub halvings: u64,
+    /// Join heartbeats sent (join-phase variants).
+    pub join_sends: u64,
+    /// Control frames received.
+    pub controls_received: u64,
+    /// Voluntary inactivations executed (crash injections).
+    pub crashes: u64,
+    /// Non-voluntary inactivations (this node shut itself down).
+    pub nv_inactivations: u64,
+    /// Graceful leaves observed (own leave for participants, acknowledged
+    /// leaves for the coordinator).
+    pub leaves: u64,
+}
+
+/// Where a node's events go: an in-memory [`EventLog`], a JSON-lines
+/// writer, both, or nowhere.
+#[derive(Default)]
+pub struct EventSink {
+    log: Option<EventLog>,
+    writer: Option<Box<dyn Write + Send>>,
+}
+
+impl EventSink {
+    /// Discard all events (counters still run).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Keep events in memory for post-run inspection.
+    pub fn memory() -> Self {
+        EventSink {
+            log: Some(EventLog::new()),
+            writer: None,
+        }
+    }
+
+    /// Also stream each event as one JSON line to `w` (best-effort: write
+    /// errors are ignored rather than taking the protocol down).
+    pub fn with_writer(mut self, w: Box<dyn Write + Send>) -> Self {
+        self.writer = Some(w);
+        self
+    }
+
+    /// Record one event.
+    pub fn emit(&mut self, e: &Event) {
+        if let Some(log) = &mut self.log {
+            log.push(*e);
+        }
+        if let Some(w) = &mut self.writer {
+            let _ = writeln!(w, "{}", event_json(e));
+        }
+    }
+
+    /// The in-memory log, if recording.
+    pub fn log(&self) -> Option<&EventLog> {
+        self.log.as_ref()
+    }
+
+    /// Take the in-memory log out of the sink (empty if not recording).
+    pub fn take_log(&mut self) -> EventLog {
+        self.log.take().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// A Write sink into shared memory for asserting on JSON output.
+    #[derive(Clone, Default)]
+    struct Buf(Arc<Mutex<Vec<u8>>>);
+    impl Write for Buf {
+        fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(b);
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn memory_sink_records() {
+        let mut s = EventSink::memory();
+        s.emit(&Event::Timeout { at: 3, pid: 0 });
+        assert_eq!(s.log().unwrap().len(), 1);
+        let log = s.take_log();
+        assert_eq!(log.events()[0].at(), 3);
+    }
+
+    #[test]
+    fn writer_sink_streams_json_lines() {
+        let buf = Buf::default();
+        let mut s = EventSink::disabled().with_writer(Box::new(buf.clone()));
+        s.emit(&Event::Crash { at: 9, pid: 2 });
+        s.emit(&Event::Timeout { at: 10, pid: 0 });
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "{\"t\":9,\"ev\":\"crash\",\"pid\":2}");
+    }
+
+    #[test]
+    fn disabled_sink_is_silent() {
+        let mut s = EventSink::disabled();
+        s.emit(&Event::Timeout { at: 1, pid: 0 });
+        assert!(s.log().is_none());
+        assert!(s.take_log().is_empty());
+    }
+}

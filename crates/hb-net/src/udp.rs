@@ -1,0 +1,201 @@
+//! A UDP transport over `std::net::UdpSocket` (no async runtime).
+//!
+//! One socket per node, one frame per datagram. Peers are addressed by
+//! pid through a routing table that can be pre-configured and is also
+//! learned from incoming traffic (a frame carries its sender's pid, so
+//! the first join beat teaches the coordinator where a participant
+//! lives — no registration step needed for the expanding/dynamic
+//! variants).
+//!
+//! Receiving is fuzz-resistant: datagrams that fail to decode are counted
+//! and dropped, never propagated as errors — a hostile or confused sender
+//! cannot crash a node.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::time::Duration;
+
+use hb_core::Pid;
+
+use crate::time::Time;
+use crate::transport::{Recv, Transport};
+use crate::wire::Frame;
+
+/// Maximum datagram size accepted. Frames are 7 bytes; anything larger
+/// than this is hostile by definition and dropped at the socket.
+const MAX_DATAGRAM: usize = 512;
+
+/// A [`Transport`] over one UDP socket.
+pub struct UdpTransport {
+    socket: UdpSocket,
+    peers: HashMap<Pid, SocketAddr>,
+    queued: VecDeque<Recv>,
+    decode_errors: u64,
+    buf: [u8; MAX_DATAGRAM],
+}
+
+impl UdpTransport {
+    /// Bind a socket (use port 0 for an ephemeral port).
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let socket = UdpSocket::bind(addr)?;
+        Ok(UdpTransport {
+            socket,
+            peers: HashMap::new(),
+            queued: VecDeque::new(),
+            decode_errors: 0,
+            buf: [0; MAX_DATAGRAM],
+        })
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Route `pid` to `addr`.
+    pub fn add_peer(&mut self, pid: Pid, addr: SocketAddr) {
+        self.peers.insert(pid, addr);
+    }
+
+    /// The known address of `pid`, if any.
+    pub fn peer(&self, pid: Pid) -> Option<SocketAddr> {
+        self.peers.get(&pid).copied()
+    }
+
+    /// Datagrams that failed to decode so far.
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors
+    }
+
+    /// Decode one received datagram; on success queue it and learn the
+    /// sender's address.
+    fn accept(&mut self, len: usize, from: SocketAddr) {
+        match Frame::decode_datagram(&self.buf[..len]) {
+            Ok(frame) => {
+                // Control frames come from out-of-band injectors; don't
+                // let them overwrite protocol routes.
+                if matches!(frame, Frame::Beat { .. }) {
+                    self.peers.entry(frame.src()).or_insert(from);
+                }
+                self.queued.push_back(Recv {
+                    frame,
+                    reply_budget: 0,
+                });
+            }
+            Err(_) => self.decode_errors += 1,
+        }
+    }
+}
+
+impl Transport for UdpTransport {
+    fn send(&mut self, _now: Time, dst: Pid, frame: &Frame, _budget: u32) -> io::Result<()> {
+        let Some(addr) = self.peers.get(&dst) else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                format!("no route to pid {dst}"),
+            ));
+        };
+        self.socket.send_to(&frame.encode(), addr)?;
+        Ok(())
+    }
+
+    fn try_recv(&mut self, _now: Time) -> io::Result<Option<Recv>> {
+        if let Some(r) = self.queued.pop_front() {
+            return Ok(Some(r));
+        }
+        self.socket.set_nonblocking(true)?;
+        loop {
+            match self.socket.recv_from(&mut self.buf) {
+                Ok((len, from)) => self.accept(len, from),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(self.queued.pop_front())
+    }
+
+    fn wait(&mut self, timeout: Duration) -> io::Result<()> {
+        if !self.queued.is_empty() {
+            return Ok(());
+        }
+        self.socket.set_nonblocking(false)?;
+        self.socket
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        match self.socket.recv_from(&mut self.buf) {
+            Ok((len, from)) => self.accept(len, from),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_core::Heartbeat;
+
+    fn pair() -> (UdpTransport, UdpTransport) {
+        let mut a = UdpTransport::bind("127.0.0.1:0").unwrap();
+        let mut b = UdpTransport::bind("127.0.0.1:0").unwrap();
+        let (aa, ba) = (a.local_addr().unwrap(), b.local_addr().unwrap());
+        a.add_peer(1, ba);
+        b.add_peer(0, aa);
+        (a, b)
+    }
+
+    fn recv_with_retry(t: &mut UdpTransport) -> Option<Recv> {
+        for _ in 0..100 {
+            t.wait(Duration::from_millis(20)).unwrap();
+            if let Some(r) = t.try_recv(0).unwrap() {
+                return Some(r);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn frames_cross_localhost() {
+        let (mut a, mut b) = pair();
+        let f = Frame::beat(0, Heartbeat::plain());
+        a.send(0, 1, &f, 2).unwrap();
+        let r = recv_with_retry(&mut b).expect("datagram must arrive");
+        assert_eq!(r.frame, f);
+        assert_eq!(r.reply_budget, 0);
+    }
+
+    #[test]
+    fn sender_address_is_learned_from_beats() {
+        let (mut a, mut b) = pair();
+        // b only knows a; a learns nothing about pid 5 until it beats.
+        assert_eq!(a.peer(5), None);
+        b.send(0, 0, &Frame::beat(5, Heartbeat::plain()), 0)
+            .unwrap();
+        recv_with_retry(&mut a).unwrap();
+        assert_eq!(a.peer(5), Some(b.local_addr().unwrap()));
+    }
+
+    #[test]
+    fn garbage_datagrams_are_counted_not_fatal() {
+        let (mut a, mut b) = pair();
+        let raw = UdpSocket::bind("127.0.0.1:0").unwrap();
+        raw.send_to(&[0xFF; 16], b.local_addr().unwrap()).unwrap();
+        raw.send_to(&[], b.local_addr().unwrap()).unwrap();
+        a.send(0, 1, &Frame::beat(0, Heartbeat::plain()), 0)
+            .unwrap();
+        let r = recv_with_retry(&mut b).expect("the good frame still arrives");
+        assert_eq!(r.frame, Frame::beat(0, Heartbeat::plain()));
+        assert!(b.decode_errors() >= 1);
+    }
+
+    #[test]
+    fn unroutable_destination_errors() {
+        let (mut a, _b) = pair();
+        assert!(a
+            .send(0, 9, &Frame::beat(0, Heartbeat::plain()), 0)
+            .is_err());
+    }
+}

@@ -1,0 +1,308 @@
+//! The length-prefixed wire format for heartbeat frames.
+//!
+//! Every frame is encoded as
+//!
+//! ```text
+//! +--------+---------+------+----------+---------+
+//! | len u16 | version | kind | src u16  | payload |
+//! |  (LE)   |  (= 1)  | u8   |  (LE)    |  u8     |
+//! +--------+---------+------+----------+---------+
+//! ```
+//!
+//! where `len` counts everything after the two length bytes. The same
+//! encoding is used for UDP datagrams (exactly one frame per datagram) and
+//! would frame a byte stream unchanged; [`Frame::decode`] returns the
+//! number of bytes consumed for that purpose.
+//!
+//! Decoding is total: any byte sequence produces either a frame or a
+//! [`DecodeError`] — never a panic and never an out-of-bounds read. Frames
+//! claiming more than [`MAX_FRAME`] bytes are rejected before any
+//! allocation, so a hostile peer cannot make a receiver buffer unbounded
+//! data.
+
+use std::fmt;
+
+use hb_core::{Heartbeat, Pid};
+
+/// Current wire-format version, carried in every frame.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on the `len` field. Real frames are 5 bytes; the cap
+/// leaves room for future kinds while bounding what a decoder will
+/// accept.
+pub const MAX_FRAME: usize = 64;
+
+const KIND_BEAT: u8 = 0;
+const KIND_CONTROL: u8 = 1;
+
+/// Byte length of the body (everything after the length prefix) of every
+/// currently defined frame kind.
+const BODY_LEN: usize = 5;
+
+/// Out-of-band commands for fault injection and lifecycle control.
+///
+/// Control frames share the heartbeat wire format so the same codec, the
+/// same sockets and the same fuzz-resistance arguments cover them, but
+/// they are *not* protocol messages: loopback transports deliver them
+/// instantly and losslessly, and they bypass the message counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// Voluntarily inactivate the receiving process (fault injection).
+    Crash,
+    /// Ask a dynamic-protocol participant to leave at the next beat.
+    Leave,
+    /// Stop the receiving node's run loop.
+    Shutdown,
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Command::Crash => "crash",
+            Command::Leave => "leave",
+            Command::Shutdown => "shutdown",
+        })
+    }
+}
+
+/// One wire frame: a protocol heartbeat or a control command, stamped
+/// with the sender's pid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Frame {
+    /// A protocol heartbeat from `src`.
+    Beat {
+        /// Sending process.
+        src: Pid,
+        /// The heartbeat payload.
+        hb: Heartbeat,
+    },
+    /// An out-of-band control command from `src`.
+    Control {
+        /// Sending process (by convention an out-of-band injector pid).
+        src: Pid,
+        /// The command.
+        cmd: Command,
+    },
+}
+
+/// Why a byte sequence failed to decode as a frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes than the length prefix promises (or no prefix at all).
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized(usize),
+    /// Unknown wire-format version.
+    Version(u8),
+    /// Unknown frame kind.
+    Kind(u8),
+    /// A payload byte outside its valid range.
+    Payload,
+    /// The length prefix promises more bytes than the frame kind defines.
+    Trailing,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated frame"),
+            DecodeError::Oversized(n) => write!(f, "frame length {n} exceeds cap {MAX_FRAME}"),
+            DecodeError::Version(v) => write!(f, "unknown wire version {v}"),
+            DecodeError::Kind(k) => write!(f, "unknown frame kind {k}"),
+            DecodeError::Payload => write!(f, "invalid payload byte"),
+            DecodeError::Trailing => write!(f, "trailing bytes inside frame"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Frame {
+    /// A heartbeat frame.
+    pub fn beat(src: Pid, hb: Heartbeat) -> Self {
+        Frame::Beat { src, hb }
+    }
+
+    /// A control frame.
+    pub fn control(src: Pid, cmd: Command) -> Self {
+        Frame::Control { src, cmd }
+    }
+
+    /// The sending process.
+    pub fn src(&self) -> Pid {
+        match *self {
+            Frame::Beat { src, .. } | Frame::Control { src, .. } => src,
+        }
+    }
+
+    /// Encode into a fresh buffer (length prefix included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` does not fit in a `u16` — the wire format caps a
+    /// cluster at 65535 participants.
+    pub fn encode(&self) -> Vec<u8> {
+        let (kind, src, payload) = match *self {
+            Frame::Beat { src, hb } => (KIND_BEAT, src, u8::from(hb.flag)),
+            Frame::Control { src, cmd } => (
+                KIND_CONTROL,
+                src,
+                match cmd {
+                    Command::Crash => 0,
+                    Command::Leave => 1,
+                    Command::Shutdown => 2,
+                },
+            ),
+        };
+        let src = u16::try_from(src).expect("pid must fit the u16 wire field");
+        let mut out = Vec::with_capacity(2 + BODY_LEN);
+        out.extend_from_slice(&(BODY_LEN as u16).to_le_bytes());
+        out.push(WIRE_VERSION);
+        out.push(kind);
+        out.extend_from_slice(&src.to_le_bytes());
+        out.push(payload);
+        out
+    }
+
+    /// Decode one frame from the front of `buf`; on success also returns
+    /// the total number of bytes consumed (prefix included), so a stream
+    /// reader can advance past the frame.
+    pub fn decode(buf: &[u8]) -> Result<(Frame, usize), DecodeError> {
+        let Some(prefix) = buf.get(..2) else {
+            return Err(DecodeError::Truncated);
+        };
+        let len = usize::from(u16::from_le_bytes([prefix[0], prefix[1]]));
+        if len > MAX_FRAME {
+            return Err(DecodeError::Oversized(len));
+        }
+        let Some(body) = buf.get(2..2 + len) else {
+            return Err(DecodeError::Truncated);
+        };
+        if len < BODY_LEN {
+            return Err(DecodeError::Truncated);
+        }
+        if body[0] != WIRE_VERSION {
+            return Err(DecodeError::Version(body[0]));
+        }
+        let kind = body[1];
+        let src = Pid::from(u16::from_le_bytes([body[2], body[3]]));
+        let payload = body[4];
+        if len > BODY_LEN {
+            return Err(DecodeError::Trailing);
+        }
+        let frame = match kind {
+            KIND_BEAT => Frame::Beat {
+                src,
+                hb: match payload {
+                    0 => Heartbeat::leave(),
+                    1 => Heartbeat::plain(),
+                    _ => return Err(DecodeError::Payload),
+                },
+            },
+            KIND_CONTROL => Frame::Control {
+                src,
+                cmd: match payload {
+                    0 => Command::Crash,
+                    1 => Command::Leave,
+                    2 => Command::Shutdown,
+                    _ => return Err(DecodeError::Payload),
+                },
+            },
+            k => return Err(DecodeError::Kind(k)),
+        };
+        Ok((frame, 2 + len))
+    }
+
+    /// Decode a datagram that must contain exactly one frame — trailing
+    /// bytes after the frame are rejected.
+    pub fn decode_datagram(buf: &[u8]) -> Result<Frame, DecodeError> {
+        let (frame, consumed) = Frame::decode(buf)?;
+        if consumed != buf.len() {
+            return Err(DecodeError::Trailing);
+        }
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_every_variant() {
+        let frames = [
+            Frame::beat(0, Heartbeat::plain()),
+            Frame::beat(7, Heartbeat::leave()),
+            Frame::beat(usize::from(u16::MAX), Heartbeat::plain()),
+            Frame::control(3, Command::Crash),
+            Frame::control(0, Command::Leave),
+            Frame::control(9, Command::Shutdown),
+        ];
+        for f in frames {
+            let bytes = f.encode();
+            assert_eq!(Frame::decode_datagram(&bytes), Ok(f), "{f:?}");
+            assert_eq!(Frame::decode(&bytes), Ok((f, bytes.len())));
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = Frame::beat(1, Heartbeat::plain()).encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                Frame::decode(&bytes[..cut]),
+                Err(DecodeError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_reading() {
+        let mut bytes = vec![0u8; 4];
+        bytes[..2].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(DecodeError::Oversized(usize::from(u16::MAX)))
+        );
+    }
+
+    #[test]
+    fn bad_version_kind_and_payload_are_rejected() {
+        let good = Frame::beat(1, Heartbeat::plain()).encode();
+        let mut v = good.clone();
+        v[2] = 99;
+        assert_eq!(Frame::decode(&v), Err(DecodeError::Version(99)));
+        let mut k = good.clone();
+        k[3] = 42;
+        assert_eq!(Frame::decode(&k), Err(DecodeError::Kind(42)));
+        let mut p = good.clone();
+        p[6] = 2;
+        assert_eq!(Frame::decode(&p), Err(DecodeError::Payload));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_in_datagrams() {
+        let mut bytes = Frame::beat(1, Heartbeat::plain()).encode();
+        bytes.push(0);
+        assert_eq!(Frame::decode_datagram(&bytes), Err(DecodeError::Trailing));
+        // Stream decoding, by contrast, just reports the consumed length.
+        let (f, n) = Frame::decode(&bytes).unwrap();
+        assert_eq!(f, Frame::beat(1, Heartbeat::plain()));
+        assert_eq!(n, bytes.len() - 1);
+    }
+
+    #[test]
+    fn inflated_length_prefix_is_trailing() {
+        let mut bytes = Frame::beat(1, Heartbeat::plain()).encode();
+        bytes[..2].copy_from_slice(&6u16.to_le_bytes());
+        bytes.push(0); // make the promised bytes available
+        assert_eq!(Frame::decode(&bytes), Err(DecodeError::Trailing));
+    }
+
+    #[test]
+    #[should_panic(expected = "u16 wire field")]
+    fn oversized_pid_panics_on_encode() {
+        Frame::beat(usize::from(u16::MAX) + 1, Heartbeat::plain()).encode();
+    }
+}

@@ -316,14 +316,15 @@ mod tests {
 
     #[test]
     fn multi_participant_rate_scales() {
-        let c = NaiveConfig {
-            n: 4,
-            ..cfg(10, 1)
-        };
+        let c = NaiveConfig { n: 4, ..cfg(10, 1) };
         assert!((c.message_rate() - 0.8).abs() < 1e-12);
         let mut w = NaiveWorld::new(c, 9);
         w.run_until(5_000);
         let r = w.into_report();
-        assert!((r.message_rate() - 0.8).abs() < 0.05, "{}", r.message_rate());
+        assert!(
+            (r.message_rate() - 0.8).abs() < 0.05,
+            "{}",
+            r.message_rate()
+        );
     }
 }

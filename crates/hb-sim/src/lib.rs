@@ -44,10 +44,12 @@ pub mod baseline;
 pub mod channel;
 pub mod metrics;
 pub mod scenario;
+pub mod schema;
 pub mod world;
 
 pub use baseline::{NaiveConfig, NaiveWorld};
 pub use channel::LossModel;
 pub use metrics::Report;
 pub use scenario::{run_scenario, Scenario};
+pub use schema::RunSummary;
 pub use world::World;

@@ -187,10 +187,7 @@ mod tests {
 
     #[test]
     fn lossy_scenario_records_losses() {
-        let r = run_scenario(
-            &Scenario::lossy(Variant::Binary, params(), 0.3, 2_000),
-            3,
-        );
+        let r = run_scenario(&Scenario::lossy(Variant::Binary, params(), 0.3, 2_000), 3);
         assert!(r.messages_lost > 0);
         assert!((r.loss_ratio() - 0.3).abs() < 0.15);
     }
@@ -227,8 +224,7 @@ mod tests {
             good_loss: 0.0,
             bad_loss: 1.0,
         };
-        let sc = Scenario::steady_state(Variant::Binary, params(), 3_000)
-            .with_loss_model(model);
+        let sc = Scenario::steady_state(Variant::Binary, params(), 3_000).with_loss_model(model);
         let r = run_scenario(&sc, 8);
         assert!(r.messages_lost > 0, "GE channel must drop something");
     }
@@ -236,7 +232,7 @@ mod tests {
     #[test]
     fn short_outage_is_survived_long_outage_is_fatal() {
         let p = Params::new(1, 8).unwrap(); // tolerates 3 consecutive losses
-        // An outage shorter than one round: at most one beat lost.
+                                            // An outage shorter than one round: at most one beat lost.
         let short = Scenario::steady_state(Variant::Binary, p, 2_000).with_outage(100, 104);
         let r = run_scenario(&short, 3);
         assert_eq!(r.false_inactivations, 0, "short outage must be absorbed");

@@ -1,0 +1,213 @@
+//! The JSON-lines telemetry schema shared by the simulator and the live
+//! runtime (`hb-net`).
+//!
+//! Both substrates drive the same `hb-core` state machines, so they emit
+//! the same record shapes: one flat JSON object per protocol [`Event`] and
+//! one [`RunSummary`] object per run. Keeping the schema in one place lets
+//! a live run and a simulated run of the same scenario be diffed
+//! line-by-line. No JSON dependency is available in this environment; the
+//! records are tiny and flat, so they are emitted by hand.
+
+use hb_core::trace::Event;
+use hb_core::{Pid, Status};
+
+use crate::channel::Time;
+use crate::metrics::Report;
+
+/// Format a list of `(pid, time)` pairs as a JSON array of two-element
+/// arrays, e.g. `[[1,40],[3,900]]`.
+fn pairs_json(pairs: &[(Pid, Time)]) -> String {
+    let items: Vec<String> = pairs.iter().map(|&(p, t)| format!("[{p},{t}]")).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// One protocol event as a single-line JSON object (no trailing newline).
+///
+/// Every record carries `t` (discrete time) and `ev` (the event kind);
+/// the remaining fields depend on the kind:
+///
+/// ```text
+/// {"t":10,"ev":"send","from":0,"to":1,"flag":true}
+/// {"t":12,"ev":"deliver","from":0,"to":1,"flag":true}
+/// {"t":12,"ev":"lose","from":0,"to":1}
+/// {"t":10,"ev":"timeout","pid":0}
+/// {"t":12,"ev":"crash","pid":1}
+/// {"t":38,"ev":"nv_inactivate","pid":0}
+/// {"t":600,"ev":"leave","pid":1}
+/// ```
+pub fn event_json(e: &Event) -> String {
+    match *e {
+        Event::Send { at, from, to, hb } => {
+            format!(
+                "{{\"t\":{at},\"ev\":\"send\",\"from\":{from},\"to\":{to},\"flag\":{}}}",
+                hb.flag
+            )
+        }
+        Event::Deliver { at, from, to, hb } => {
+            format!(
+                "{{\"t\":{at},\"ev\":\"deliver\",\"from\":{from},\"to\":{to},\"flag\":{}}}",
+                hb.flag
+            )
+        }
+        Event::Lose { at, from, to } => {
+            format!("{{\"t\":{at},\"ev\":\"lose\",\"from\":{from},\"to\":{to}}}")
+        }
+        Event::Timeout { at, pid } => {
+            format!("{{\"t\":{at},\"ev\":\"timeout\",\"pid\":{pid}}}")
+        }
+        Event::Crash { at, pid } => {
+            format!("{{\"t\":{at},\"ev\":\"crash\",\"pid\":{pid}}}")
+        }
+        Event::NvInactivate { at, pid } => {
+            format!("{{\"t\":{at},\"ev\":\"nv_inactivate\",\"pid\":{pid}}}")
+        }
+        Event::Leave { at, pid } => {
+            format!("{{\"t\":{at},\"ev\":\"leave\",\"pid\":{pid}}}")
+        }
+    }
+}
+
+/// The per-run summary record shared by the simulator's [`Report`] and the
+/// live runtime's cluster report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Which substrate produced the run: `"sim"` or `"live"`.
+    pub source: &'static str,
+    /// Total (discrete) run time.
+    pub duration: Time,
+    /// Messages handed to the channel (including lost ones).
+    pub messages_sent: u64,
+    /// Messages delivered.
+    pub messages_delivered: u64,
+    /// Messages lost.
+    pub messages_lost: u64,
+    /// `(pid, time)` of every voluntary crash.
+    pub crashes: Vec<(Pid, Time)>,
+    /// `(pid, time)` of every non-voluntary inactivation.
+    pub nv_inactivations: Vec<(Pid, Time)>,
+    /// `(pid, time)` of every graceful leave.
+    pub leaves: Vec<(Pid, Time)>,
+    /// Time from the first crash until every process was inactive.
+    pub detection_delay: Option<Time>,
+    /// Non-voluntary inactivations with no crash injected.
+    pub false_inactivations: u32,
+    /// Final status per process (index 0 = coordinator).
+    pub final_status: Vec<Status>,
+}
+
+impl RunSummary {
+    /// Summarize a simulator [`Report`].
+    pub fn from_report(r: &Report) -> Self {
+        RunSummary {
+            source: "sim",
+            duration: r.duration,
+            messages_sent: r.messages_sent,
+            messages_delivered: r.messages_delivered,
+            messages_lost: r.messages_lost,
+            crashes: r.crashes.clone(),
+            nv_inactivations: r.nv_inactivations.clone(),
+            leaves: r.leaves.clone(),
+            detection_delay: r.detection_delay,
+            false_inactivations: r.false_inactivations,
+            final_status: r.final_status.clone(),
+        }
+    }
+
+    /// The summary as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let statuses: Vec<String> = self
+            .final_status
+            .iter()
+            .map(|s| format!("\"{s}\""))
+            .collect();
+        let detection = match self.detection_delay {
+            Some(d) => d.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"record\":\"run_summary\",\"source\":\"{}\",\"duration\":{},\
+             \"messages_sent\":{},\"messages_delivered\":{},\"messages_lost\":{},\
+             \"crashes\":{},\"nv_inactivations\":{},\"leaves\":{},\
+             \"detection_delay\":{},\"false_inactivations\":{},\"final_status\":[{}]}}",
+            self.source,
+            self.duration,
+            self.messages_sent,
+            self.messages_delivered,
+            self.messages_lost,
+            pairs_json(&self.crashes),
+            pairs_json(&self.nv_inactivations),
+            pairs_json(&self.leaves),
+            detection,
+            self.false_inactivations,
+            statuses.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_core::trace::EventLog;
+    use hb_core::Heartbeat;
+
+    #[test]
+    fn event_records_are_flat_json() {
+        let e = Event::Send {
+            at: 10,
+            from: 0,
+            to: 1,
+            hb: Heartbeat::plain(),
+        };
+        assert_eq!(
+            event_json(&e),
+            "{\"t\":10,\"ev\":\"send\",\"from\":0,\"to\":1,\"flag\":true}"
+        );
+        let e = Event::NvInactivate { at: 38, pid: 0 };
+        assert_eq!(
+            event_json(&e),
+            "{\"t\":38,\"ev\":\"nv_inactivate\",\"pid\":0}"
+        );
+    }
+
+    #[test]
+    fn summary_round_trips_report_fields() {
+        let r = Report {
+            duration: 100,
+            messages_sent: 25,
+            messages_delivered: 20,
+            messages_lost: 5,
+            crashes: vec![(1, 40)],
+            nv_inactivations: vec![(0, 60)],
+            leaves: vec![],
+            detection_delay: Some(20),
+            false_inactivations: 0,
+            final_status: vec![Status::NvInactive, Status::Crashed],
+            log: EventLog::new(),
+        };
+        let s = RunSummary::from_report(&r);
+        assert_eq!(s.source, "sim");
+        assert_eq!(s.detection_delay, Some(20));
+        let json = s.to_json();
+        assert!(json.contains("\"crashes\":[[1,40]]"), "{json}");
+        assert!(json.contains("\"detection_delay\":20"), "{json}");
+        assert!(json.contains("\"final_status\":[\"nv-inactive\",\"crashed\"]"));
+    }
+
+    #[test]
+    fn missing_detection_is_null() {
+        let s = RunSummary {
+            source: "live",
+            duration: 0,
+            messages_sent: 0,
+            messages_delivered: 0,
+            messages_lost: 0,
+            crashes: vec![],
+            nv_inactivations: vec![],
+            leaves: vec![],
+            detection_delay: None,
+            false_inactivations: 0,
+            final_status: vec![],
+        };
+        assert!(s.to_json().contains("\"detection_delay\":null"));
+    }
+}

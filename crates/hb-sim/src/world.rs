@@ -462,7 +462,9 @@ mod tests {
             // p0 detects within its corrected bound; p1 (crashed) counts as
             // inactive immediately; add tmax slack for the round phase.
             let bound = u64::from(
-                Params::new(2, 8).unwrap().p0_bound_corrected(Variant::Binary),
+                Params::new(2, 8)
+                    .unwrap()
+                    .p0_bound_corrected(Variant::Binary),
             );
             assert!(delay <= bound, "seed {seed}: delay {delay} > {bound}");
         }

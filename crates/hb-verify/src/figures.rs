@@ -64,8 +64,16 @@ impl FigureReport {
             self.variant,
             self.params,
             self.requirement,
-            if self.replay_valid { "valid" } else { "INVALID" },
-            if self.error_reached { "reached" } else { "NOT reached" },
+            if self.replay_valid {
+                "valid"
+            } else {
+                "INVALID"
+            },
+            if self.error_reached {
+                "reached"
+            } else {
+                "NOT reached"
+            },
             self.shortest_ce_len
                 .map(|n| n.to_string())
                 .unwrap_or_else(|| "none (cell holds?)".into()),
@@ -225,7 +233,14 @@ pub fn figure11() -> FigureReport {
     r.step(HbAction::CoordTimeout); // beat out at t=10 with budget tmin=10
     r.tick(10); // in flight for the full budget: arrives due at t=20
     r.step(HbAction::RespWatchdog(1)); // tie resolved against p[1]
-    finish("Figure 11", Variant::Binary, params, Requirement::R2, r, &model)
+    finish(
+        "Figure 11",
+        Variant::Binary,
+        params,
+        Requirement::R2,
+        r,
+        &model,
+    )
 }
 
 /// Figure 12: R3 counter-example at `tmin = tmax` — `p[1]` replies on
@@ -246,7 +261,14 @@ pub fn figure12() -> FigureReport {
     r.deliver_from(0); // delivered instantly; reply inherits budget 10
     r.tick(10); // reply rides its full budget: due at t=20
     r.step(HbAction::CoordTimeout); // tie: timeout first -> silent round -> 5 < 10
-    finish("Figure 12", Variant::Binary, params, Requirement::R3, r, &model)
+    finish(
+        "Figure 12",
+        Variant::Binary,
+        params,
+        Requirement::R3,
+        r,
+        &model,
+    )
 }
 
 /// Figure 13: R2 counter-example for the expanding protocol when
@@ -329,15 +351,8 @@ mod tests {
     fn figures_fail_on_fixed_protocols() {
         // Sanity: the same cells hold under the full fix, so no BFS CE.
         let params = Params::new(10, 10).unwrap();
-        let model = build_model(
-            Variant::Binary,
-            params,
-            FixLevel::Full,
-            1,
-            Requirement::R2,
-        );
-        let ce = Checker::new(&model)
-            .find_state(|s| error_predicate(&model, Requirement::R2)(s));
+        let model = build_model(Variant::Binary, params, FixLevel::Full, 1, Requirement::R2);
+        let ce = Checker::new(&model).find_state(|s| error_predicate(&model, Requirement::R2)(s));
         assert!(ce.is_none());
     }
 }

@@ -55,4 +55,3 @@ pub mod tables;
 pub use model::{HbAction, HbModel, HbState, Msg};
 pub use requirements::{verify, verify_with_n, Requirement, Verdict};
 pub use tables::{table1, table2, table_fixed, TableReport};
-

@@ -37,10 +37,7 @@ pub fn network_crash(s: &HbState) -> bool {
 /// The goal: every network member is inactive (left participants are out
 /// of the network and may stay alive).
 pub fn network_down(s: &HbState) -> bool {
-    s.coord.status.is_inactive()
-        && s.resps
-            .iter()
-            .all(|r| r.status.is_inactive() || r.left)
+    s.coord.status.is_inactive() && s.resps.iter().all(|r| r.status.is_inactive() || r.left)
 }
 
 /// Check GM98's eventual-inactivation guarantee on one configuration.
@@ -70,8 +67,7 @@ mod tests {
         // requirement R1 fails: eventually everything dies.
         for variant in Variant::ALL {
             let params = Params::new(1, 4).unwrap();
-            let out =
-                check_eventual_inactivation(variant, params, FixLevel::Original, 1, CAP);
+            let out = check_eventual_inactivation(variant, params, FixLevel::Original, 1, CAP);
             assert!(out.holds(), "{variant}: {:?}", out.stem().map(|p| p.len()));
         }
     }
@@ -91,8 +87,7 @@ mod tests {
         // guarantee survives (the races only make inactivation spurious,
         // never avoidable).
         let params = Params::new(3, 3).unwrap();
-        let out =
-            check_eventual_inactivation(Variant::Binary, params, FixLevel::Original, 1, CAP);
+        let out = check_eventual_inactivation(Variant::Binary, params, FixLevel::Original, 1, CAP);
         assert!(out.holds());
     }
 

@@ -219,10 +219,7 @@ impl HbModel {
         let Some(bound) = self.monitor_bound else {
             return false;
         };
-        s.coord.status.is_active()
-            && s.monitors
-                .iter()
-                .any(|m| m.armed && m.since_last > bound)
+        s.coord.status.is_active() && s.monitors.iter().any(|m| m.armed && m.since_last > bound)
     }
 
     fn push_msg(channel: &mut Vec<Msg>, msg: Msg) {
@@ -301,11 +298,17 @@ impl Model for HbModel {
                 continue; // duplicate message: identical actions
             }
             seen = Some(m);
-            out.push(HbAction::Deliver { msg: *m, leave: false });
+            out.push(HbAction::Deliver {
+                msg: *m,
+                leave: false,
+            });
             if self.allow_leave && m.dst != 0 && m.hb.flag {
                 let r = &s.resps[m.dst - 1];
                 if r.status.is_active() && !r.left {
-                    out.push(HbAction::Deliver { msg: *m, leave: true });
+                    out.push(HbAction::Deliver {
+                        msg: *m,
+                        leave: true,
+                    });
                 }
             }
             if self.allow_loss {
@@ -509,12 +512,7 @@ mod tests {
     use mck::Checker;
 
     fn binary(tmin: u32, tmax: u32, fix: FixLevel) -> HbModel {
-        HbModel::new(
-            Variant::Binary,
-            Params::new(tmin, tmax).unwrap(),
-            1,
-            fix,
-        )
+        HbModel::new(Variant::Binary, Params::new(tmin, tmax).unwrap(), 1, fix)
     }
 
     #[test]
@@ -559,7 +557,9 @@ mod tests {
 
     #[test]
     fn beat_exchange_round_trip() {
-        let m = binary(2, 4, FixLevel::Original).allow_loss(false).allow_crashes(false);
+        let m = binary(2, 4, FixLevel::Original)
+            .allow_loss(false)
+            .allow_crashes(false);
         let mut s = m.initial_states().remove(0);
         for _ in 0..4 {
             s = m.next_state(&s, &HbAction::Tick).unwrap();
@@ -578,7 +578,13 @@ mod tests {
         assert_eq!(s.resps[0].waiting, 0);
         // deliver the reply: p0 records the receipt
         s = m
-            .next_state(&s, &HbAction::Deliver { msg: reply, leave: false })
+            .next_state(
+                &s,
+                &HbAction::Deliver {
+                    msg: reply,
+                    leave: false,
+                },
+            )
             .unwrap();
         assert!(s.coord.rcvd[0]);
         assert!(s.channel.is_empty());
@@ -586,7 +592,9 @@ mod tests {
 
     #[test]
     fn budget_decrements_and_forces_delivery() {
-        let m = binary(2, 4, FixLevel::Original).allow_loss(false).allow_crashes(false);
+        let m = binary(2, 4, FixLevel::Original)
+            .allow_loss(false)
+            .allow_crashes(false);
         let mut s = m.initial_states().remove(0);
         for _ in 0..4 {
             s = m.next_state(&s, &HbAction::Tick).unwrap();
@@ -624,8 +632,12 @@ mod tests {
     #[test]
     fn receive_priority_defers_timeout_to_urgent_delivery() {
         // tmin = tmax = 2: the Figure 11/12 tie in miniature.
-        let orig = binary(2, 2, FixLevel::Original).allow_loss(false).allow_crashes(false);
-        let fixed = binary(2, 2, FixLevel::Full).allow_loss(false).allow_crashes(false);
+        let orig = binary(2, 2, FixLevel::Original)
+            .allow_loss(false)
+            .allow_crashes(false);
+        let fixed = binary(2, 2, FixLevel::Full)
+            .allow_loss(false)
+            .allow_crashes(false);
         // Drive both to a state where a message with budget 0 is queued for
         // p[0] while p[0]'s timeout is due: in `orig` both actions are
         // enabled; in `fixed` only the delivery.
@@ -637,7 +649,15 @@ mod tests {
             }
             s = m.next_state(&s, &HbAction::CoordTimeout).unwrap();
             let beat = s.channel[0];
-            s = m.next_state(&s, &HbAction::Deliver { msg: beat, leave: false }).unwrap();
+            s = m
+                .next_state(
+                    &s,
+                    &HbAction::Deliver {
+                        msg: beat,
+                        leave: false,
+                    },
+                )
+                .unwrap();
             // let the reply ride for its full budget: 2 ticks to the next
             // coordinator timeout
             for _ in 0..2 {
@@ -676,7 +696,15 @@ mod tests {
         s = m.next_state(&s, &HbAction::JoinSend(1)).unwrap();
         let join = s.channel[0];
         assert_eq!((join.src, join.dst), (1, 0));
-        s = m.next_state(&s, &HbAction::Deliver { msg: join, leave: false }).unwrap();
+        s = m
+            .next_state(
+                &s,
+                &HbAction::Deliver {
+                    msg: join,
+                    leave: false,
+                },
+            )
+            .unwrap();
         assert!(s.coord.jnd[0], "join beat must register at p[0]");
         assert!(s.coord.rcvd[0]);
     }
@@ -699,7 +727,15 @@ mod tests {
         s = m.next_state(&s, &HbAction::Tick).unwrap();
         s = m.next_state(&s, &HbAction::JoinSend(1)).unwrap();
         let join = s.channel[0];
-        s = m.next_state(&s, &HbAction::Deliver { msg: join, leave: false }).unwrap();
+        s = m
+            .next_state(
+                &s,
+                &HbAction::Deliver {
+                    msg: join,
+                    leave: false,
+                },
+            )
+            .unwrap();
         assert!(s.monitors[0].armed);
         // p0 timeout broadcasts at t=4
         s = m.next_state(&s, &HbAction::Tick).unwrap();
@@ -707,12 +743,28 @@ mod tests {
         s = m.next_state(&s, &HbAction::CoordTimeout).unwrap();
         let beat = s.channel[0];
         // participant replies with a leave
-        s = m.next_state(&s, &HbAction::Deliver { msg: beat, leave: true }).unwrap();
+        s = m
+            .next_state(
+                &s,
+                &HbAction::Deliver {
+                    msg: beat,
+                    leave: true,
+                },
+            )
+            .unwrap();
         assert!(s.resps[0].left);
         let reply = s.channel[0];
         assert!(!reply.hb.flag);
         // p0 receives the leave: unjoins, acks, disarms the monitor
-        s = m.next_state(&s, &HbAction::Deliver { msg: reply, leave: false }).unwrap();
+        s = m
+            .next_state(
+                &s,
+                &HbAction::Deliver {
+                    msg: reply,
+                    leave: false,
+                },
+            )
+            .unwrap();
         assert!(!s.coord.jnd[0]);
         assert!(!s.monitors[0].armed);
         assert_eq!(s.channel.len(), 1, "leave ack in flight");
@@ -721,7 +773,9 @@ mod tests {
 
     #[test]
     fn monitor_counts_and_saturates() {
-        let m = binary(1, 2, FixLevel::Original).monitor_bound(4).allow_loss(false);
+        let m = binary(1, 2, FixLevel::Original)
+            .monitor_bound(4)
+            .allow_loss(false);
         let mut s = m.initial_states().remove(0);
         assert!(s.monitors[0].armed, "binary monitors arm at start");
         // crash p1 so nothing ever resets the monitor

@@ -170,9 +170,15 @@ impl Model for RejoinModel {
                 continue;
             }
             seen = Some(m);
-            out.push(RejoinAction::Deliver { msg: *m, leave: false });
+            out.push(RejoinAction::Deliver {
+                msg: *m,
+                leave: false,
+            });
             if m.dst != 0 && m.beat.flag {
-                out.push(RejoinAction::Deliver { msg: *m, leave: true });
+                out.push(RejoinAction::Deliver {
+                    msg: *m,
+                    leave: true,
+                });
             }
         }
         if self.may_tick(s) {
@@ -371,8 +377,7 @@ mod tests {
     #[test]
     fn epoch_rejoin_is_participant_safe() {
         let model = RejoinModel::new(params(), 1, true, 2);
-        let out =
-            Checker::new(&model).check_invariant(|s| !RejoinModel::some_participant_nv(s));
+        let out = Checker::new(&model).check_invariant(|s| !RejoinModel::some_participant_nv(s));
         assert!(out.holds(), "{:?}", out.stats());
     }
 
@@ -430,9 +435,12 @@ mod tests {
         let p = Params::new(2, 2).unwrap();
         let model = RejoinModel::new(p, 1, true, 2);
         let bound = hb_core::rejoin::RejoinRespSpec::new(p, true, 2).watchdog_bound();
-        let hit = Checker::new(&model)
-            .find_state(|s| s.resps.iter().any(|r| r.waiting + 1 >= bound));
-        assert!(hit.is_some(), "bound {bound} is never approached: too loose");
+        let hit =
+            Checker::new(&model).find_state(|s| s.resps.iter().any(|r| r.waiting + 1 >= bound));
+        assert!(
+            hit.is_some(),
+            "bound {bound} is never approached: too loose"
+        );
     }
 
     #[test]

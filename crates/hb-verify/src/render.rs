@@ -78,7 +78,10 @@ pub fn path_to_log(path: &Path<HbModel>) -> EventLog {
                     });
                 }
                 if *leave {
-                    log.push(Event::Leave { at: now, pid: msg.dst });
+                    log.push(Event::Leave {
+                        at: now,
+                        pid: msg.dst,
+                    });
                 }
             }
             HbAction::Lose(msg) => {

@@ -126,8 +126,7 @@ pub fn error_predicate(model: &HbModel, req: Requirement) -> impl Fn(&HbState) -
         // participant was inactivated earlier" is a predicate on the
         // violating state itself.
         Requirement::R3 => {
-            s.coord.status == Status::NvInactive
-                && s.resps.iter().all(|r| r.status.is_active())
+            s.coord.status == Status::NvInactive && s.resps.iter().all(|r| r.status.is_active())
         }
     }
 }
@@ -223,14 +222,24 @@ mod tests {
     #[test]
     fn r1_fails_with_small_tmin_original() {
         // 2*tmin <= tmax: the claimed 2*tmax bound is wrong (Fig 10).
-        let v = verify(Variant::Binary, p(1, 4), FixLevel::Original, Requirement::R1);
+        let v = verify(
+            Variant::Binary,
+            p(1, 4),
+            FixLevel::Original,
+            Requirement::R1,
+        );
         assert!(!v.holds);
     }
 
     #[test]
     fn r1_holds_with_large_tmin_original() {
         // 2*tmin > tmax: the claimed bound is correct.
-        let v = verify(Variant::Binary, p(3, 4), FixLevel::Original, Requirement::R1);
+        let v = verify(
+            Variant::Binary,
+            p(3, 4),
+            FixLevel::Original,
+            Requirement::R1,
+        );
         assert!(v.holds, "{:?}", v.stats);
     }
 
@@ -246,28 +255,43 @@ mod tests {
         // bound is exact, not just safe.
         let params = p(2, 4); // corrected bound = 2*tmax = 8 (2*tmin = tmax)
         let bound = r1_bound(Variant::Binary, params, FixLevel::Full);
-        let model = HbModel::new(Variant::Binary, params, 1, FixLevel::Full)
-            .monitor_bound(bound - 1);
+        let model =
+            HbModel::new(Variant::Binary, params, 1, FixLevel::Full).monitor_bound(bound - 1);
         let out = Checker::new(&model).check_invariant(|s| !model.monitor_error(s));
         assert!(!out.holds(), "corrected bound should be tight");
     }
 
     #[test]
     fn verdict_symbols() {
-        let v = verify(Variant::Binary, p(2, 4), FixLevel::Original, Requirement::R2);
+        let v = verify(
+            Variant::Binary,
+            p(2, 4),
+            FixLevel::Original,
+            Requirement::R2,
+        );
         assert_eq!(v.symbol(), "T");
     }
 
     #[test]
     fn expanding_r2_fails_when_two_tmin_ge_tmax() {
         // Figure 13 in miniature: tmin=2, tmax=4, 2*tmin >= tmax.
-        let v = verify(Variant::Expanding, p(2, 4), FixLevel::Original, Requirement::R2);
+        let v = verify(
+            Variant::Expanding,
+            p(2, 4),
+            FixLevel::Original,
+            Requirement::R2,
+        );
         assert!(!v.holds);
     }
 
     #[test]
     fn expanding_r2_holds_when_two_tmin_lt_tmax() {
-        let v = verify(Variant::Expanding, p(1, 4), FixLevel::Original, Requirement::R2);
+        let v = verify(
+            Variant::Expanding,
+            p(1, 4),
+            FixLevel::Original,
+            Requirement::R2,
+        );
         assert!(v.holds, "{:?}", v.stats);
     }
 

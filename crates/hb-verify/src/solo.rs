@@ -424,7 +424,10 @@ mod tests {
         // deterministic: no duplicate (src, label) pairs
         let mut seen = std::collections::HashSet::new();
         for (s, l, _) in &lts.transitions {
-            assert!(seen.insert((*s, l.clone())), "nondeterminism after subset construction");
+            assert!(
+                seen.insert((*s, l.clone())),
+                "nondeterminism after subset construction"
+            );
         }
     }
 

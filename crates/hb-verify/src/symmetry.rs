@@ -154,10 +154,7 @@ mod tests {
         let sym = Symmetric::new(&m, canonical);
         let full = Checker::new(&m).check_invariant(|_| true).stats().states;
         let reduced = Checker::new(&sym).check_invariant(|_| true).stats().states;
-        assert!(
-            reduced < full,
-            "no reduction: {reduced} vs {full} states"
-        );
+        assert!(reduced < full, "no reduction: {reduced} vs {full} states");
     }
 
     #[test]

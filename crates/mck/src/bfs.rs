@@ -147,24 +147,23 @@ impl<'a, M: Model> Checker<'a, M> {
         let mut depth_of: Vec<usize> = Vec::new();
         let mut queue: VecDeque<usize> = VecDeque::new();
 
-        let intern =
-            |s: M::State,
-             par: Option<(usize, M::Action)>,
-             d: usize,
-             states: &mut Vec<M::State>,
-             index: &mut HashMap<M::State, usize>,
-             parent: &mut Vec<Option<(usize, M::Action)>>,
-             depth_of: &mut Vec<usize>| {
-                if let Some(&id) = index.get(&s) {
-                    return (id, false);
-                }
-                let id = states.len();
-                index.insert(s.clone(), id);
-                states.push(s);
-                parent.push(par);
-                depth_of.push(d);
-                (id, true)
-            };
+        let intern = |s: M::State,
+                      par: Option<(usize, M::Action)>,
+                      d: usize,
+                      states: &mut Vec<M::State>,
+                      index: &mut HashMap<M::State, usize>,
+                      parent: &mut Vec<Option<(usize, M::Action)>>,
+                      depth_of: &mut Vec<usize>| {
+            if let Some(&id) = index.get(&s) {
+                return (id, false);
+            }
+            let id = states.len();
+            index.insert(s.clone(), id);
+            states.push(s);
+            parent.push(par);
+            depth_of.push(d);
+            (id, true)
+        };
 
         for init in self.model.initial_states() {
             let (id, fresh) = intern(

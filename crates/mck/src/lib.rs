@@ -14,7 +14,7 @@
 //!   shortest counterexample reconstruction.
 //! * [`dfs`] — depth-first and iterative-deepening exploration for
 //!   memory-constrained runs, plus deadlock detection.
-//! * [`parallel`] — frontier-parallel BFS over all cores (crossbeam).
+//! * [`parallel`] — frontier-parallel BFS over all cores (scoped threads).
 //! * [`sim`] — random-walk exploration (smoke tests, property-based tests).
 //! * [`graph`] — exhaustive state-graph construction, statistics and DOT
 //!   export.

@@ -317,11 +317,7 @@ mod tests {
     fn bisim_distinguishes_branching() {
         // classic: a.(b+c) vs a.b + a.c are trace equivalent but not bisimilar
         let spec = lts(4, 0, &[(0, "a", 1), (1, "b", 2), (1, "c", 3)]);
-        let impl_ = lts(
-            6,
-            0,
-            &[(0, "a", 1), (0, "a", 2), (1, "b", 3), (2, "c", 4)],
-        );
+        let impl_ = lts(6, 0, &[(0, "a", 1), (0, "a", 2), (1, "b", 3), (2, "c", 4)]);
         let ms = spec.minimize_bisim();
         let mi = impl_.minimize_bisim();
         assert_ne!(ms.num_states, mi.num_states);

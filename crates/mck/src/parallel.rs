@@ -1,16 +1,15 @@
 //! Frontier-parallel BFS over all cores.
 //!
 //! Level-synchronous parallel breadth-first search: each BFS level is split
-//! across worker threads (crossbeam scoped threads); the visited set is
-//! sharded behind `parking_lot` mutexes. Preserves the shortest-
-//! counterexample guarantee *per level* (a violation is reported from the
-//! shallowest level containing one).
+//! across scoped worker threads (`std::thread::scope`); the visited set is
+//! sharded behind mutexes. Preserves the shortest-counterexample guarantee
+//! *per level* (a violation is reported from the shallowest level
+//! containing one).
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::bfs::{CheckOutcome, Stats};
 use crate::model::Model;
@@ -86,12 +85,12 @@ where
         let mut frontier: Vec<M::State> = Vec::new();
         for init in self.model.initial_states() {
             let shard = shard_of(&init);
-            let mut guard = visited[shard].lock();
+            let mut guard = visited[shard].lock().unwrap();
             if !guard.contains_key(&init) {
                 guard.insert(init.clone(), None);
                 states_count.fetch_add(1, Ordering::Relaxed);
                 if !invariant(&init) {
-                    *violation.lock() = Some(init.clone());
+                    *violation.lock().unwrap() = Some(init.clone());
                     found.store(true, Ordering::SeqCst);
                 }
                 frontier.push(init);
@@ -116,9 +115,9 @@ where
             let states_count_ref = &states_count;
             let transitions_count_ref = &transitions_count;
             let invariant_ref = &invariant;
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 for work in frontier.chunks(chunk.max(1)) {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut local_next = Vec::new();
                         let mut acts = Vec::new();
                         for cur in work {
@@ -133,7 +132,7 @@ where
                                 };
                                 transitions_count_ref.fetch_add(1, Ordering::Relaxed);
                                 let shard = shard_of(&next);
-                                let mut guard = visited_ref[shard].lock();
+                                let mut guard = visited_ref[shard].lock().unwrap();
                                 if guard.contains_key(&next) {
                                     continue;
                                 }
@@ -141,7 +140,7 @@ where
                                 drop(guard);
                                 states_count_ref.fetch_add(1, Ordering::Relaxed);
                                 if !invariant_ref(&next) {
-                                    let mut v = violation_ref.lock();
+                                    let mut v = violation_ref.lock().unwrap();
                                     if v.is_none() {
                                         *v = Some(next.clone());
                                     }
@@ -150,13 +149,12 @@ where
                                 local_next.push(next);
                             }
                         }
-                        next_frontier_ref.lock().extend(local_next);
+                        next_frontier_ref.lock().unwrap().extend(local_next);
                     });
                 }
-            })
-            .expect("worker thread panicked");
+            });
 
-            frontier = next_frontier.into_inner();
+            frontier = next_frontier.into_inner().unwrap();
         }
 
         let stats = Stats {
@@ -166,14 +164,14 @@ where
             truncated: truncated.load(Ordering::Relaxed),
         };
 
-        let bad = violation.into_inner();
+        let bad = violation.into_inner().unwrap();
         if let Some(bad) = bad {
             // Rebuild the path by walking parent links through the shards.
             let mut rev: Vec<(M::Action, M::State)> = Vec::new();
             let mut cur = bad;
             loop {
                 let shard = shard_of(&cur);
-                let guard = visited[shard].lock();
+                let guard = visited[shard].lock().unwrap();
                 match guard.get(&cur).cloned().flatten() {
                     Some((parent, action)) => {
                         drop(guard);
@@ -234,7 +232,9 @@ mod tests {
     fn parallel_matches_sequential_state_count() {
         let m = Grid3(6);
         let seq = Checker::new(&m).check_invariant(|_| true);
-        let par = ParallelChecker::new(&m).threads(4).check_invariant(|_| true);
+        let par = ParallelChecker::new(&m)
+            .threads(4)
+            .check_invariant(|_| true);
         assert!(seq.holds() && par.holds());
         assert_eq!(seq.stats().states, par.stats().states);
     }

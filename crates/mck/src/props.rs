@@ -117,23 +117,22 @@ pub fn check_all<M: Model>(
     let mut violations: Vec<Option<Path<M>>> = properties.iter().map(|_| None).collect();
     let mut open = properties.len();
 
-    let rebuild = |states: &Vec<M::State>,
-                   parent: &Vec<Option<(usize, M::Action)>>,
-                   mut id: usize| {
-        let mut rev = Vec::new();
-        while let Some((pid, a)) = &parent[id] {
-            rev.push((a.clone(), states[id].clone()));
-            id = *pid;
-        }
-        rev.reverse();
-        Path::from_steps(states[id].clone(), rev)
-    };
+    let rebuild =
+        |states: &Vec<M::State>, parent: &Vec<Option<(usize, M::Action)>>, mut id: usize| {
+            let mut rev = Vec::new();
+            while let Some((pid, a)) = &parent[id] {
+                rev.push((a.clone(), states[id].clone()));
+                id = *pid;
+            }
+            rev.reverse();
+            Path::from_steps(states[id].clone(), rev)
+        };
 
     let visit = |id: usize,
-                     states: &Vec<M::State>,
-                     parent: &Vec<Option<(usize, M::Action)>>,
-                     violations: &mut Vec<Option<Path<M>>>,
-                     open: &mut usize| {
+                 states: &Vec<M::State>,
+                 parent: &Vec<Option<(usize, M::Action)>>,
+                 violations: &mut Vec<Option<Path<M>>>,
+                 open: &mut usize| {
         for (pi, prop) in properties.iter().enumerate() {
             if violations[pi].is_none() && !(prop.invariant)(&states[id]) {
                 violations[pi] = Some(rebuild(states, parent, id));

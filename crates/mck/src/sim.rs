@@ -121,10 +121,7 @@ where
             }
         }
     }
-    WalkOutcome::NoViolationFound {
-        walks,
-        steps,
-    }
+    WalkOutcome::NoViolationFound { walks, steps }
 }
 
 #[cfg(test)]

@@ -1,0 +1,427 @@
+//! A std-only, dependency-free stand-in for the parts of `proptest` this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! replaces the real `proptest` with this path crate. It provides the
+//! [`Strategy`] abstraction (ranges, tuples, [`Just`], [`prop::sample::select`],
+//! [`prop::collection::vec`], [`any`], `prop_map`, [`prop_oneof!`]), the
+//! [`proptest!`] test macro and the `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!` family.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports
+//! the generated inputs verbatim) and a fixed deterministic seed per test
+//! process, so failures are reproducible by re-running the test.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SampleUniform, SeedableRng};
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f` (mirrors `proptest`'s
+    /// `Strategy::prop_map`).
+    fn prop_map<U: fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<T: SampleUniform + fmt::Debug> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform + fmt::Debug> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<V: fmt::Debug> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical full-range strategy (see [`any`]).
+pub trait Arbitrary: fmt::Debug + Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct ArbStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for ArbStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> ArbStrategy<T> {
+    ArbStrategy(PhantomData)
+}
+
+/// Box a strategy for use in heterogeneous unions ([`prop_oneof!`]).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// A uniform choice among boxed strategies (built by [`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V: fmt::Debug> Union<V> {
+    /// Build a union; panics if `arms` is empty.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V: fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Sub-strategies under the `prop::` path, as in the real crate.
+pub mod prop {
+    /// Sampling from explicit value sets.
+    pub mod sample {
+        use super::super::*;
+
+        /// A strategy drawing uniformly from a fixed set.
+        pub struct Select<T: Clone + fmt::Debug>(Vec<T>);
+
+        impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut StdRng) -> T {
+                self.0[rng.gen_range(0..self.0.len())].clone()
+            }
+        }
+
+        /// Choose uniformly from `items` (mirrors `prop::sample::select`).
+        ///
+        /// # Panics
+        ///
+        /// Panics if `items` is empty.
+        pub fn select<T: Clone + fmt::Debug>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "select needs at least one item");
+            Select(items)
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::*;
+
+        /// A strategy for vectors with element strategy `S`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let n = rng.gen_range(self.len.clone());
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Vectors of `element` with length drawn from `len` (mirrors
+        /// `prop::collection::vec`).
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+    }
+}
+
+/// Per-test configuration (only the case count is honoured).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; try other inputs.
+    Reject,
+    /// `prop_assert!`-family failure.
+    Fail(String),
+}
+
+/// Test-runner plumbing used by the [`proptest!`] expansion; not part of
+/// the public API of the real crate.
+pub fn run_cases<F>(cfg: ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> (String, Result<(), TestCaseError>),
+{
+    let mut rng = StdRng::seed_from_u64(0x70_72_6F_70_74_65_73_74); // "proptest"
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < cfg.cases {
+        let (inputs, outcome) = case(&mut rng);
+        match outcome {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= 16 * cfg.cases + 1024,
+                    "prop_assume! rejected too many cases ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest case failed: {msg}\n    inputs: {inputs}")
+            }
+        }
+    }
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases($cfg, |__rng| {
+                let mut __inputs = ::std::string::String::new();
+                $(
+                    let __val = $crate::Strategy::generate(&$strat, __rng);
+                    __inputs.push_str(&::std::format!(
+                        ::std::concat!(::std::stringify!($arg), " = {:?}; "),
+                        &__val
+                    ));
+                    let $arg = __val;
+                )+
+                let __outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                (__inputs, __outcome)
+            });
+        }
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+}
+
+/// `assert!` for property bodies: fails the case instead of panicking
+/// directly, so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l != __r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n    left: {:?}\n   right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// A strategy choosing among the given arms uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($arm)),+])
+    };
+}
+
+/// The common imports, as in the real crate.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 1u32..=16, (a, b) in (0u8..4, any::<bool>())) {
+            prop_assert!((1..=16).contains(&x));
+            prop_assert!(a < 4);
+            let _ = b;
+        }
+
+        #[test]
+        fn mapping_and_collections(
+            v in prop::collection::vec((0u32..10).prop_map(|n| n * 2), 0..8),
+        ) {
+            prop_assert!(v.len() < 8);
+            prop_assert!(v.iter().all(|n| n % 2 == 0 && *n < 20));
+        }
+
+        #[test]
+        fn assume_filters(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn oneof_and_select(
+            pick in prop_oneof![Just(1u8), Just(2u8), (3u8..=9).prop_map(|v| v)],
+            sel in prop::sample::select(vec!["a", "b"]),
+        ) {
+            prop_assert!((1..=9).contains(&pick));
+            prop_assert!(sel == "a" || sel == "b");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failures_report_inputs() {
+        crate::run_cases(ProptestConfig::with_cases(8), |rng| {
+            let x = crate::Strategy::generate(&(0u32..10), rng);
+            let outcome = (|| -> Result<(), crate::TestCaseError> {
+                prop_assert!(x > 100, "x was {x}");
+                Ok(())
+            })();
+            (format!("x = {x:?}"), outcome)
+        });
+    }
+}

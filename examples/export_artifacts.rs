@@ -47,6 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.transitions,
         stats.diameter
     );
-    println!("\nrender with e.g.: dot -Tsvg {}/figure1_p0.dot -o figure1.svg", out_dir.display());
+    println!(
+        "\nrender with e.g.: dot -Tsvg {}/figure1_p0.dot -o figure1.svg",
+        out_dir.display()
+    );
     Ok(())
 }

@@ -29,12 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("accelerated heartbeat vs naive fixed-period heartbeat (tmin = {tmin})\n");
     println!(
         "{:>6} {:>12} {:>12} {:>12} | {:>14} {:>14}",
-        "tmax",
-        "acc rate",
-        "acc detect",
-        "acc losses",
-        "naive@detect",
-        "naive@losses"
+        "tmax", "acc rate", "acc detect", "acc losses", "naive@detect", "naive@losses"
     );
     println!("{}", "-".repeat(80));
 

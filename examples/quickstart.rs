@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("{}", report.log.render_chart(1));
     println!("messages sent      : {}", report.messages_sent);
-    println!("message rate       : {:.3} msgs/unit", report.message_rate());
+    println!(
+        "message rate       : {:.3} msgs/unit",
+        report.message_rate()
+    );
     match report.detection_delay {
         Some(d) => println!("crash detected in  : {d} time units"),
         None => println!("crash not detected within the horizon"),

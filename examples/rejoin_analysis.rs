@@ -21,10 +21,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let grid = rejoin_results(params);
     println!("verdicts (exhaustive, fault-free):");
-    println!("  naive rejoin : participants {}, coordinator {}",
-        ok(grid.naive_participant_safe), ok(grid.naive_coordinator_safe));
-    println!("  epoch-tagged : participants {}, coordinator {}",
-        ok(grid.epoch_participant_safe), ok(grid.epoch_coordinator_safe));
+    println!(
+        "  naive rejoin : participants {}, coordinator {}",
+        ok(grid.naive_participant_safe),
+        ok(grid.naive_coordinator_safe)
+    );
+    println!(
+        "  epoch-tagged : participants {}, coordinator {}",
+        ok(grid.epoch_participant_safe),
+        ok(grid.epoch_coordinator_safe)
+    );
 
     let model = RejoinModel::new(params, 1, false, 2);
     if let Some(ce) = Checker::new(&model).find_state(RejoinModel::coordinator_nv) {

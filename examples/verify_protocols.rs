@@ -17,7 +17,9 @@ use accelerated_heartbeat::verify::render::path_to_log;
 use accelerated_heartbeat::verify::{verify, Requirement};
 
 fn parse_variant(name: &str) -> Option<Variant> {
-    Variant::ALL.into_iter().find(|v| v.name().starts_with(name))
+    Variant::ALL
+        .into_iter()
+        .find(|v| v.name().starts_with(name))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -17,6 +17,9 @@
 //! * [`verify`] (`hb-verify`) — the composed timed models, the requirements
 //!   R1–R3, and the verification campaign regenerating the paper's tables
 //!   and counter-example figures.
+//! * [`net`] (`hb-net`) — a live runtime: wire codec, loopback and UDP
+//!   transports, wall/virtual time sources, and a deadline-driven node
+//!   event loop running the unmodified machines in real time.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +48,7 @@
 //! ```
 
 pub use hb_core as core;
+pub use hb_net as net;
 pub use hb_sim as sim;
 pub use hb_verify as verify;
 pub use mck;

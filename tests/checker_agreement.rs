@@ -16,7 +16,13 @@ use rand::SeedableRng;
 fn engines_agree_on_state_counts() {
     for (tmin, tmax) in [(1u32, 3u32), (2, 4), (3, 3)] {
         let params = Params::new(tmin, tmax).unwrap();
-        let model = build_model(Variant::Binary, params, FixLevel::Original, 1, Requirement::R2);
+        let model = build_model(
+            Variant::Binary,
+            params,
+            FixLevel::Original,
+            1,
+            Requirement::R2,
+        );
         let seq = Checker::new(&model).check_invariant(|_| true);
         let par = ParallelChecker::new(&model)
             .threads(4)
@@ -35,7 +41,13 @@ fn engines_agree_on_state_counts() {
 #[test]
 fn engines_agree_on_verdicts_with_faults() {
     let params = Params::new(2, 4).unwrap();
-    let model = build_model(Variant::Binary, params, FixLevel::Original, 1, Requirement::R1);
+    let model = build_model(
+        Variant::Binary,
+        params,
+        FixLevel::Original,
+        1,
+        Requirement::R1,
+    );
     let goal = |s: &_| error_predicate(&model, Requirement::R1)(s);
     let seq = Checker::new(&model).find_state(goal);
     let dfs = Dfs::new(&model).find(goal);
@@ -54,7 +66,13 @@ fn random_walks_stay_within_the_reachable_set() {
     // Every state a random walk visits must be in the exhaustive set —
     // cheap sanity that walker and checker share transition semantics.
     let params = Params::new(2, 3).unwrap();
-    let model = build_model(Variant::Binary, params, FixLevel::Original, 1, Requirement::R2);
+    let model = build_model(
+        Variant::Binary,
+        params,
+        FixLevel::Original,
+        1,
+        Requirement::R2,
+    );
     let graph = mck::graph::StateGraph::explore(&model, usize::MAX);
     let all: std::collections::HashSet<_> = graph.states.iter().cloned().collect();
     let mut rng = StdRng::seed_from_u64(11);
@@ -70,7 +88,13 @@ fn random_walks_stay_within_the_reachable_set() {
 fn iterative_deepening_matches_bfs_depth() {
     // tmin = tmax: the regime where R3 is actually violated (Fig 12).
     let params = Params::new(4, 4).unwrap();
-    let model = build_model(Variant::Binary, params, FixLevel::Original, 1, Requirement::R3);
+    let model = build_model(
+        Variant::Binary,
+        params,
+        FixLevel::Original,
+        1,
+        Requirement::R3,
+    );
     let goal = |s: &<accelerated_heartbeat::verify::HbModel as Model>::State| {
         error_predicate(&model, Requirement::R3)(s)
     };
@@ -130,7 +154,13 @@ fn multi_property_pass_agrees_with_dedicated_checks() {
     use mck::props::{check_all, Property};
 
     let params = Params::new(4, 4).unwrap();
-    let model = build_model(Variant::Binary, params, FixLevel::Original, 1, Requirement::R2);
+    let model = build_model(
+        Variant::Binary,
+        params,
+        FixLevel::Original,
+        1,
+        Requirement::R2,
+    );
     let report = check_all(
         &model,
         vec![

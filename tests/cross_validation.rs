@@ -142,6 +142,9 @@ fn sim_and_model_agree_on_the_tmin_eq_tmax_race() {
     for seed in 0..400 {
         let sc = Scenario::steady_state(Variant::Binary, params, 400).with_fix(FixLevel::Full);
         let report = run_scenario(&sc, seed);
-        assert!(report.nv_inactivations.is_empty(), "fixed race at seed {seed}");
+        assert!(
+            report.nv_inactivations.is_empty(),
+            "fixed race at seed {seed}"
+        );
     }
 }

@@ -26,13 +26,7 @@ fn liveness_holds_while_bounded_r1_fails_same_configuration() {
         Requirement::R1,
     );
     assert!(!r1.holds, "the timed bound is wrong");
-    let live = check_eventual_inactivation(
-        Variant::Binary,
-        params,
-        FixLevel::Original,
-        1,
-        1 << 22,
-    );
+    let live = check_eventual_inactivation(Variant::Binary, params, FixLevel::Original, 1, 1 << 22);
     assert!(live.holds(), "the untimed eventuality is sound");
 }
 
@@ -55,7 +49,13 @@ fn symmetry_preserves_r2_verdict_at_the_race_point() {
     // tmin = tmax: R2 is violated; the quotient must find it too, at the
     // same depth.
     let params = Params::new(3, 3).unwrap();
-    let model = build_model(Variant::Static, params, FixLevel::Original, 2, Requirement::R2);
+    let model = build_model(
+        Variant::Static,
+        params,
+        FixLevel::Original,
+        2,
+        Requirement::R2,
+    );
     let pred = error_predicate(&model, Requirement::R2);
     let full = Checker::new(&model).find_state(&pred).expect("violated");
     let sym = Symmetric::new(&model, canonical);
@@ -87,8 +87,7 @@ fn epoch_rejoin_network_still_detects_crashes() {
     // coordinator's acceleration logic is the same code path — plus the
     // rejoin model's own deadlock freedom.)
     let params = Params::new(2, 4).unwrap();
-    let live =
-        check_eventual_inactivation(Variant::Dynamic, params, FixLevel::Full, 1, 1 << 22);
+    let live = check_eventual_inactivation(Variant::Dynamic, params, FixLevel::Full, 1, 1 << 22);
     assert!(live.holds());
     let model = RejoinModel::new(params, 1, true, 2);
     let graph = mck::graph::StateGraph::explore(&model, 1 << 21);

@@ -51,9 +51,15 @@ fn figure11_shape() {
     let f = figure11();
     let events = f.log.events();
     // exactly one coordinator beat, delivered never; p[1] dies at 20
-    assert!(events
-        .iter()
-        .any(|e| matches!(e, Event::Send { from: 0, to: 1, at: 10, .. })));
+    assert!(events.iter().any(|e| matches!(
+        e,
+        Event::Send {
+            from: 0,
+            to: 1,
+            at: 10,
+            ..
+        }
+    )));
     assert!(events
         .iter()
         .any(|e| matches!(e, Event::NvInactivate { pid: 1, at: 20 })));
@@ -66,9 +72,15 @@ fn figure12_shape() {
     let f = figure12();
     let events = f.log.events();
     // p[1] replied on time, yet p[0] dies at 20 with p[1] alive
-    assert!(events
-        .iter()
-        .any(|e| matches!(e, Event::Send { from: 1, to: 0, at: 10, .. })));
+    assert!(events.iter().any(|e| matches!(
+        e,
+        Event::Send {
+            from: 1,
+            to: 0,
+            at: 10,
+            ..
+        }
+    )));
     assert!(events
         .iter()
         .any(|e| matches!(e, Event::NvInactivate { pid: 0, at: 20 })));
@@ -85,15 +97,23 @@ fn figure13_shape() {
     let join_sends: Vec<u64> = events
         .iter()
         .filter_map(|e| match e {
-            Event::Send { from: 1, to: 0, at, .. } => Some(*at),
+            Event::Send {
+                from: 1, to: 0, at, ..
+            } => Some(*at),
             _ => None,
         })
         .collect();
     assert_eq!(join_sends, vec![5, 10, 15, 20]);
     // p[0]'s first useful broadcast only at 2*tmax...
-    assert!(events
-        .iter()
-        .any(|e| matches!(e, Event::Send { from: 0, to: 1, at: 20, .. })));
+    assert!(events.iter().any(|e| matches!(
+        e,
+        Event::Send {
+            from: 0,
+            to: 1,
+            at: 20,
+            ..
+        }
+    )));
     // ...and p[1] gives up exactly at 3*tmax - tmin = 25.
     assert!(events
         .iter()

@@ -50,8 +50,9 @@ fn corrected_r1_bounds_are_tight() {
         for (tmin, tmax) in [(1u32, 4u32), (2, 4)] {
             let params = Params::new(tmin, tmax).unwrap();
             let bound = r1_bound(variant, params, FixLevel::Full);
-            let model = accelerated_heartbeat::verify::HbModel::new(variant, params, 1, FixLevel::Full)
-                .monitor_bound(bound - 1);
+            let model =
+                accelerated_heartbeat::verify::HbModel::new(variant, params, 1, FixLevel::Full)
+                    .monitor_bound(bound - 1);
             let out = Checker::new(&model).check_invariant(|s| !model.monitor_error(s));
             assert!(
                 !out.holds(),
@@ -95,12 +96,24 @@ fn receive_priority_alone_is_not_sufficient() {
     }
     let p14 = Params::new(1, 4).unwrap();
     assert!(
-        !verify(Variant::Binary, p14, FixLevel::ReceivePriority, Requirement::R1).holds,
+        !verify(
+            Variant::Binary,
+            p14,
+            FixLevel::ReceivePriority,
+            Requirement::R1
+        )
+        .holds,
         "priority alone cannot repair R1"
     );
     let p9 = Params::new(9, 10).unwrap();
     assert!(
-        !verify(Variant::Expanding, p9, FixLevel::ReceivePriority, Requirement::R2).holds,
+        !verify(
+            Variant::Expanding,
+            p9,
+            FixLevel::ReceivePriority,
+            Requirement::R2
+        )
+        .holds,
         "priority alone cannot repair the expanding join window"
     );
 }
@@ -110,12 +123,24 @@ fn corrected_bounds_alone_are_not_sufficient() {
     // The simultaneity races survive if only the bounds are fixed.
     let p = Params::new(10, 10).unwrap();
     assert!(
-        !verify(Variant::Binary, p, FixLevel::CorrectedBounds, Requirement::R3).holds,
+        !verify(
+            Variant::Binary,
+            p,
+            FixLevel::CorrectedBounds,
+            Requirement::R3
+        )
+        .holds,
         "bounds alone cannot repair the Fig 12 race"
     );
     let p5 = Params::new(5, 10).unwrap();
     assert!(
-        !verify(Variant::Expanding, p5, FixLevel::CorrectedBounds, Requirement::R2).holds,
+        !verify(
+            Variant::Expanding,
+            p5,
+            FixLevel::CorrectedBounds,
+            Requirement::R2
+        )
+        .holds,
         "bounds alone cannot repair the Fig 13 race"
     );
 }

@@ -23,7 +23,13 @@ fn static_n2_matches_n1_verdicts_on_r2_r3() {
 fn expanding_n2_matches_n1_verdicts_on_r2() {
     for (tmin, tmax, expected) in [(4u32, 10u32, true), (5, 10, false)] {
         let params = Params::new(tmin, tmax).unwrap();
-        let v = verify_with_n(Variant::Expanding, params, FixLevel::Original, Requirement::R2, 2);
+        let v = verify_with_n(
+            Variant::Expanding,
+            params,
+            FixLevel::Original,
+            Requirement::R2,
+            2,
+        );
         assert_eq!(v.holds, expected, "expanding n=2 R2 at tmin={tmin}");
     }
 }
@@ -40,7 +46,13 @@ fn dynamic_n2_fixed_passes_r2_r3() {
 #[test]
 fn static_n3_r3_holds_below_tmax() {
     let params = Params::new(2, 4).unwrap();
-    let v = verify_with_n(Variant::Static, params, FixLevel::Original, Requirement::R3, 3);
+    let v = verify_with_n(
+        Variant::Static,
+        params,
+        FixLevel::Original,
+        Requirement::R3,
+        3,
+    );
     assert!(v.holds, "{:?}", v.stats);
 }
 
@@ -49,9 +61,15 @@ fn static_n2_one_crash_still_brings_down_coordinator() {
     // The GM98 goal with several participants: one participant's crash
     // eventually inactivates p[0] even though the other keeps replying.
     let params = Params::new(1, 4).unwrap();
-    let model = build_model(Variant::Static, params, FixLevel::Original, 2, Requirement::R2)
-        .allow_crashes(false)
-        .crashable(1, true);
+    let model = build_model(
+        Variant::Static,
+        params,
+        FixLevel::Original,
+        2,
+        Requirement::R2,
+    )
+    .allow_crashes(false)
+    .crashable(1, true);
     let path = Checker::new(&model).find_state(|s| s.coord.status == Status::NvInactive);
     assert!(
         path.is_some(),
@@ -71,12 +89,17 @@ fn expanding_coordinator_only_dies_because_of_a_joined_participant() {
     // non-voluntary inactivation — but never by a participant it has not
     // heard from: `p[0] NV-inactive` implies some participant had joined.
     let params = Params::new(2, 4).unwrap();
-    let model = build_model(Variant::Expanding, params, FixLevel::Full, 2, Requirement::R3)
-        .allow_crashes(true)
-        .allow_loss(true);
-    let bad = Checker::new(&model).find_state(|s| {
-        s.coord.status == Status::NvInactive && s.coord.jnd.iter().all(|j| !j)
-    });
+    let model = build_model(
+        Variant::Expanding,
+        params,
+        FixLevel::Full,
+        2,
+        Requirement::R3,
+    )
+    .allow_crashes(true)
+    .allow_loss(true);
+    let bad = Checker::new(&model)
+        .find_state(|s| s.coord.status == Status::NvInactive && s.coord.jnd.iter().all(|j| !j));
     assert!(
         bad.is_none(),
         "p[0] inactivated without any joined participant"

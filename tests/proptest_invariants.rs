@@ -6,8 +6,7 @@ use accelerated_heartbeat::core::{FixLevel, Heartbeat, Params, Status, Variant};
 use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = Params> {
-    (1u32..=16, 0u32..=48)
-        .prop_map(|(tmin, extra)| Params::new(tmin, tmin + extra).expect("valid"))
+    (1u32..=16, 0u32..=48).prop_map(|(tmin, extra)| Params::new(tmin, tmin + extra).expect("valid"))
 }
 
 fn arb_variant() -> impl Strategy<Value = Variant> {

@@ -1,0 +1,116 @@
+//! Wire-codec properties: every frame round-trips byte-exactly, and no
+//! truncated, oversized or corrupted input can make the decoder panic.
+
+use accelerated_heartbeat::core::Heartbeat;
+use accelerated_heartbeat::net::wire::{Command, DecodeError, Frame};
+use proptest::prelude::*;
+
+/// Any encodable frame: beats with both heartbeat flags and all control
+/// commands, over the full pid range of the wire format.
+fn any_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (0usize..=u16::MAX as usize, any::<bool>()).prop_map(|(src, flag)| {
+            let hb = if flag {
+                Heartbeat::leave()
+            } else {
+                Heartbeat::plain()
+            };
+            Frame::beat(src, hb)
+        }),
+        (0usize..=u16::MAX as usize, 0u8..3).prop_map(|(src, c)| {
+            let cmd = match c {
+                0 => Command::Crash,
+                1 => Command::Leave,
+                _ => Command::Shutdown,
+            };
+            Frame::control(src, cmd)
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn every_frame_round_trips(frame in any_frame()) {
+        let bytes = frame.encode();
+        let (decoded, used) = Frame::decode(&bytes).expect("own encoding must decode");
+        prop_assert_eq!(decoded, frame);
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(Frame::decode_datagram(&bytes).expect("datagram"), frame);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_without_panic(frame in any_frame()) {
+        let bytes = frame.encode();
+        for cut in 0..bytes.len() {
+            match Frame::decode(&bytes[..cut]) {
+                Err(DecodeError::Truncated) => {}
+                other => prop_assert!(false, "cut {} gave {:?}", cut, other),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_fails_datagrams_but_not_streams(
+        frame in any_frame(),
+        extra in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let mut bytes = frame.encode();
+        let clean_len = bytes.len();
+        bytes.extend_from_slice(&extra);
+        // Stream decoding consumes exactly one frame and reports its length...
+        let (decoded, used) = Frame::decode(&bytes).expect("prefix intact");
+        prop_assert_eq!(decoded, frame);
+        prop_assert_eq!(used, clean_len);
+        // ...while datagram decoding insists the frame fills the packet.
+        prop_assert_eq!(Frame::decode_datagram(&bytes), Err(DecodeError::Trailing));
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(
+        bytes in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Any outcome is fine; panicking or reading out of bounds is not.
+        let _ = Frame::decode(&bytes);
+        let _ = Frame::decode_datagram(&bytes);
+    }
+
+    #[test]
+    fn corrupting_one_byte_never_panics_and_never_misdecodes_src(
+        frame in any_frame(),
+        pos in 0usize..7,
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = frame.encode();
+        prop_assume!(pos < bytes.len());
+        bytes[pos] ^= xor;
+        if let Ok((decoded, _)) = Frame::decode(&bytes) {
+            // A surviving decode is only acceptable if it reproduces its
+            // own encoding (the codec stays canonical under corruption).
+            prop_assert_eq!(decoded.encode(), bytes);
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected(len in 65u16..=u16::MAX) {
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.resize(16, 0);
+        prop_assert_eq!(Frame::decode(&bytes), Err(DecodeError::Oversized(len as usize)));
+    }
+}
+
+/// The proptest! shim needs `Arbitrary` for u8; exercise the boundary
+/// frames explicitly so the corner cases never depend on random draws.
+#[test]
+fn boundary_pids_round_trip() {
+    for src in [0, 1, usize::from(u16::MAX)] {
+        for frame in [
+            Frame::beat(src, Heartbeat::plain()),
+            Frame::beat(src, Heartbeat::leave()),
+            Frame::control(src, Command::Shutdown),
+        ] {
+            assert_eq!(Frame::decode_datagram(&frame.encode()), Ok(frame));
+        }
+    }
+}
