@@ -1,0 +1,484 @@
+//! Parallel chaos campaigns: sweeping a fault grid over many seeded
+//! runs and aggregating detection and overhead statistics.
+//!
+//! A [`CampaignSpec`] is the cartesian grid
+//! `fix × loss × burst × drift × partition`; every cell is executed for
+//! every seed, twice — once with a participant crash at mid-run
+//! (measuring detection delay against the claimed and corrected §6.2
+//! bounds) and once quiet (measuring false suspicions and steady-state
+//! overhead). Cells are distributed across worker threads; results are
+//! collected in grid order, so the emitted report is deterministic and a
+//! campaign re-run diffs clean (the CI smoke campaign relies on this).
+
+use std::fmt::Write as _;
+
+use hb_core::{FixLevel, Params, Pid, Variant};
+use hb_sim::channel::Time;
+use hb_sim::schema::RunSummary;
+
+use crate::json::escape;
+use crate::pipeline::burst_model;
+use crate::plan::{FaultPlan, FaultSpec, Link, ProtoSpec, Window};
+use crate::{run_plan, Backend};
+
+/// The campaign grid and its fixed protocol context.
+#[derive(Clone, Debug)]
+pub struct CampaignSpec {
+    /// Campaign name (embedded in the report and the per-run plan names).
+    pub name: String,
+    /// Which substrate executes the runs.
+    pub backend: Backend,
+    /// Protocol variant.
+    pub variant: Variant,
+    /// Timing parameters.
+    pub params: Params,
+    /// Number of participants.
+    pub n: usize,
+    /// Run length in ticks.
+    pub duration: Time,
+    /// Grid axis: fix levels.
+    pub fixes: Vec<FixLevel>,
+    /// Grid axis: average loss probabilities (0 = lossless).
+    pub loss: Vec<f64>,
+    /// Grid axis: mean burst lengths in messages (1 ≈ independent).
+    pub burst: Vec<f64>,
+    /// Grid axis: participant-1 clock rates as `(num, den)`; `(1, 1)` is
+    /// no drift. Only the live backend applies drift; the simulator notes
+    /// it and runs undrifted.
+    pub drift: Vec<(u64, u64)>,
+    /// Grid axis: transient coordinator-partition durations in ticks
+    /// (0 = none). The partition opens at `duration / 4` and always heals
+    /// before the mid-run crash.
+    pub partition: Vec<Time>,
+    /// Seeds; each cell runs every seed.
+    pub seeds: Vec<u64>,
+    /// Worker threads (clamped to at least 1).
+    pub threads: usize,
+}
+
+/// One grid point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Cell {
+    /// Fix level under test.
+    pub fix: FixLevel,
+    /// Average loss probability.
+    pub loss: f64,
+    /// Mean burst length.
+    pub burst: f64,
+    /// Participant-1 clock rate.
+    pub drift: (u64, u64),
+    /// Transient partition duration (0 = none).
+    pub partition: Time,
+}
+
+/// Aggregated results of one cell across all seeds.
+#[derive(Clone, Debug)]
+pub struct CellStats {
+    /// The grid point.
+    pub cell: Cell,
+    /// Seeds executed.
+    pub runs: usize,
+    /// Crash runs in which the crash was detected before the horizon.
+    pub detected: usize,
+    /// Crash runs in which the faults had already inactivated the victim
+    /// before the scheduled crash — the network was down, so no
+    /// detection-bound claim applies (the quiet runs count the same
+    /// failure as false suspicions).
+    pub down_before_crash: usize,
+    /// Mean detection delay over detected runs.
+    pub detect_mean: f64,
+    /// Worst detection delay.
+    pub detect_max: Time,
+    /// The paper's claimed detection bound for this cell.
+    pub claimed_bound: Time,
+    /// The corrected (§6.2) detection bound.
+    pub corrected_bound: Time,
+    /// Crash runs whose detection exceeded the claimed bound, or in
+    /// which a live network never detected the crash at all.
+    pub violations_claimed: usize,
+    /// Like [`violations_claimed`](Self::violations_claimed) against the
+    /// corrected bound.
+    pub violations_corrected: usize,
+    /// False suspicions summed over the quiet runs.
+    pub false_suspicions: u64,
+    /// Mean messages per tick over the quiet runs (steady-state
+    /// overhead).
+    pub msg_per_tick: f64,
+}
+
+/// A finished campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// The spec it ran.
+    pub spec: CampaignSpec,
+    /// One entry per grid cell, in grid order.
+    pub cells: Vec<CellStats>,
+}
+
+impl CampaignSpec {
+    /// The grid in deterministic (report) order.
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut out = Vec::new();
+        for &fix in &self.fixes {
+            for &loss in &self.loss {
+                for &burst in &self.burst {
+                    for &drift in &self.drift {
+                        for &partition in &self.partition {
+                            out.push(Cell {
+                                fix,
+                                loss,
+                                burst,
+                                drift,
+                                partition,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The detection bound the paper claims for this configuration: the
+    /// coordinator's own bound, plus — with more than one participant —
+    /// the responders' original bound for the rest of the network to
+    /// follow.
+    pub fn claimed_bound(&self) -> Time {
+        let p0 = Time::from(self.params.p0_bound_claimed());
+        if self.n > 1 {
+            p0 + Time::from(self.params.responder_bound_original())
+        } else {
+            p0
+        }
+    }
+
+    /// The corrected (§6.2) counterpart of [`claimed_bound`](Self::claimed_bound).
+    pub fn corrected_bound(&self) -> Time {
+        let p0 = Time::from(self.params.p0_bound_corrected(self.variant));
+        if self.n > 1 {
+            p0 + Time::from(self.params.responder_bound_corrected(self.variant))
+        } else {
+            p0
+        }
+    }
+}
+
+/// The crashing participant in campaign runs.
+pub const CRASH_PID: Pid = 1;
+
+/// Build the fault plan for one `(cell, seed)` run of a campaign.
+/// `crash` adds the mid-run crash of participant 1.
+pub fn cell_plan(spec: &CampaignSpec, cell: &Cell, seed: u64, crash: bool) -> FaultPlan {
+    let proto = ProtoSpec {
+        variant: spec.variant,
+        params: spec.params,
+        fix: cell.fix,
+        n: spec.n,
+        duration: spec.duration,
+    };
+    let mut plan = FaultPlan::new(
+        format!(
+            "{}/{}/loss{}x{}/drift{}-{}/part{}/s{}{}",
+            spec.name,
+            cell.fix.name(),
+            cell.loss,
+            cell.burst,
+            cell.drift.0,
+            cell.drift.1,
+            cell.partition,
+            seed,
+            if crash { "/crash" } else { "/quiet" }
+        ),
+        seed,
+        proto,
+    );
+    if cell.loss > 0.0 {
+        plan = plan.with(FaultSpec::Loss {
+            window: Window::always(),
+            link: Link::any(),
+            model: burst_model(cell.loss, cell.burst),
+        });
+    }
+    if cell.partition > 0 {
+        let from = spec.duration / 4;
+        // Heal strictly before the crash so detection is measured on a
+        // connected network.
+        let to = (from + cell.partition).min(spec.duration / 2);
+        plan = plan.with(FaultSpec::Partition {
+            window: Window::between(from, to),
+            groups: vec![vec![0], (1..=spec.n).collect()],
+        });
+    }
+    if cell.drift != (1, 1) {
+        plan = plan.with(FaultSpec::Drift {
+            pid: CRASH_PID,
+            offset: 0,
+            num: cell.drift.0,
+            den: cell.drift.1,
+        });
+    }
+    if crash {
+        plan = plan.with(FaultSpec::Crash {
+            pid: CRASH_PID,
+            at: spec.duration / 2,
+        });
+    }
+    plan
+}
+
+/// Execute one cell over every seed.
+fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellStats {
+    let claimed = spec.claimed_bound();
+    let corrected = spec.corrected_bound();
+    let mut detected = 0usize;
+    let mut down_before_crash = 0usize;
+    let mut detect_sum = 0u128;
+    let mut detect_max = 0;
+    let mut violations_claimed = 0;
+    let mut violations_corrected = 0;
+    let mut false_suspicions = 0u64;
+    let mut rate_sum = 0.0f64;
+    for &seed in &spec.seeds {
+        let crashed: RunSummary = run_plan(&cell_plan(spec, cell, seed, true), spec.backend);
+        match crashed.detection_delay {
+            Some(d) => {
+                detected += 1;
+                detect_sum += u128::from(d);
+                detect_max = detect_max.max(d);
+                if d > claimed {
+                    violations_claimed += 1;
+                }
+                if d > corrected {
+                    violations_corrected += 1;
+                }
+            }
+            None if crashed.crashes.is_empty() => {
+                // The faults inactivated the victim first: the bound
+                // claims don't apply to a network that was already down.
+                down_before_crash += 1;
+            }
+            None => {
+                // A live crash was never detected before the horizon:
+                // worse than any bound.
+                violations_claimed += 1;
+                violations_corrected += 1;
+            }
+        }
+        let quiet: RunSummary = run_plan(&cell_plan(spec, cell, seed, false), spec.backend);
+        false_suspicions += u64::from(quiet.false_inactivations);
+        if quiet.duration > 0 {
+            rate_sum += quiet.messages_sent as f64 / quiet.duration as f64;
+        }
+    }
+    CellStats {
+        cell: *cell,
+        runs: spec.seeds.len(),
+        detected,
+        down_before_crash,
+        detect_mean: if detected > 0 {
+            detect_sum as f64 / detected as f64
+        } else {
+            0.0
+        },
+        detect_max,
+        claimed_bound: claimed,
+        corrected_bound: corrected,
+        violations_claimed,
+        violations_corrected,
+        false_suspicions,
+        msg_per_tick: if spec.seeds.is_empty() {
+            0.0
+        } else {
+            rate_sum / spec.seeds.len() as f64
+        },
+    }
+}
+
+/// Run the whole campaign, fanning cells out over worker threads.
+/// Results come back in grid order regardless of scheduling, so the
+/// report is deterministic.
+pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
+    let cells = spec.cells();
+    let threads = spec.threads.max(1).min(cells.len().max(1));
+    let mut indexed: Vec<(usize, CellStats)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..threads {
+            let cells = &cells;
+            handles.push(scope.spawn(move || {
+                cells
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % threads == w)
+                    .map(|(i, cell)| (i, run_cell(spec, cell)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    CampaignReport {
+        spec: spec.clone(),
+        cells: indexed.into_iter().map(|(_, s)| s).collect(),
+    }
+}
+
+impl CellStats {
+    /// This cell as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"fix\":\"{}\",\"loss\":{},\"burst\":{},\"drift\":\"{}/{}\",\"partition\":{},\
+             \"runs\":{},\"detected\":{},\"down_before_crash\":{},\
+             \"detect_mean\":{:.3},\"detect_max\":{},\
+             \"claimed_bound\":{},\"corrected_bound\":{},\
+             \"violations_claimed\":{},\"violations_corrected\":{},\
+             \"false_suspicions\":{},\"msg_per_tick\":{:.4}}}",
+            self.cell.fix.name(),
+            self.cell.loss,
+            self.cell.burst,
+            self.cell.drift.0,
+            self.cell.drift.1,
+            self.cell.partition,
+            self.runs,
+            self.detected,
+            self.down_before_crash,
+            self.detect_mean,
+            self.detect_max,
+            self.claimed_bound,
+            self.corrected_bound,
+            self.violations_claimed,
+            self.violations_corrected,
+            self.false_suspicions,
+            self.msg_per_tick,
+        );
+        s
+    }
+}
+
+impl CampaignReport {
+    /// The whole campaign as a single-line JSON report.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self.cells.iter().map(CellStats::to_json).collect();
+        format!(
+            "{{\"record\":\"campaign\",\"name\":\"{}\",\"backend\":\"{}\",\
+             \"variant\":\"{}\",\"tmin\":{},\"tmax\":{},\"n\":{},\"duration\":{},\
+             \"seeds\":{},\"cells\":[{}]}}",
+            escape(&self.spec.name),
+            self.spec.backend.name(),
+            self.spec.variant.name(),
+            self.spec.params.tmin(),
+            self.spec.params.tmax(),
+            self.spec.n,
+            self.spec.duration,
+            self.spec.seeds.len(),
+            cells.join(",")
+        )
+    }
+
+    /// Total runs executed (two per cell per seed).
+    pub fn total_runs(&self) -> usize {
+        2 * self.cells.len() * self.spec.seeds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(backend: Backend, threads: usize) -> CampaignSpec {
+        CampaignSpec {
+            name: "unit".into(),
+            backend,
+            variant: Variant::Binary,
+            params: Params::new(2, 8).unwrap(),
+            n: 1,
+            duration: 600,
+            fixes: vec![FixLevel::Original, FixLevel::Full],
+            loss: vec![0.0, 0.05],
+            burst: vec![2.0],
+            drift: vec![(1, 1)],
+            partition: vec![0, 8],
+            seeds: vec![1, 2],
+            threads,
+        }
+    }
+
+    #[test]
+    fn grid_order_is_deterministic_and_complete() {
+        let spec = small_spec(Backend::Sim, 1);
+        let cells = spec.cells();
+        // fixes × loss × burst × drift × partition = 2·2·1·1·2
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells[0].fix, FixLevel::Original);
+        assert_eq!(cells[0].partition, 0);
+        assert_eq!(cells[1].partition, 8);
+        assert_eq!(cells.last().unwrap().fix, FixLevel::Full);
+    }
+
+    #[test]
+    fn parallel_and_serial_campaigns_agree_byte_for_byte() {
+        let serial = run_campaign(&small_spec(Backend::Sim, 1)).to_json();
+        let parallel = run_campaign(&small_spec(Backend::Sim, 4)).to_json();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn healthy_cells_detect_within_corrected_bounds() {
+        let report = run_campaign(&small_spec(Backend::Sim, 2));
+        for cell in &report.cells {
+            assert_eq!(cell.runs, 2);
+            assert_eq!(
+                cell.detected + cell.down_before_crash,
+                2,
+                "every crash run ends detected or pre-starved: {:?}",
+                cell.cell
+            );
+            if cell.cell.loss == 0.0 && cell.cell.partition == 0 {
+                assert_eq!(cell.detected, 2, "clean cells always detect");
+            }
+            assert_eq!(
+                cell.violations_corrected, 0,
+                "corrected bound must hold: {:?}",
+                cell.cell
+            );
+            assert!(cell.msg_per_tick > 0.0);
+        }
+    }
+
+    #[test]
+    fn report_json_carries_the_grid() {
+        let report = run_campaign(&CampaignSpec {
+            fixes: vec![FixLevel::Full],
+            loss: vec![0.0],
+            partition: vec![0],
+            seeds: vec![7],
+            ..small_spec(Backend::Sim, 1)
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"record\":\"campaign\""), "{json}");
+        assert!(json.contains("\"backend\":\"sim\""), "{json}");
+        assert!(json.contains("\"fix\":\"full-fix\""), "{json}");
+        assert_eq!(report.total_runs(), 2);
+    }
+
+    #[test]
+    fn cell_plans_are_valid_and_heal_partitions_before_the_crash() {
+        let spec = small_spec(Backend::Sim, 1);
+        for cell in spec.cells() {
+            for crash in [false, true] {
+                let plan = cell_plan(&spec, &cell, 9, crash);
+                plan.validate().expect("campaign plans must validate");
+                for f in &plan.faults {
+                    if let FaultSpec::Partition { window, .. } = f {
+                        assert!(window.to.unwrap() <= spec.duration / 2);
+                    }
+                }
+                assert_eq!(plan.first_crash().is_some(), crash);
+            }
+        }
+    }
+}

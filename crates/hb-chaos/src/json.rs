@@ -1,0 +1,339 @@
+//! A minimal JSON reader for fault-plan files.
+//!
+//! The offline build has no serde, so plans are parsed by hand: a small
+//! recursive-descent parser into a [`Value`] tree plus typed accessors
+//! that turn shape errors into readable messages. Writing stays with the
+//! hand-formatted style the workspace already uses for its run records.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (held as `f64`; plans only use small integers and
+    /// probabilities, both exact in a double).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object. Ordered map so error messages and re-emission are
+    /// deterministic.
+    Obj(BTreeMap<String, Value>),
+}
+
+/// A parse or shape error, with enough context to fix the plan file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(msg.into()))
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or(JsonError("dangling escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        other => return err(format!("unsupported escape '\\{}'", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is valid &str).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| JsonError("invalid utf-8".into()))?;
+                    let ch = rest.chars().next().expect("peeked non-empty");
+                    s.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| JsonError(format!("bad number '{text}' at byte {start}")))
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            None => err("unexpected end of input"),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return err(format!("expected ',' or ']' at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.value()?;
+                    map.insert(key, val);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Obj(map));
+                        }
+                        _ => return err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(_) => self.number(),
+        }
+    }
+}
+
+impl Value {
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<Value, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// This value as an object map.
+    pub fn as_obj(&self) -> Result<&BTreeMap<String, Value>, JsonError> {
+        match self {
+            Value::Obj(m) => Ok(m),
+            other => err(format!("expected object, found {other:?}")),
+        }
+    }
+
+    /// This value as an array.
+    pub fn as_arr(&self) -> Result<&[Value], JsonError> {
+        match self {
+            Value::Arr(v) => Ok(v),
+            other => err(format!("expected array, found {other:?}")),
+        }
+    }
+
+    /// This value as a string slice.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => err(format!("expected string, found {other:?}")),
+        }
+    }
+
+    /// This value as a float.
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            other => err(format!("expected number, found {other:?}")),
+        }
+    }
+
+    /// This value as a non-negative integer (rejects fractions).
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        let n = self.as_f64()?;
+        if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+            return err(format!("expected unsigned integer, found {n}"));
+        }
+        Ok(n as u64)
+    }
+
+    /// Fetch a required field of an object.
+    pub fn field(&self, name: &str) -> Result<&Value, JsonError> {
+        self.as_obj()?
+            .get(name)
+            .ok_or_else(|| JsonError(format!("missing field \"{name}\"")))
+    }
+
+    /// Fetch an optional field (absent or `null` → `None`).
+    pub fn opt_field(&self, name: &str) -> Result<Option<&Value>, JsonError> {
+        Ok(self
+            .as_obj()?
+            .get(name)
+            .filter(|v| !matches!(v, Value::Null)))
+    }
+}
+
+/// Escape a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = Value::parse(r#"{"a":[1,2.5,-3],"b":{"c":null,"d":true},"e":"x\ny"}"#).unwrap();
+        assert_eq!(v.field("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.field("a").unwrap().as_arr().unwrap()[0].as_u64(), Ok(1));
+        assert_eq!(v.field("a").unwrap().as_arr().unwrap()[1].as_f64(), Ok(2.5));
+        assert_eq!(v.field("b").unwrap().opt_field("c"), Ok(None));
+        assert_eq!(
+            v.field("b").unwrap().field("d").unwrap(),
+            &Value::Bool(true)
+        );
+        assert_eq!(v.field("e").unwrap().as_str(), Ok("x\ny"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "1 2",
+            "{\"a\":1}x",
+            "nan",
+        ] {
+            assert!(Value::parse(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn shape_errors_are_typed() {
+        let v = Value::parse(r#"{"n":1.5,"s":"x"}"#).unwrap();
+        assert!(v.field("n").unwrap().as_u64().is_err(), "fraction");
+        assert!(v.field("s").unwrap().as_f64().is_err());
+        assert!(v.field("missing").is_err());
+        assert!(v.as_arr().is_err());
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let s = "a\"b\\c\nd";
+        let doc = format!("{{\"k\":\"{}\"}}", escape(s));
+        let v = Value::parse(&doc).unwrap();
+        assert_eq!(v.field("k").unwrap().as_str(), Ok(s));
+    }
+}

@@ -1,0 +1,119 @@
+//! `hb-chaos` — deterministic fault injection and chaos campaigns for
+//! the accelerated heartbeat protocols.
+//!
+//! The simulator (`hb-sim`) and the live runtime (`hb-net`) both drive
+//! the same `hb-core` state machines; this crate gives them one shared
+//! adversary:
+//!
+//! * [`plan`] — a declarative, seed-deterministic [`FaultPlan`]:
+//!   partitions (symmetric and one-way), Bernoulli / Gilbert–Elliott
+//!   loss, duplication, bounded reordering, delay spikes, per-node clock
+//!   drift, and crash / late-start / leave schedules — serializable
+//!   to/from a small JSON spec ([`json`] is the hand-rolled reader; the
+//!   offline build has no serde);
+//! * [`pipeline`] — [`FaultPipeline`], the compiled plan: one stateful
+//!   engine owning all fault randomness, installed as the simulator's
+//!   [`FaultHook`](hb_sim::FaultHook) and consulted by the live
+//!   transport decorator;
+//! * [`sim`] / [`live`] — the two injection backends.
+//!   [`run_plan_sim`](sim::run_plan_sim) wraps `hb_sim::World`;
+//!   [`run_plan_live`](live::run_plan_live) wraps a loopback
+//!   [`ChaosCluster`](live::ChaosCluster) of `hb-net` node runtimes
+//!   whose endpoints are decorated by
+//!   [`ChaosTransport`](live::ChaosTransport) (which equally wraps UDP).
+//!   The same plan runs on both, producing the shared
+//!   [`RunSummary`](hb_sim::schema::RunSummary) schema, byte-identical
+//!   under replay;
+//! * [`campaign`] — a parallel campaign runner sweeping
+//!   `fix × loss × burst × drift × partition` grids across worker
+//!   threads into a deterministic JSON report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod json;
+pub mod live;
+pub mod pipeline;
+pub mod plan;
+pub mod sim;
+
+use hb_sim::schema::RunSummary;
+
+pub use campaign::{run_campaign, CampaignReport, CampaignSpec, Cell, CellStats};
+pub use live::{run_plan_live, ChaosCluster, ChaosNet, ChaosTransport};
+pub use pipeline::{burst_model, FaultPipeline, PipelineStats};
+pub use plan::{FaultPlan, FaultSpec, Link, PlanError, ProtoSpec, Window};
+pub use sim::run_plan_sim;
+
+/// Which substrate executes a plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// The discrete-event simulator (`hb_sim::World`).
+    Sim,
+    /// The live loopback runtime under virtual time
+    /// ([`live::ChaosCluster`]).
+    Live,
+}
+
+impl Backend {
+    /// Stable lowercase name (report fields, CLI arguments).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Live => "live",
+        }
+    }
+
+    /// Parse a backend name.
+    pub fn from_name(s: &str) -> Option<Backend> {
+        match s {
+            "sim" => Some(Backend::Sim),
+            "live" => Some(Backend::Live),
+            _ => None,
+        }
+    }
+}
+
+/// Run one fault plan on the chosen backend.
+pub fn run_plan(plan: &FaultPlan, backend: Backend) -> RunSummary {
+    match backend {
+        Backend::Sim => sim::run_plan_sim(plan),
+        Backend::Live => live::run_plan_live(plan),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in [Backend::Sim, Backend::Live] {
+            assert_eq!(Backend::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Backend::from_name("cloud"), None);
+    }
+
+    #[test]
+    fn one_plan_runs_on_both_backends() {
+        use hb_core::{FixLevel, Params, Variant};
+        let plan = FaultPlan::new(
+            "both",
+            3,
+            ProtoSpec {
+                variant: Variant::Binary,
+                params: Params::new(2, 8).unwrap(),
+                fix: FixLevel::Full,
+                n: 1,
+                duration: 500,
+            },
+        )
+        .with(FaultSpec::Crash { pid: 1, at: 200 });
+        let sim = run_plan(&plan, Backend::Sim);
+        let live = run_plan(&plan, Backend::Live);
+        assert_eq!(sim.source, "sim");
+        assert_eq!(live.source, "live");
+        assert!(sim.detection_delay.is_some() && live.detection_delay.is_some());
+    }
+}

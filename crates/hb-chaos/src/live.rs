@@ -1,0 +1,548 @@
+//! Running a fault plan on the live runtime.
+//!
+//! [`ChaosTransport`] is a [`Transport`] decorator: every outgoing
+//! heartbeat frame is submitted to the shared [`FaultPipeline`] — the
+//! same engine the simulator installs as its fault hook — and is dropped,
+//! duplicated, or held back accordingly before reaching the wrapped
+//! transport (loopback or UDP). Control frames bypass the pipeline, as
+//! in the simulator and the loopback network: they are the harness's
+//! hand, not protocol traffic.
+//!
+//! [`ChaosCluster`] composes the decorator with
+//! [`hb_net`]'s node runtimes over a lossless loopback under virtual
+//! time, adding the one fault class only a live runtime can express:
+//! **per-node clock drift**. Each node is polled at the local tick its
+//! own [`SkewedClock`] reads, while the network and the observer stay on
+//! true time — a fast node fires watchdogs early, a slow one late,
+//! exactly the failure mode the corrected bounds must absorb.
+
+use std::io;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use hb_core::coordinator::CoordSpec;
+use hb_core::responder::RespSpec;
+use hb_core::{Pid, Status};
+use hb_net::loopback::{Faults, LoopbackEndpoint, LoopbackNet};
+use hb_net::node::NodeRuntime;
+use hb_net::transport::{Recv, Transport};
+use hb_net::wire::{Command, Frame};
+use hb_net::{SkewedClock, TimeSource, VirtualClock};
+use hb_sim::channel::Time;
+use hb_sim::schema::RunSummary;
+use hb_sim::SendFate;
+
+use crate::pipeline::FaultPipeline;
+use crate::plan::{FaultPlan, FaultSpec};
+
+/// A frame held back by a reorder/delay-spike fate, awaiting release.
+#[derive(Clone, Copy, Debug)]
+struct Held {
+    due: Time,
+    dst: Pid,
+    frame: Frame,
+    budget: u32,
+}
+
+/// Pipeline state shared by every [`ChaosTransport`] of one run.
+#[derive(Debug)]
+pub struct ChaosNet {
+    pipeline: FaultPipeline,
+    /// True cluster time, set by the harness each tick. `None` outside a
+    /// cluster (standalone decorator use): the caller's own tick is
+    /// trusted instead.
+    true_now: Option<Time>,
+    held: Vec<Held>,
+    /// Logical heartbeat sends (one per send call, as in the simulator).
+    sent: u64,
+    /// Sends the pipeline dropped.
+    lost: u64,
+}
+
+impl ChaosNet {
+    /// Shared pipeline state for one plan run.
+    pub fn new(pipeline: FaultPipeline) -> Arc<Mutex<ChaosNet>> {
+        Arc::new(Mutex::new(ChaosNet {
+            pipeline,
+            true_now: None,
+            held: Vec::new(),
+            sent: 0,
+            lost: 0,
+        }))
+    }
+}
+
+/// A fault-injecting [`Transport`] decorator (one per node, sharing the
+/// run's [`ChaosNet`]).
+pub struct ChaosTransport<T> {
+    inner: T,
+    shared: Arc<Mutex<ChaosNet>>,
+}
+
+impl<T: Transport> ChaosTransport<T> {
+    /// Wrap `inner`, injecting faults from the shared pipeline.
+    pub fn new(inner: T, shared: Arc<Mutex<ChaosNet>>) -> Self {
+        ChaosTransport { inner, shared }
+    }
+
+    /// Release every held frame due at `now` into the wrapped transport.
+    fn flush(&mut self, now: Time, st: &mut ChaosNet) -> io::Result<()> {
+        let mut i = 0;
+        while i < st.held.len() {
+            if st.held[i].due <= now {
+                let h = st.held.swap_remove(i);
+                self.inner.send(now, h.dst, &h.frame, h.budget)?;
+            } else {
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<T: Transport> Transport for ChaosTransport<T> {
+    fn send(&mut self, now: Time, dst: Pid, frame: &Frame, budget: u32) -> io::Result<()> {
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.lock().expect("chaos state poisoned");
+        // Nodes may live on drifted local clocks; faults act on true time.
+        let now = st.true_now.unwrap_or(now);
+        self.flush(now, &mut st)?;
+        if matches!(frame, Frame::Control { .. }) {
+            return self.inner.send(now, dst, frame, budget);
+        }
+        st.sent += 1;
+        match st.pipeline.decide(now, frame.src(), dst) {
+            SendFate::Drop => {
+                st.lost += 1;
+                Ok(())
+            }
+            SendFate::Deliver {
+                copies,
+                extra_delay,
+            } => {
+                for _ in 0..copies {
+                    if extra_delay == 0 {
+                        self.inner.send(now, dst, frame, budget)?;
+                    } else {
+                        st.held.push(Held {
+                            due: now + Time::from(extra_delay),
+                            dst,
+                            frame: *frame,
+                            budget: budget.saturating_sub(extra_delay),
+                        });
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn try_recv(&mut self, now: Time) -> io::Result<Option<Recv>> {
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.lock().expect("chaos state poisoned");
+        let now = st.true_now.unwrap_or(now);
+        self.flush(now, &mut st)?;
+        drop(st);
+        self.inner.try_recv(now)
+    }
+
+    fn wait(&mut self, timeout: Duration) -> io::Result<()> {
+        self.inner.wait(timeout)
+    }
+}
+
+/// A live cluster running one [`FaultPlan`]: coordinator + N participants
+/// over a lossless loopback, every endpoint wrapped in a
+/// [`ChaosTransport`], stepped under virtual time with per-node drift.
+pub struct ChaosCluster {
+    plan: FaultPlan,
+    net: LoopbackNet,
+    shared: Arc<Mutex<ChaosNet>>,
+    nodes: Vec<Option<NodeRuntime<ChaosTransport<LoopbackEndpoint>>>>,
+    injector: LoopbackEndpoint,
+    clock: VirtualClock,
+    /// Per-pid local clock (identity skew unless the plan drifts it).
+    local: Vec<SkewedClock<VirtualClock>>,
+    start_at: Vec<Time>,
+    injections: Vec<(Time, Pid, Command)>,
+    now: Time,
+    statuses: Vec<Option<(Status, bool)>>,
+    crashes: Vec<(Pid, Time)>,
+    nv_inactivations: Vec<(Pid, Time)>,
+    leaves: Vec<(Pid, Time)>,
+    all_inactive_at: Option<Time>,
+}
+
+impl ChaosCluster {
+    /// Build a cluster for `plan`; nothing runs until [`step`](Self::step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn new(plan: FaultPlan) -> Self {
+        plan.validate().expect("invalid fault plan");
+        let n = plan.proto.n;
+        // Endpoints 0..=n for the nodes, n+1 for the control injector.
+        // The loopback itself is lossless: the pipeline is the sole drop
+        // authority, exactly as when it is the simulator's fault hook.
+        let net = LoopbackNet::new(n + 2, Faults::none(), plan.seed);
+        let shared = ChaosNet::new(FaultPipeline::new(&plan));
+        let clock = VirtualClock::new();
+        let mut local: Vec<SkewedClock<VirtualClock>> = (0..=n)
+            .map(|_| SkewedClock::new(clock.clone(), 0, 1, 1))
+            .collect();
+        let mut start_at = vec![0; n];
+        let mut injections = Vec::new();
+        for fault in &plan.faults {
+            match *fault {
+                FaultSpec::Drift {
+                    pid,
+                    offset,
+                    num,
+                    den,
+                } => local[pid] = SkewedClock::new(clock.clone(), offset, num, den),
+                FaultSpec::Crash { pid, at } => injections.push((at, pid, Command::Crash)),
+                FaultSpec::Leave { pid, at } => injections.push((at, pid, Command::Leave)),
+                FaultSpec::Start { pid, at } => start_at[pid - 1] = at,
+                _ => {}
+            }
+        }
+        let coord_spec = CoordSpec::new(plan.proto.variant, plan.proto.params, n, plan.proto.fix);
+        let coord = NodeRuntime::coordinator(
+            coord_spec,
+            ChaosTransport::new(net.endpoint(0), Arc::clone(&shared)),
+        );
+        let mut nodes: Vec<Option<NodeRuntime<ChaosTransport<LoopbackEndpoint>>>> =
+            vec![Some(coord)];
+        nodes.extend((0..n).map(|_| None));
+        let injector = net.endpoint(n + 1);
+        ChaosCluster {
+            net,
+            shared,
+            nodes,
+            injector,
+            clock,
+            local,
+            start_at,
+            injections,
+            now: 0,
+            statuses: vec![None; n + 1],
+            crashes: Vec::new(),
+            nv_inactivations: Vec::new(),
+            leaves: Vec::new(),
+            all_inactive_at: None,
+            plan,
+        }
+    }
+
+    /// Current true tick.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Whether the coordinator and every started, not-left participant
+    /// are inactive.
+    pub fn all_inactive(&self) -> bool {
+        let coord_inactive = self.nodes[0]
+            .as_ref()
+            .is_some_and(|c| c.status().is_inactive());
+        coord_inactive
+            && self.nodes[1..]
+                .iter()
+                .flatten()
+                .all(|p| p.status().is_inactive() || p.left())
+    }
+
+    /// Advance by one true tick: start late joiners, deliver due control
+    /// injections, then drain every node at its own (possibly drifted)
+    /// local tick until the network is quiet.
+    pub fn step(&mut self) {
+        let now = self.now;
+        self.shared.lock().expect("chaos state poisoned").true_now = Some(now);
+        for i in 0..self.plan.proto.n {
+            if self.nodes[i + 1].is_none() && self.start_at[i] == now {
+                self.net.purge(i + 1);
+                let spec = RespSpec::new(
+                    self.plan.proto.variant,
+                    self.plan.proto.params,
+                    self.plan.proto.fix,
+                );
+                let transport =
+                    ChaosTransport::new(self.net.endpoint(i + 1), Arc::clone(&self.shared));
+                let node = NodeRuntime::participant(i + 1, spec, transport)
+                    .started_at(self.local[i + 1].now());
+                self.nodes[i + 1] = Some(node);
+            }
+        }
+        let src = self.plan.proto.n + 1;
+        let mut pending = std::mem::take(&mut self.injections);
+        pending.retain(|&(t, pid, cmd)| {
+            if t != now {
+                return true;
+            }
+            self.injector
+                .send(now, pid, &Frame::control(src, cmd), 0)
+                .expect("loopback send cannot fail");
+            false
+        });
+        self.injections = pending;
+
+        loop {
+            for (pid, node) in self.nodes.iter_mut().enumerate() {
+                if let Some(node) = node {
+                    node.poll(self.local[pid].now())
+                        .expect("loopback polling cannot fail");
+                }
+            }
+            let held_due = {
+                let st = self.shared.lock().expect("chaos state poisoned");
+                st.held.iter().any(|h| h.due <= now)
+            };
+            if !self.net.any_deliverable(now) && !held_due {
+                break;
+            }
+        }
+
+        self.observe(now);
+        if self.all_inactive_at.is_none() && self.all_inactive() {
+            self.all_inactive_at = Some(now);
+        }
+        self.clock.advance(1);
+        self.now += 1;
+    }
+
+    /// Record status transitions at true time.
+    fn observe(&mut self, now: Time) {
+        for (pid, node) in self.nodes.iter().enumerate() {
+            let Some(node) = node else { continue };
+            let cur = (node.status(), node.left());
+            let prev = self.statuses[pid];
+            if prev.map(|(s, _)| s) != Some(cur.0) {
+                match cur.0 {
+                    Status::Crashed => self.crashes.push((pid, now)),
+                    Status::NvInactive => self.nv_inactivations.push((pid, now)),
+                    Status::Active => {}
+                }
+            }
+            if prev.map(|(_, l)| l) != Some(cur.1) && cur.1 {
+                self.leaves.push((pid, now));
+            }
+            self.statuses[pid] = Some(cur);
+        }
+    }
+
+    /// Run until true tick `t` or until everything is inactive.
+    pub fn run_until(&mut self, t: Time) {
+        while self.now < t && !self.all_inactive() {
+            self.step();
+        }
+    }
+
+    /// Finish the run and produce the shared summary (`source: "live"`).
+    pub fn into_summary(self) -> RunSummary {
+        let st = self.shared.lock().expect("chaos state poisoned");
+        let first_crash = self.crashes.iter().map(|&(_, t)| t).min();
+        let detection_delay = match (first_crash, self.all_inactive_at) {
+            (Some(c), Some(d)) => Some(d.saturating_sub(c)),
+            _ => None,
+        };
+        let false_inactivations = if self.crashes.is_empty() {
+            self.nv_inactivations.len() as u32
+        } else {
+            0
+        };
+        let final_status: Vec<Status> = self
+            .nodes
+            .iter()
+            .map(|n| n.as_ref().map_or(Status::Active, |n| n.status()))
+            .collect();
+        RunSummary {
+            source: "live",
+            duration: self.now,
+            messages_sent: st.sent,
+            messages_delivered: self.net.stats().delivered,
+            messages_lost: st.lost + self.net.stats().lost,
+            crashes: self.crashes,
+            nv_inactivations: self.nv_inactivations,
+            leaves: self.leaves,
+            detection_delay,
+            false_inactivations,
+            final_status,
+        }
+    }
+}
+
+/// Run `plan` on the live loopback runtime under virtual time and produce
+/// the shared summary schema (`source: "live"`). Deterministic: the same
+/// plan yields a byte-identical `to_json()`.
+pub fn run_plan_live(plan: &FaultPlan) -> RunSummary {
+    let mut cluster = ChaosCluster::new(plan.clone());
+    cluster.run_until(plan.proto.duration);
+    cluster.into_summary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Link, ProtoSpec, Window};
+    use hb_core::{FixLevel, Params, Variant};
+    use hb_net::UdpTransport;
+
+    fn proto(fix: FixLevel) -> ProtoSpec {
+        ProtoSpec {
+            variant: Variant::Binary,
+            params: Params::new(2, 8).unwrap(),
+            fix,
+            n: 1,
+            duration: 2_000,
+        }
+    }
+
+    #[test]
+    fn faultless_plan_stays_alive() {
+        let plan = FaultPlan::new("quiet", 1, proto(FixLevel::Full));
+        let s = run_plan_live(&plan);
+        assert_eq!(s.source, "live");
+        assert_eq!(s.false_inactivations, 0);
+        assert!(s.messages_lost == 0 && s.messages_delivered > 0);
+    }
+
+    #[test]
+    fn crash_is_detected_under_burst_loss() {
+        // Seed-pinned, as in the sim counterpart: this seed survives the
+        // burst weather until the scheduled crash.
+        let plan = FaultPlan::new("crash", 1, proto(FixLevel::Full))
+            .with(FaultSpec::Loss {
+                window: Window::always(),
+                link: Link::any(),
+                model: crate::pipeline::burst_model(0.05, 2.0),
+            })
+            .with(FaultSpec::Crash { pid: 1, at: 500 });
+        let s = run_plan_live(&plan);
+        assert_eq!(s.crashes, vec![(1, 500)]);
+        let d = s.detection_delay.expect("crash must be detected");
+        let bound = u64::from(
+            Params::new(2, 8)
+                .unwrap()
+                .p0_bound_corrected(Variant::Binary),
+        );
+        assert!(d <= bound, "delay {d} > bound {bound}");
+    }
+
+    #[test]
+    fn duplication_inflates_delivery_and_reorder_holds_frames_back() {
+        let plan = FaultPlan::new("shape", 4, proto(FixLevel::Full))
+            .with(FaultSpec::Duplicate {
+                window: Window::always(),
+                link: Link::any(),
+                p: 1.0,
+            })
+            .with(FaultSpec::Reorder {
+                window: Window::always(),
+                link: Link::any(),
+                p: 0.5,
+                max_extra: 2,
+            });
+        let s = run_plan_live(&plan);
+        assert!(
+            s.messages_delivered > s.messages_sent,
+            "{} delivered vs {} sent",
+            s.messages_delivered,
+            s.messages_sent
+        );
+        assert_eq!(s.false_inactivations, 0, "bounded shaping is harmless");
+    }
+
+    #[test]
+    fn fast_clock_drift_fires_watchdogs_early() {
+        // The participant's clock runs 25% fast with no compensating
+        // traffic changes: its corrected watchdog (2·tmax = 16 local
+        // ticks) fires after only ~12.8 true ticks of silence. A long
+        // enough burst starves it past the early deadline while a
+        // true-time node would have survived; eventually drift alone makes
+        // the run strictly worse than the same plan without drift.
+        let mk = |drift: bool| {
+            let mut plan =
+                FaultPlan::new("drift", 21, proto(FixLevel::Full)).with(FaultSpec::Loss {
+                    window: Window::always(),
+                    link: Link::any(),
+                    model: crate::pipeline::burst_model(0.25, 12.0),
+                });
+            if drift {
+                plan = plan.with(FaultSpec::Drift {
+                    pid: 1,
+                    offset: 0,
+                    num: 5,
+                    den: 4,
+                });
+            }
+            run_plan_live(&plan)
+        };
+        let drifted = mk(true);
+        let straight = mk(false);
+        assert!(
+            drifted.false_inactivations >= straight.false_inactivations,
+            "drift cannot help: {} vs {}",
+            drifted.false_inactivations,
+            straight.false_inactivations
+        );
+        // The drifted node observes a different local schedule, so the
+        // runs must genuinely differ.
+        assert_ne!(drifted.to_json(), straight.to_json());
+    }
+
+    #[test]
+    fn replay_is_byte_identical() {
+        let plan = FaultPlan::new("replay", 11, proto(FixLevel::ReceivePriority))
+            .with(FaultSpec::Loss {
+                window: Window::always(),
+                link: Link::any(),
+                model: hb_sim::LossModel::Bernoulli(0.2),
+            })
+            .with(FaultSpec::Drift {
+                pid: 1,
+                offset: 0,
+                num: 101,
+                den: 100,
+            })
+            .with(FaultSpec::Crash { pid: 1, at: 700 });
+        let a = run_plan_live(&plan).to_json();
+        let b = run_plan_live(&plan).to_json();
+        assert_eq!(a, b);
+        let mut other = plan.clone();
+        other.seed = 12;
+        assert_ne!(run_plan_live(&other).to_json(), a);
+    }
+
+    #[test]
+    fn decorator_shapes_traffic_over_real_udp_sockets() {
+        // The decorator is substrate-agnostic: wrap two UDP endpoints in
+        // the same pipeline (duplicate every frame) and watch one beat
+        // arrive twice through real sockets.
+        let plan = FaultPlan::new("udp", 3, proto(FixLevel::Full)).with(FaultSpec::Duplicate {
+            window: Window::always(),
+            link: Link::any(),
+            p: 1.0,
+        });
+        let shared = ChaosNet::new(FaultPipeline::new(&plan));
+        let mut a = UdpTransport::bind("127.0.0.1:0").unwrap();
+        let b = UdpTransport::bind("127.0.0.1:0").unwrap();
+        a.add_peer(1, b.local_addr().unwrap());
+        let mut a = ChaosTransport::new(a, Arc::clone(&shared));
+        let mut b = ChaosTransport::new(b, shared);
+        let frame = Frame::beat(0, hb_core::Heartbeat::plain());
+        a.send(0, 1, &frame, 2).unwrap();
+        let mut got = 0;
+        for _ in 0..100 {
+            b.wait(Duration::from_millis(20)).unwrap();
+            while let Some(r) = b.try_recv(0).unwrap() {
+                assert_eq!(r.frame, frame);
+                got += 1;
+            }
+            if got >= 2 {
+                break;
+            }
+        }
+        assert_eq!(got, 2, "one send, two datagrams");
+    }
+}

@@ -1,0 +1,776 @@
+//! The declarative fault plan: a seed-deterministic schedule of faults
+//! over time and topology, serializable to a small JSON spec so chaos
+//! scenarios are shareable artifacts.
+//!
+//! A [`FaultPlan`] bundles the protocol under test ([`ProtoSpec`]) with a
+//! list of [`FaultSpec`]s. The same plan runs unchanged against the
+//! discrete-event simulator and the live loopback/virtual-time runtime
+//! (see [`crate::run_plan`]); all fault randomness derives from the
+//! plan's `seed`, so replaying a plan is byte-identical.
+
+use std::fmt;
+
+use hb_core::{FixLevel, Params, Pid, Variant};
+use hb_sim::channel::Time;
+use hb_sim::LossModel;
+
+use crate::json::{escape, JsonError, Value};
+
+/// A half-open activity window `[from, to)`; `to = None` means "until
+/// the end of the run".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Window {
+    /// First tick the fault is active.
+    pub from: Time,
+    /// First tick the fault is inactive again (`None` = forever).
+    pub to: Option<Time>,
+}
+
+impl Window {
+    /// A window covering the whole run.
+    pub fn always() -> Self {
+        Window { from: 0, to: None }
+    }
+
+    /// The window `[from, to)`.
+    pub fn between(from: Time, to: Time) -> Self {
+        Window { from, to: Some(to) }
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: Time) -> bool {
+        t >= self.from && self.to.is_none_or(|to| t < to)
+    }
+}
+
+/// Which directed links a fault applies to. `None` matches any endpoint,
+/// so `Link::any()` is the whole network and `{src: Some(0), dst: None}`
+/// is everything the coordinator sends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Link {
+    /// Matching sender (`None` = any).
+    pub src: Option<Pid>,
+    /// Matching receiver (`None` = any).
+    pub dst: Option<Pid>,
+}
+
+impl Link {
+    /// Every directed link.
+    pub fn any() -> Self {
+        Link {
+            src: None,
+            dst: None,
+        }
+    }
+
+    /// Only messages from `src` to `dst`.
+    pub fn between(src: Pid, dst: Pid) -> Self {
+        Link {
+            src: Some(src),
+            dst: Some(dst),
+        }
+    }
+
+    /// Whether a message `src -> dst` matches.
+    pub fn matches(&self, src: Pid, dst: Pid) -> bool {
+        self.src.is_none_or(|s| s == src) && self.dst.is_none_or(|d| d == dst)
+    }
+}
+
+/// One fault in a plan.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultSpec {
+    /// Probabilistic loss on matching links (Bernoulli or Gilbert–Elliott
+    /// burst). Each `Loss` fault keeps its own burst-chain state.
+    Loss {
+        /// When the fault is active.
+        window: Window,
+        /// Which links it covers.
+        link: Link,
+        /// The loss law.
+        model: LossModel,
+    },
+    /// A full partition into groups: messages between different groups
+    /// are dropped, messages within a group pass. Pids not listed in any
+    /// group are unaffected.
+    Partition {
+        /// When the partition holds.
+        window: Window,
+        /// The disjoint groups.
+        groups: Vec<Vec<Pid>>,
+    },
+    /// A one-way partition: messages from any pid in `src` to any pid in
+    /// `dst` are dropped (the reverse direction is untouched) — the
+    /// asymmetric link failure of AM09's adversarial schedules.
+    OneWay {
+        /// When the cut holds.
+        window: Window,
+        /// Senders whose messages are cut.
+        src: Vec<Pid>,
+        /// Receivers the cut applies to.
+        dst: Vec<Pid>,
+    },
+    /// Independent duplication: each matching message is delivered twice
+    /// with probability `p`.
+    Duplicate {
+        /// When duplication is active.
+        window: Window,
+        /// Which links it covers.
+        link: Link,
+        /// Duplication probability.
+        p: f64,
+    },
+    /// Bounded reordering: with probability `p` a matching message is
+    /// held back by `1..=max_extra` extra ticks, letting later messages
+    /// overtake it.
+    Reorder {
+        /// When reordering is active.
+        window: Window,
+        /// Which links it covers.
+        link: Link,
+        /// Probability of holding a message back.
+        p: f64,
+        /// Maximum extra delay in ticks.
+        max_extra: u32,
+    },
+    /// A delay spike: every message sent in the window is slowed by
+    /// `extra` ticks on top of its normal in-budget delay — deliberately
+    /// violating the protocols' round-trip assumption `tmin`.
+    DelaySpike {
+        /// When the spike holds.
+        window: Window,
+        /// Extra ticks added to every delivery.
+        extra: u32,
+    },
+    /// Per-node clock drift for the live runtime: node `pid`'s local
+    /// clock reads `offset + t·num/den` at true tick `t`. The simulator
+    /// has one global clock and ignores drift (recorded in the run notes).
+    Drift {
+        /// The drifting node.
+        pid: Pid,
+        /// Fixed clock offset in ticks.
+        offset: Time,
+        /// Rate numerator.
+        num: u64,
+        /// Rate denominator.
+        den: u64,
+    },
+    /// Crash `pid` at tick `at` (voluntary inactivation; the node keeps
+    /// consuming messages silently).
+    Crash {
+        /// The crashing node.
+        pid: Pid,
+        /// Crash tick.
+        at: Time,
+    },
+    /// Delay participant `pid`'s start until tick `at` (join variants).
+    Start {
+        /// The late-starting participant.
+        pid: Pid,
+        /// Start tick.
+        at: Time,
+    },
+    /// Make participant `pid` leave at the first beat at or after `at`
+    /// (dynamic variant).
+    Leave {
+        /// The leaving participant.
+        pid: Pid,
+        /// Earliest leave tick.
+        at: Time,
+    },
+}
+
+/// The protocol configuration a plan runs against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProtoSpec {
+    /// Protocol variant.
+    pub variant: Variant,
+    /// Timing parameters.
+    pub params: Params,
+    /// Fix level.
+    pub fix: FixLevel,
+    /// Number of participants.
+    pub n: usize,
+    /// Run length in ticks (the run may end earlier if everything
+    /// inactivates).
+    pub duration: Time,
+}
+
+/// A complete, shareable chaos scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// A human-readable scenario name.
+    pub name: String,
+    /// The seed all fault randomness derives from.
+    pub seed: u64,
+    /// The protocol under test.
+    pub proto: ProtoSpec,
+    /// The fault schedule.
+    pub faults: Vec<FaultSpec>,
+}
+
+/// A malformed plan (parse or validation failure).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanError(pub String);
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<JsonError> for PlanError {
+    fn from(e: JsonError) -> Self {
+        PlanError(e.to_string())
+    }
+}
+
+fn variant_from_name(s: &str) -> Result<Variant, PlanError> {
+    Variant::ALL
+        .into_iter()
+        .find(|v| v.name() == s)
+        .ok_or_else(|| PlanError(format!("unknown variant \"{s}\"")))
+}
+
+fn fix_from_name(s: &str) -> Result<FixLevel, PlanError> {
+    FixLevel::ALL
+        .into_iter()
+        .find(|f| f.name() == s)
+        .ok_or_else(|| PlanError(format!("unknown fix level \"{s}\"")))
+}
+
+fn window_json(w: &Window) -> String {
+    match w.to {
+        Some(to) => format!("\"from\":{},\"to\":{}", w.from, to),
+        None => format!("\"from\":{},\"to\":null", w.from),
+    }
+}
+
+fn link_json(l: &Link) -> String {
+    let part = |v: Option<Pid>| v.map_or("null".to_string(), |p| p.to_string());
+    format!("\"src\":{},\"dst\":{}", part(l.src), part(l.dst))
+}
+
+fn pids_json(pids: &[Pid]) -> String {
+    let items: Vec<String> = pids.iter().map(|p| p.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn loss_model_json(m: &LossModel) -> String {
+    match *m {
+        LossModel::Bernoulli(p) => format!("{{\"law\":\"bernoulli\",\"p\":{p}}}"),
+        LossModel::GilbertElliott {
+            to_bad,
+            to_good,
+            good_loss,
+            bad_loss,
+        } => format!(
+            "{{\"law\":\"gilbert-elliott\",\"to_bad\":{to_bad},\"to_good\":{to_good},\
+             \"good_loss\":{good_loss},\"bad_loss\":{bad_loss}}}"
+        ),
+    }
+}
+
+fn window_from(v: &Value) -> Result<Window, PlanError> {
+    let from = v
+        .opt_field("from")?
+        .map(Value::as_u64)
+        .transpose()?
+        .unwrap_or(0);
+    let to = v.opt_field("to")?.map(Value::as_u64).transpose()?;
+    if let Some(to) = to {
+        if to < from {
+            return Err(PlanError(format!("window [{from}, {to}) is inverted")));
+        }
+    }
+    Ok(Window { from, to })
+}
+
+fn link_from(v: &Value) -> Result<Link, PlanError> {
+    let pid = |name| -> Result<Option<Pid>, PlanError> {
+        Ok(v.opt_field(name)?
+            .map(Value::as_u64)
+            .transpose()?
+            .map(|p| p as Pid))
+    };
+    Ok(Link {
+        src: pid("src")?,
+        dst: pid("dst")?,
+    })
+}
+
+fn pids_from(v: &Value) -> Result<Vec<Pid>, PlanError> {
+    v.as_arr()?.iter().map(|p| Ok(p.as_u64()? as Pid)).collect()
+}
+
+fn prob_from(v: &Value, name: &str) -> Result<f64, PlanError> {
+    let p = v.field(name)?.as_f64()?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(PlanError(format!("\"{name}\" = {p} outside [0, 1]")));
+    }
+    Ok(p)
+}
+
+fn loss_model_from(v: &Value) -> Result<LossModel, PlanError> {
+    match v.field("law")?.as_str()? {
+        "bernoulli" => Ok(LossModel::Bernoulli(prob_from(v, "p")?)),
+        "gilbert-elliott" => Ok(LossModel::GilbertElliott {
+            to_bad: prob_from(v, "to_bad")?,
+            to_good: prob_from(v, "to_good")?,
+            good_loss: prob_from(v, "good_loss")?,
+            bad_loss: prob_from(v, "bad_loss")?,
+        }),
+        other => Err(PlanError(format!("unknown loss law \"{other}\""))),
+    }
+}
+
+impl FaultSpec {
+    fn to_json(&self) -> String {
+        match self {
+            FaultSpec::Loss {
+                window,
+                link,
+                model,
+            } => format!(
+                "{{\"kind\":\"loss\",{},{},\"model\":{}}}",
+                window_json(window),
+                link_json(link),
+                loss_model_json(model)
+            ),
+            FaultSpec::Partition { window, groups } => {
+                let gs: Vec<String> = groups.iter().map(|g| pids_json(g)).collect();
+                format!(
+                    "{{\"kind\":\"partition\",{},\"groups\":[{}]}}",
+                    window_json(window),
+                    gs.join(",")
+                )
+            }
+            FaultSpec::OneWay { window, src, dst } => format!(
+                "{{\"kind\":\"one-way\",{},\"src\":{},\"dst\":{}}}",
+                window_json(window),
+                pids_json(src),
+                pids_json(dst)
+            ),
+            FaultSpec::Duplicate { window, link, p } => format!(
+                "{{\"kind\":\"duplicate\",{},{},\"p\":{p}}}",
+                window_json(window),
+                link_json(link)
+            ),
+            FaultSpec::Reorder {
+                window,
+                link,
+                p,
+                max_extra,
+            } => format!(
+                "{{\"kind\":\"reorder\",{},{},\"p\":{p},\"max_extra\":{max_extra}}}",
+                window_json(window),
+                link_json(link)
+            ),
+            FaultSpec::DelaySpike { window, extra } => format!(
+                "{{\"kind\":\"delay-spike\",{},\"extra\":{extra}}}",
+                window_json(window)
+            ),
+            FaultSpec::Drift {
+                pid,
+                offset,
+                num,
+                den,
+            } => format!(
+                "{{\"kind\":\"drift\",\"pid\":{pid},\"offset\":{offset},\"num\":{num},\"den\":{den}}}"
+            ),
+            FaultSpec::Crash { pid, at } => {
+                format!("{{\"kind\":\"crash\",\"pid\":{pid},\"at\":{at}}}")
+            }
+            FaultSpec::Start { pid, at } => {
+                format!("{{\"kind\":\"start\",\"pid\":{pid},\"at\":{at}}}")
+            }
+            FaultSpec::Leave { pid, at } => {
+                format!("{{\"kind\":\"leave\",\"pid\":{pid},\"at\":{at}}}")
+            }
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<FaultSpec, PlanError> {
+        let pid_at = || -> Result<(Pid, Time), PlanError> {
+            Ok((v.field("pid")?.as_u64()? as Pid, v.field("at")?.as_u64()?))
+        };
+        match v.field("kind")?.as_str()? {
+            "loss" => Ok(FaultSpec::Loss {
+                window: window_from(v)?,
+                link: link_from(v)?,
+                model: loss_model_from(v.field("model")?)?,
+            }),
+            "partition" => Ok(FaultSpec::Partition {
+                window: window_from(v)?,
+                groups: v
+                    .field("groups")?
+                    .as_arr()?
+                    .iter()
+                    .map(pids_from)
+                    .collect::<Result<_, _>>()?,
+            }),
+            "one-way" => Ok(FaultSpec::OneWay {
+                window: window_from(v)?,
+                src: pids_from(v.field("src")?)?,
+                dst: pids_from(v.field("dst")?)?,
+            }),
+            "duplicate" => Ok(FaultSpec::Duplicate {
+                window: window_from(v)?,
+                link: link_from(v)?,
+                p: prob_from(v, "p")?,
+            }),
+            "reorder" => Ok(FaultSpec::Reorder {
+                window: window_from(v)?,
+                link: link_from(v)?,
+                p: prob_from(v, "p")?,
+                max_extra: v.field("max_extra")?.as_u64()? as u32,
+            }),
+            "delay-spike" => Ok(FaultSpec::DelaySpike {
+                window: window_from(v)?,
+                extra: v.field("extra")?.as_u64()? as u32,
+            }),
+            "drift" => {
+                let num = v.field("num")?.as_u64()?;
+                let den = v.field("den")?.as_u64()?;
+                if num == 0 || den == 0 {
+                    return Err(PlanError("drift rate must be positive".into()));
+                }
+                Ok(FaultSpec::Drift {
+                    pid: v.field("pid")?.as_u64()? as Pid,
+                    offset: v
+                        .opt_field("offset")?
+                        .map(Value::as_u64)
+                        .transpose()?
+                        .unwrap_or(0),
+                    num,
+                    den,
+                })
+            }
+            "crash" => pid_at().map(|(pid, at)| FaultSpec::Crash { pid, at }),
+            "start" => pid_at().map(|(pid, at)| FaultSpec::Start { pid, at }),
+            "leave" => pid_at().map(|(pid, at)| FaultSpec::Leave { pid, at }),
+            other => Err(PlanError(format!("unknown fault kind \"{other}\""))),
+        }
+    }
+}
+
+impl ProtoSpec {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"variant\":\"{}\",\"tmin\":{},\"tmax\":{},\"fix\":\"{}\",\"n\":{},\"duration\":{}}}",
+            self.variant.name(),
+            self.params.tmin(),
+            self.params.tmax(),
+            self.fix.name(),
+            self.n,
+            self.duration
+        )
+    }
+
+    fn from_value(v: &Value) -> Result<ProtoSpec, PlanError> {
+        let tmin = v.field("tmin")?.as_u64()? as u32;
+        let tmax = v.field("tmax")?.as_u64()? as u32;
+        Ok(ProtoSpec {
+            variant: variant_from_name(v.field("variant")?.as_str()?)?,
+            params: Params::new(tmin, tmax).map_err(|e| PlanError(e.to_string()))?,
+            fix: fix_from_name(v.field("fix")?.as_str()?)?,
+            n: v.field("n")?.as_u64()? as usize,
+            duration: v.field("duration")?.as_u64()?,
+        })
+    }
+}
+
+impl FaultPlan {
+    /// A plan with no faults (builder entry point).
+    pub fn new(name: impl Into<String>, seed: u64, proto: ProtoSpec) -> Self {
+        FaultPlan {
+            name: name.into(),
+            seed,
+            proto,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Append a fault (builder style).
+    #[must_use]
+    pub fn with(mut self, fault: FaultSpec) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The crash schedule embedded in the plan.
+    pub fn crashes(&self) -> Vec<(Pid, Time)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                FaultSpec::Crash { pid, at } => Some((*pid, *at)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The first scheduled crash time, if any.
+    pub fn first_crash(&self) -> Option<Time> {
+        self.crashes().iter().map(|&(_, t)| t).min()
+    }
+
+    /// Validate topology references: every pid a fault names must exist
+    /// (`0..=n`), start/leave only name participants, and leave needs the
+    /// dynamic variant.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        let n = self.proto.n;
+        let check = |pid: Pid, what: &str| {
+            if pid > n {
+                Err(PlanError(format!("{what} names pid {pid}, but n = {n}")))
+            } else {
+                Ok(())
+            }
+        };
+        let check_part = |pid: Pid, what: &str| {
+            if pid == 0 || pid > n {
+                Err(PlanError(format!(
+                    "{what} must name a participant in 1..={n}, got {pid}"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        for f in &self.faults {
+            match f {
+                FaultSpec::Loss { link, .. }
+                | FaultSpec::Duplicate { link, .. }
+                | FaultSpec::Reorder { link, .. } => {
+                    for pid in [link.src, link.dst].into_iter().flatten() {
+                        check(pid, "link")?;
+                    }
+                }
+                FaultSpec::Partition { groups, .. } => {
+                    for pid in groups.iter().flatten() {
+                        check(*pid, "partition group")?;
+                    }
+                }
+                FaultSpec::OneWay { src, dst, .. } => {
+                    for pid in src.iter().chain(dst) {
+                        check(*pid, "one-way cut")?;
+                    }
+                }
+                FaultSpec::DelaySpike { .. } => {}
+                FaultSpec::Drift { pid, .. } => check(*pid, "drift")?,
+                FaultSpec::Crash { pid, .. } => check(*pid, "crash")?,
+                FaultSpec::Start { pid, .. } => {
+                    check_part(*pid, "start")?;
+                    if !self.proto.variant.has_join_phase() {
+                        return Err(PlanError(format!(
+                            "start requires a join-capable variant, got {}",
+                            self.proto.variant
+                        )));
+                    }
+                }
+                FaultSpec::Leave { pid, .. } => {
+                    check_part(*pid, "leave")?;
+                    if !self.proto.variant.supports_leave() {
+                        return Err(PlanError(format!(
+                            "leave requires the dynamic variant, got {}",
+                            self.proto.variant
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to the shareable JSON spec (single line).
+    pub fn to_json(&self) -> String {
+        let faults: Vec<String> = self.faults.iter().map(FaultSpec::to_json).collect();
+        format!(
+            "{{\"record\":\"fault_plan\",\"name\":\"{}\",\"seed\":{},\"proto\":{},\"faults\":[{}]}}",
+            escape(&self.name),
+            self.seed,
+            self.proto.to_json(),
+            faults.join(",")
+        )
+    }
+
+    /// Parse and validate a JSON plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] on malformed JSON, unknown names, out-of-range
+    /// probabilities, or topology references outside `0..=n`.
+    pub fn from_json(text: &str) -> Result<FaultPlan, PlanError> {
+        let v = Value::parse(text)?;
+        if let Some(rec) = v.opt_field("record")? {
+            if rec.as_str()? != "fault_plan" {
+                return Err(PlanError(format!(
+                    "not a fault_plan record: {:?}",
+                    rec.as_str()
+                )));
+            }
+        }
+        let plan = FaultPlan {
+            name: v.field("name")?.as_str()?.to_string(),
+            seed: v.field("seed")?.as_u64()?,
+            proto: ProtoSpec::from_value(v.field("proto")?)?,
+            faults: v
+                .field("faults")?
+                .as_arr()?
+                .iter()
+                .map(FaultSpec::from_value)
+                .collect::<Result<_, _>>()?,
+        };
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proto() -> ProtoSpec {
+        ProtoSpec {
+            variant: Variant::Dynamic,
+            params: Params::new(2, 8).unwrap(),
+            fix: FixLevel::Full,
+            n: 3,
+            duration: 5_000,
+        }
+    }
+
+    fn rich_plan() -> FaultPlan {
+        FaultPlan::new("kitchen-sink", 42, proto())
+            .with(FaultSpec::Loss {
+                window: Window::always(),
+                link: Link::any(),
+                model: LossModel::GilbertElliott {
+                    to_bad: 0.05,
+                    to_good: 0.25,
+                    good_loss: 0.0,
+                    bad_loss: 1.0,
+                },
+            })
+            .with(FaultSpec::Loss {
+                window: Window::between(100, 200),
+                link: Link::between(1, 0),
+                model: LossModel::Bernoulli(0.5),
+            })
+            .with(FaultSpec::Partition {
+                window: Window::between(1_000, 1_080),
+                groups: vec![vec![0, 1], vec![2, 3]],
+            })
+            .with(FaultSpec::OneWay {
+                window: Window::between(2_000, 2_040),
+                src: vec![0],
+                dst: vec![2],
+            })
+            .with(FaultSpec::Duplicate {
+                window: Window::always(),
+                link: Link::any(),
+                p: 0.05,
+            })
+            .with(FaultSpec::Reorder {
+                window: Window::always(),
+                link: Link::any(),
+                p: 0.2,
+                max_extra: 3,
+            })
+            .with(FaultSpec::DelaySpike {
+                window: Window::between(3_000, 3_016),
+                extra: 5,
+            })
+            .with(FaultSpec::Drift {
+                pid: 1,
+                offset: 1,
+                num: 103,
+                den: 100,
+            })
+            .with(FaultSpec::Start { pid: 2, at: 40 })
+            .with(FaultSpec::Leave { pid: 3, at: 900 })
+            .with(FaultSpec::Crash { pid: 1, at: 4_000 })
+    }
+
+    #[test]
+    fn every_fault_kind_round_trips_through_json() {
+        let plan = rich_plan();
+        let json = plan.to_json();
+        let back = FaultPlan::from_json(&json).unwrap();
+        assert_eq!(back, plan);
+        // Serialization is canonical: re-emitting is byte-identical.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn validation_catches_bad_topology() {
+        let bad = FaultPlan::new("p", 1, proto()).with(FaultSpec::Crash { pid: 9, at: 5 });
+        assert!(bad.validate().is_err());
+        let mut p = proto();
+        p.variant = Variant::Binary;
+        let bad = FaultPlan::new("p", 1, p).with(FaultSpec::Leave { pid: 1, at: 5 });
+        assert!(bad.validate().unwrap_err().to_string().contains("dynamic"));
+        let bad = FaultPlan::new("p", 1, p).with(FaultSpec::Start { pid: 1, at: 5 });
+        assert!(bad.validate().is_err());
+        let bad = FaultPlan::new("p", 1, proto()).with(FaultSpec::Partition {
+            window: Window::always(),
+            groups: vec![vec![0], vec![7]],
+        });
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_plans() {
+        for bad in [
+            "{}",
+            r#"{"record":"run_summary","name":"x","seed":1}"#,
+            r#"{"name":"x","seed":1,"proto":{"variant":"nope","tmin":1,"tmax":2,"fix":"full-fix","n":1,"duration":10},"faults":[]}"#,
+            r#"{"name":"x","seed":1,"proto":{"variant":"binary","tmin":0,"tmax":2,"fix":"full-fix","n":1,"duration":10},"faults":[]}"#,
+            r#"{"name":"x","seed":1,"proto":{"variant":"binary","tmin":1,"tmax":2,"fix":"full-fix","n":1,"duration":10},"faults":[{"kind":"loss","model":{"law":"bernoulli","p":1.5}}]}"#,
+            r#"{"name":"x","seed":1,"proto":{"variant":"binary","tmin":1,"tmax":2,"fix":"full-fix","n":1,"duration":10},"faults":[{"kind":"wat"}]}"#,
+        ] {
+            assert!(FaultPlan::from_json(bad).is_err(), "{bad} must fail");
+        }
+    }
+
+    #[test]
+    fn defaults_fill_in_omitted_fields() {
+        let json = r#"{"name":"min","seed":7,
+            "proto":{"variant":"binary","tmin":2,"tmax":8,"fix":"original","n":1,"duration":100},
+            "faults":[{"kind":"loss","model":{"law":"bernoulli","p":0.1}},
+                      {"kind":"drift","pid":1,"num":101,"den":100}]}"#;
+        let plan = FaultPlan::from_json(json).unwrap();
+        match &plan.faults[0] {
+            FaultSpec::Loss { window, link, .. } => {
+                assert_eq!(*window, Window::always());
+                assert_eq!(*link, Link::any());
+            }
+            other => panic!("{other:?}"),
+        }
+        match &plan.faults[1] {
+            FaultSpec::Drift { offset, .. } => assert_eq!(*offset, 0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn windows_and_links_match_correctly() {
+        let w = Window::between(10, 20);
+        assert!(!w.contains(9) && w.contains(10) && w.contains(19) && !w.contains(20));
+        assert!(Window::always().contains(u64::MAX));
+        let l = Link {
+            src: Some(0),
+            dst: None,
+        };
+        assert!(l.matches(0, 5) && !l.matches(1, 0));
+        assert!(Link::between(1, 0).matches(1, 0));
+        assert!(!Link::between(1, 0).matches(0, 1));
+    }
+
+    #[test]
+    fn crash_schedule_is_extracted() {
+        let plan = rich_plan();
+        assert_eq!(plan.crashes(), vec![(1, 4_000)]);
+        assert_eq!(plan.first_crash(), Some(4_000));
+    }
+}

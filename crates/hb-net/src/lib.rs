@@ -43,7 +43,7 @@ pub use cluster::{ClusterConfig, LiveReport, VirtualCluster};
 pub use events::{Counters, EventSink};
 pub use loopback::{Faults, LoopbackEndpoint, LoopbackNet, NetStats};
 pub use node::{NodeReport, NodeRuntime};
-pub use time::{Time, TimeSource, VirtualClock, WallClock};
+pub use time::{SkewedClock, Time, TimeSource, VirtualClock, WallClock};
 pub use transport::{Recv, Transport};
 pub use udp::UdpTransport;
 pub use wire::{Command, DecodeError, Frame, WIRE_VERSION};

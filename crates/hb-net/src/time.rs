@@ -65,6 +65,63 @@ impl TimeSource for WallClock {
     }
 }
 
+/// A time source whose clock runs at a rational multiple of another's,
+/// plus a fixed offset: local tick = `offset + inner·num/den`. This is
+/// how per-node clock drift and skew are injected into the live runtime —
+/// a node driven by a `SkewedClock` observes deadlines early (fast clock,
+/// `num > den`) or late (slow clock), while the rest of the cluster keeps
+/// true time.
+#[derive(Clone, Debug)]
+pub struct SkewedClock<C> {
+    inner: C,
+    offset: Time,
+    num: u64,
+    den: u64,
+}
+
+impl<C: TimeSource> SkewedClock<C> {
+    /// Skew `inner` by `offset` ticks and a `num/den` rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num` or `den` is zero (a stopped clock hangs a node).
+    pub fn new(inner: C, offset: Time, num: u64, den: u64) -> Self {
+        assert!(num > 0 && den > 0, "skew rate must be positive");
+        SkewedClock {
+            inner,
+            offset,
+            num,
+            den,
+        }
+    }
+
+    /// Map a true tick onto this clock's local tick.
+    pub fn map(&self, t: Time) -> Time {
+        self.offset + t.saturating_mul(self.num) / self.den
+    }
+
+    /// The true tick at which this clock first reads `local` or more
+    /// (saturating; used to translate local deadlines back to true time).
+    fn unmap(&self, local: Time) -> Time {
+        if local <= self.offset {
+            return 0;
+        }
+        // Smallest t with offset + t*num/den >= local.
+        let need = local - self.offset;
+        need.saturating_mul(self.den).div_ceil(self.num)
+    }
+}
+
+impl<C: TimeSource> TimeSource for SkewedClock<C> {
+    fn now(&self) -> Time {
+        self.map(self.inner.now())
+    }
+
+    fn until(&self, t: Time) -> Duration {
+        self.inner.until(self.unmap(t))
+    }
+}
+
 /// A manually advanced time source for deterministic runs. Cloning
 /// shares the underlying counter, so every node of a virtual cluster
 /// observes the same tick.
@@ -122,5 +179,28 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_tick_is_rejected() {
         WallClock::new(Duration::ZERO);
+    }
+
+    #[test]
+    fn skewed_clock_runs_fast_slow_and_offset() {
+        let base = VirtualClock::new();
+        let fast = SkewedClock::new(base.clone(), 0, 3, 2);
+        let slow = SkewedClock::new(base.clone(), 0, 1, 2);
+        let ahead = SkewedClock::new(base.clone(), 10, 1, 1);
+        base.advance(100);
+        assert_eq!(fast.now(), 150);
+        assert_eq!(slow.now(), 50);
+        assert_eq!(ahead.now(), 110);
+        // Deadline translation: local 150 on the fast clock is true 100.
+        assert_eq!(fast.unmap(150), 100);
+        assert_eq!(slow.unmap(50), 100);
+        assert_eq!(ahead.unmap(5), 0, "already past");
+        assert_eq!(fast.until(10_000), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "skew rate")]
+    fn zero_skew_rate_is_rejected() {
+        SkewedClock::new(VirtualClock::new(), 0, 0, 1);
     }
 }

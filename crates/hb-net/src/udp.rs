@@ -32,7 +32,25 @@ pub struct UdpTransport {
     peers: HashMap<Pid, SocketAddr>,
     queued: VecDeque<Recv>,
     decode_errors: u64,
+    soft_errors: u64,
     buf: [u8; MAX_DATAGRAM],
+}
+
+/// Whether an I/O error is a transient localhost condition the transport
+/// absorbs rather than surfaces: a full send buffer behaves like a lossy
+/// network, and `ECONNREFUSED`/`ECONNRESET` are ICMP echoes of an earlier
+/// datagram that bounced off a dead peer — exactly the message loss the
+/// protocols are built to tolerate.
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::HostUnreachable
+            | io::ErrorKind::NetworkUnreachable
+    )
 }
 
 impl UdpTransport {
@@ -44,6 +62,7 @@ impl UdpTransport {
             peers: HashMap::new(),
             queued: VecDeque::new(),
             decode_errors: 0,
+            soft_errors: 0,
             buf: [0; MAX_DATAGRAM],
         })
     }
@@ -66,6 +85,12 @@ impl UdpTransport {
     /// Datagrams that failed to decode so far.
     pub fn decode_errors(&self) -> u64 {
         self.decode_errors
+    }
+
+    /// Transient socket errors absorbed so far (full buffers, ICMP
+    /// connection-refused echoes, interrupted syscalls).
+    pub fn soft_errors(&self) -> u64 {
+        self.soft_errors
     }
 
     /// Decode one received datagram; on success queue it and learn the
@@ -96,8 +121,20 @@ impl Transport for UdpTransport {
                 format!("no route to pid {dst}"),
             ));
         };
-        self.socket.send_to(&frame.encode(), addr)?;
-        Ok(())
+        let bytes = frame.encode();
+        loop {
+            match self.socket.send_to(&bytes, addr) {
+                Ok(_) => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if is_transient(&e) => {
+                    // The datagram is gone, as if the network ate it —
+                    // which the heartbeat protocols tolerate by design.
+                    self.soft_errors += 1;
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     fn try_recv(&mut self, _now: Time) -> io::Result<Option<Recv>> {
@@ -109,6 +146,13 @@ impl Transport for UdpTransport {
             match self.socket.recv_from(&mut self.buf) {
                 Ok((len, from)) => self.accept(len, from),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if is_transient(&e) => {
+                    // ICMP echo of an own datagram that bounced; the
+                    // socket is still healthy — keep draining.
+                    self.soft_errors += 1;
+                    continue;
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -125,7 +169,12 @@ impl Transport for UdpTransport {
         match self.socket.recv_from(&mut self.buf) {
             Ok((len, from)) => self.accept(len, from),
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_transient(&e) => {
+                // A transient error is a spurious wakeup; callers re-poll.
+                self.soft_errors += 1;
             }
             Err(e) => return Err(e),
         }
@@ -189,6 +238,50 @@ mod tests {
         let r = recv_with_retry(&mut b).expect("the good frame still arrives");
         assert_eq!(r.frame, Frame::beat(0, Heartbeat::plain()));
         assert!(b.decode_errors() >= 1);
+    }
+
+    #[test]
+    fn dead_peer_is_survived_as_loss() {
+        // Send repeatedly to a port whose socket is gone: the kernel may
+        // echo ICMP connection-refused on any later call, and none of it
+        // may surface as a fatal transport error.
+        let mut a = UdpTransport::bind("127.0.0.1:0").unwrap();
+        let dead = {
+            let victim = UdpSocket::bind("127.0.0.1:0").unwrap();
+            victim.local_addr().unwrap()
+        }; // victim dropped: port closed
+        a.add_peer(1, dead);
+        for _ in 0..20 {
+            a.send(0, 1, &Frame::beat(0, Heartbeat::plain()), 0)
+                .expect("send to a dead peer must not be fatal");
+            assert!(
+                a.try_recv(0)
+                    .expect("recv after bounce must not be fatal")
+                    .is_none(),
+                "nothing real can arrive"
+            );
+            a.wait(Duration::from_millis(1))
+                .expect("wait after bounce must not be fatal");
+        }
+    }
+
+    #[test]
+    fn transient_error_kinds_are_classified() {
+        for kind in [
+            io::ErrorKind::WouldBlock,
+            io::ErrorKind::ConnectionRefused,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::ConnectionAborted,
+        ] {
+            assert!(is_transient(&io::Error::from(kind)), "{kind:?}");
+        }
+        for kind in [
+            io::ErrorKind::NotConnected,
+            io::ErrorKind::PermissionDenied,
+            io::ErrorKind::AddrInUse,
+        ] {
+            assert!(!is_transient(&io::Error::from(kind)), "{kind:?}");
+        }
     }
 
     #[test]

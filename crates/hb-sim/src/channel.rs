@@ -22,6 +22,48 @@ pub struct InFlight {
     pub budget_left: u32,
 }
 
+/// What an external fault engine decided for one message: drop it, or
+/// deliver some number of copies with extra delay beyond the uniform
+/// in-budget draw. `Deliver { copies: 1, extra_delay: 0 }` is a plain
+/// faultless send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendFate {
+    /// The message is lost.
+    Drop,
+    /// The message is delivered, possibly duplicated and/or late.
+    Deliver {
+        /// Number of copies injected into the channel (0 behaves as a
+        /// drop that still reports the send as accepted).
+        copies: u32,
+        /// Additional delay ticks on top of the uniform `0..=budget`
+        /// draw. May exceed the round-trip budget — that is the point of
+        /// a delay-spike adversary.
+        extra_delay: u32,
+    },
+}
+
+impl SendFate {
+    /// The fate of a message on a healthy channel.
+    pub fn clean() -> Self {
+        SendFate::Deliver {
+            copies: 1,
+            extra_delay: 0,
+        }
+    }
+}
+
+/// An external adversary consulted for every message the world sends.
+///
+/// Installing a hook (`World::set_fault_hook`) **replaces** the channel's
+/// own [`LossModel`] as the drop authority: the hook owns all fault
+/// randomness (so fault schedules are reproducible independently of the
+/// world's delay stream) while the channel keeps drawing in-budget
+/// delays.
+pub trait FaultHook: Send + std::fmt::Debug {
+    /// Decide the fate of a message from `src` to `dst` sent at `now`.
+    fn fate(&mut self, now: Time, src: Pid, dst: Pid) -> SendFate;
+}
+
 /// How the channel decides to drop messages.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum LossModel {
@@ -188,6 +230,46 @@ impl Channel {
         true
     }
 
+    /// Send a message over the `(src, dst)` link whose drop/duplicate/delay
+    /// fate was already decided by an external [`FaultHook`]. The channel's
+    /// own loss model and outage window are bypassed; only the uniform
+    /// in-budget delay draw remains local. Returns `true` if at least one
+    /// copy was scheduled.
+    pub fn send_shaped<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        now: Time,
+        (src, dst): (Pid, Pid),
+        hb: Heartbeat,
+        budget: u32,
+        fate: SendFate,
+    ) -> bool {
+        self.sent += 1;
+        let SendFate::Deliver {
+            copies,
+            extra_delay,
+        } = fate
+        else {
+            self.lost += 1;
+            return false;
+        };
+        if copies == 0 {
+            self.lost += 1;
+            return false;
+        }
+        for _ in 0..copies {
+            let delay = rng.gen_range(0..=budget) + extra_delay;
+            self.in_flight.push(InFlight {
+                deliver_at: now + Time::from(delay),
+                src,
+                dst,
+                hb,
+                budget_left: budget.saturating_sub(delay),
+            });
+        }
+        true
+    }
+
     /// Remove and return every message due at `now` (unordered).
     pub fn due(&mut self, now: Time) -> Vec<InFlight> {
         let mut due = Vec::new();
@@ -340,6 +422,33 @@ mod tests {
             bursty > 2 * smooth.max(1),
             "GE runs ({bursty}) should dwarf Bernoulli runs ({smooth})"
         );
+    }
+
+    #[test]
+    fn shaped_sends_follow_the_dictated_fate() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut ch = Channel::new(0.0);
+        assert!(!ch.send_shaped(&mut rng, 0, (0, 1), Heartbeat::plain(), 2, SendFate::Drop));
+        assert_eq!((ch.sent, ch.lost, ch.pending()), (1, 1, 0));
+        // Zero copies behaves as a drop.
+        let gone = SendFate::Deliver {
+            copies: 0,
+            extra_delay: 0,
+        };
+        assert!(!ch.send_shaped(&mut rng, 0, (0, 1), Heartbeat::plain(), 2, gone));
+        assert_eq!((ch.sent, ch.lost), (2, 2));
+        // Duplication schedules every copy; extra delay may exceed the
+        // budget, which zeroes the remaining reply budget.
+        let dup = SendFate::Deliver {
+            copies: 3,
+            extra_delay: 5,
+        };
+        assert!(ch.send_shaped(&mut rng, 10, (0, 1), Heartbeat::plain(), 2, dup));
+        assert_eq!(ch.pending(), 3);
+        for m in &ch.in_flight {
+            assert!(m.deliver_at >= 15 && m.deliver_at <= 17);
+            assert_eq!(m.budget_left, 0);
+        }
     }
 
     #[test]

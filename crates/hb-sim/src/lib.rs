@@ -48,7 +48,7 @@ pub mod schema;
 pub mod world;
 
 pub use baseline::{NaiveConfig, NaiveWorld};
-pub use channel::LossModel;
+pub use channel::{FaultHook, LossModel, SendFate};
 pub use metrics::Report;
 pub use scenario::{run_scenario, Scenario};
 pub use schema::RunSummary;

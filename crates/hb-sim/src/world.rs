@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::channel::{Channel, InFlight, LossModel, Time};
+use crate::channel::{Channel, FaultHook, InFlight, LossModel, Time};
 use crate::metrics::Report;
 
 /// Static configuration of a simulation world.
@@ -49,6 +49,7 @@ pub struct World {
     leave_after: Vec<Option<Time>>,
     scheduled_crashes: Vec<(Pid, Time)>,
     channel: Channel,
+    fault_hook: Option<Box<dyn FaultHook>>,
     rng: StdRng,
     now: Time,
     crashes: Vec<(Pid, Time)>,
@@ -79,6 +80,7 @@ impl World {
             leave_after: vec![None; cfg.n],
             scheduled_crashes: Vec::new(),
             channel: Channel::new(cfg.loss_prob),
+            fault_hook: None,
             rng: StdRng::seed_from_u64(seed),
             now: 0,
             crashes: Vec::new(),
@@ -124,6 +126,14 @@ impl World {
         self.channel.set_outage(from, to);
     }
 
+    /// Install an external fault engine that decides the fate of every
+    /// message (drop / duplicate / extra delay). The hook **replaces**
+    /// the channel's own loss model as the drop authority; call before
+    /// running.
+    pub fn set_fault_hook(&mut self, hook: Box<dyn FaultHook>) {
+        self.fault_hook = Some(hook);
+    }
+
     /// Make participant `pid` leave at the first beat it answers at or
     /// after time `t` (dynamic variant).
     pub fn schedule_leave(&mut self, pid: Pid, t: Time) {
@@ -165,7 +175,13 @@ impl World {
 
     fn send(&mut self, src: Pid, dst: Pid, hb: hb_core::Heartbeat, budget: u32) {
         let now = self.now;
-        let ok = self.channel.send(&mut self.rng, now, src, dst, hb, budget);
+        let ok = if let Some(hook) = &mut self.fault_hook {
+            let fate = hook.fate(now, src, dst);
+            self.channel
+                .send_shaped(&mut self.rng, now, (src, dst), hb, budget, fate)
+        } else {
+            self.channel.send(&mut self.rng, now, src, dst, hb, budget)
+        };
         self.log_event(Event::Send {
             at: now,
             from: src,
@@ -559,6 +575,32 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn fault_hook_owns_the_drop_decision() {
+        // A one-way adversary: replies (1 -> 0) vanish, beats (0 -> 1)
+        // pass. The coordinator starves and inactivates; the participant
+        // follows once the beats stop. No crash was injected, so these
+        // count as false inactivations.
+        #[derive(Debug)]
+        struct EatReplies;
+        impl crate::channel::FaultHook for EatReplies {
+            fn fate(&mut self, _now: Time, src: Pid, _dst: Pid) -> crate::channel::SendFate {
+                if src == 0 {
+                    crate::channel::SendFate::clean()
+                } else {
+                    crate::channel::SendFate::Drop
+                }
+            }
+        }
+        let mut w = World::new(cfg(Variant::Binary, 2, 8), 7);
+        w.set_fault_hook(Box::new(EatReplies));
+        w.run_until(10_000);
+        let r = w.into_report();
+        assert!(r.all_inactive(), "one-way starvation must bring it down");
+        assert!(r.false_inactivations >= 2);
+        assert!(r.messages_lost > 0);
     }
 
     #[test]

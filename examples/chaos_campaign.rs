@@ -1,0 +1,138 @@
+//! Run a chaos campaign: sweep a fault grid (burst loss × partition ×
+//! drift) over the protocol at several fix levels and report detection
+//! delays against the claimed and corrected §6.2 bounds.
+//!
+//! ```text
+//! cargo run --release --example chaos_campaign                  # full grid, sim
+//! cargo run --release --example chaos_campaign -- --smoke       # CI grid, seed-pinned
+//! cargo run --release --example chaos_campaign -- --backend live
+//! cargo run --release --example chaos_campaign -- --out artifacts/campaign.json
+//! cargo run --release --example chaos_campaign -- --table       # markdown summary
+//! ```
+//!
+//! The report is deterministic: the same grid, seeds, and backend always
+//! produce byte-identical JSON, regardless of `--threads`. CI runs the
+//! smoke grid twice and diffs the outputs.
+
+use std::io::Write as _;
+
+use accelerated_heartbeat::chaos::{run_campaign, Backend, CampaignReport, CampaignSpec};
+use accelerated_heartbeat::core::{FixLevel, Params, Variant};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// The seed-pinned CI grid: 8 cells, 3 seeds, sim backend, < 1 s.
+fn smoke_spec(threads: usize) -> CampaignSpec {
+    CampaignSpec {
+        name: "smoke".into(),
+        backend: Backend::Sim,
+        variant: Variant::Binary,
+        params: Params::new(2, 8).unwrap(),
+        n: 1,
+        duration: 600,
+        fixes: vec![FixLevel::Original, FixLevel::ReceivePriority],
+        loss: vec![0.0, 0.05],
+        burst: vec![2.0],
+        drift: vec![(1, 1)],
+        partition: vec![0, 8],
+        seeds: vec![1, 2, 3],
+        threads,
+    }
+}
+
+/// The full grid behind EXPERIMENTS.md: loss × burst × drift × partition
+/// at three fix levels, ten seeds per cell.
+fn full_spec(backend: Backend, threads: usize) -> CampaignSpec {
+    CampaignSpec {
+        name: "gm98-grid".into(),
+        backend,
+        variant: Variant::Binary,
+        params: Params::new(2, 8).unwrap(),
+        n: 1,
+        duration: 2_000,
+        fixes: vec![
+            FixLevel::Original,
+            FixLevel::ReceivePriority,
+            FixLevel::Full,
+        ],
+        loss: vec![0.0, 0.02, 0.05],
+        burst: vec![2.0],
+        drift: vec![(1, 1), (101, 100)],
+        partition: vec![0, 8],
+        seeds: (1..=10).collect(),
+        threads,
+    }
+}
+
+/// Render the report as a markdown table (the EXPERIMENTS.md format).
+fn markdown_table(report: &CampaignReport) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| fix | loss | drift | partition | detected | down first | mean delay | max | \
+         claimed | corrected | >claimed | >corrected | false susp. |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
+    for c in &report.cells {
+        out.push_str(&format!(
+            "| {} | {} | {}/{} | {} | {}/{} | {} | {:.1} | {} | {} | {} | {} | {} | {} |\n",
+            c.cell.fix.name(),
+            c.cell.loss,
+            c.cell.drift.0,
+            c.cell.drift.1,
+            c.cell.partition,
+            c.detected,
+            c.runs,
+            c.down_before_crash,
+            c.detect_mean,
+            c.detect_max,
+            c.claimed_bound,
+            c.corrected_bound,
+            c.violations_claimed,
+            c.violations_corrected,
+            c.false_suspicions,
+        ));
+    }
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = match arg_value(&args, "--threads") {
+        Some(t) => t.parse()?,
+        None => std::thread::available_parallelism().map_or(4, |p| p.get()),
+    };
+    let backend = match arg_value(&args, "--backend") {
+        Some(name) => Backend::from_name(&name)
+            .ok_or_else(|| format!("unknown backend {name:?} (sim|live)"))?,
+        None => Backend::Sim,
+    };
+    let spec = if args.iter().any(|a| a == "--smoke") {
+        smoke_spec(threads)
+    } else {
+        full_spec(backend, threads)
+    };
+
+    let report = run_campaign(&spec);
+    let json = report.to_json();
+
+    if let Some(path) = arg_value(&args, "--out") {
+        let mut file = std::fs::File::create(&path)?;
+        writeln!(file, "{json}")?;
+        eprintln!(
+            "campaign {:?}: {} cells, {} runs -> {path}",
+            spec.name,
+            report.cells.len(),
+            report.total_runs()
+        );
+    }
+    if args.iter().any(|a| a == "--table") {
+        print!("{}", markdown_table(&report));
+    } else {
+        println!("{json}");
+    }
+    Ok(())
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# The evaluation suite, runnable locally: every bench target of the
+# `bench` crate (the paper's tables and figures), then a chaos campaign
+# over the fault grid, leaving its JSON report in BENCH_chaos.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo bench (paper tables and figures)"
+cargo bench -p bench
+
+echo "==> chaos campaign (sim backend)"
+cargo run --release --example chaos_campaign -- --out BENCH_chaos.json --table
+
+echo "benchmarks done; campaign report in BENCH_chaos.json"

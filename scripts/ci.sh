@@ -9,6 +9,14 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> chaos smoke campaign (seed-pinned, injector determinism)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run --release --example chaos_campaign -- --smoke --out "$tmpdir/a.json" >/dev/null
+cargo run --release --example chaos_campaign -- --smoke --threads 1 --out "$tmpdir/b.json" >/dev/null
+diff "$tmpdir/a.json" "$tmpdir/b.json" \
+  || { echo "chaos campaign is not deterministic" >&2; exit 1; }
+
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -20,6 +20,11 @@
 //! * [`net`] (`hb-net`) — a live runtime: wire codec, loopback and UDP
 //!   transports, wall/virtual time sources, and a deadline-driven node
 //!   event loop running the unmodified machines in real time.
+//! * [`chaos`] (`hb-chaos`) — deterministic fault injection: declarative
+//!   JSON fault plans (burst loss, partitions, duplication, reordering,
+//!   delay spikes, clock drift, crash/churn schedules) executed on both
+//!   the simulator and the live runtime, plus a parallel chaos-campaign
+//!   runner sweeping fault grids into deterministic reports.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +52,7 @@
 //! assert_eq!(report.false_inactivations, 0);
 //! ```
 
+pub use hb_chaos as chaos;
 pub use hb_core as core;
 pub use hb_net as net;
 pub use hb_sim as sim;

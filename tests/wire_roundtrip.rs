@@ -100,6 +100,124 @@ proptest! {
     }
 }
 
+/// Drain a byte stream frame by frame, the way a TCP-style reader would:
+/// decode at the front, consume `used`, repeat. Returns the decoded
+/// frames and the undecodable tail (empty, a truncated prefix awaiting
+/// more bytes, or garbage).
+fn drain_stream(mut bytes: &[u8]) -> (Vec<Frame>, &[u8]) {
+    let mut frames = Vec::new();
+    while !bytes.is_empty() {
+        match Frame::decode(bytes) {
+            Ok((frame, used)) => {
+                frames.push(frame);
+                bytes = &bytes[used..];
+            }
+            Err(_) => break,
+        }
+    }
+    (frames, bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // -- Adversarial streams: the network may concatenate, duplicate, --
+    // -- reorder, or truncate frames; the reader must never panic and --
+    // -- must never invent frame boundaries that were not sent.       --
+
+    #[test]
+    fn concatenated_frames_never_misframe(
+        frames in prop::collection::vec(any_frame(), 0..12),
+    ) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.encode());
+        }
+        let (decoded, rest) = drain_stream(&stream);
+        prop_assert_eq!(decoded, frames);
+        prop_assert!(rest.is_empty(), "nothing may be left over");
+    }
+
+    #[test]
+    fn duplicated_frames_survive_framing(
+        frame in any_frame(),
+        copies in 2usize..8,
+    ) {
+        let mut stream = Vec::new();
+        for _ in 0..copies {
+            stream.extend_from_slice(&frame.encode());
+        }
+        let (decoded, rest) = drain_stream(&stream);
+        prop_assert_eq!(decoded.len(), copies);
+        prop_assert!(decoded.iter().all(|f| *f == frame));
+        prop_assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn reordered_frames_keep_their_boundaries(
+        frames in prop::collection::vec(any_frame(), 2..10),
+        rot in 1usize..9,
+    ) {
+        // Reordering is delivery-order permutation, not byte shuffling:
+        // any rotation of the frame sequence must still frame cleanly.
+        let mut reordered = frames.clone();
+        reordered.rotate_left(rot % frames.len());
+        let mut stream = Vec::new();
+        for f in &reordered {
+            stream.extend_from_slice(&f.encode());
+        }
+        let (decoded, rest) = drain_stream(&stream);
+        prop_assert_eq!(decoded, reordered);
+        prop_assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn truncated_streams_resume_after_the_missing_bytes_arrive(
+        frames in prop::collection::vec(any_frame(), 1..8),
+        cut_back in 1usize..7,
+    ) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.encode());
+        }
+        let last_len = frames.last().unwrap().encode().len();
+        let cut = stream.len() - (cut_back % last_len).max(1);
+        // First read: everything before the torn final frame, and only that.
+        let (head, rest) = drain_stream(&stream[..cut]);
+        prop_assert_eq!(&head[..], &frames[..frames.len() - 1]);
+        prop_assert_eq!(Frame::decode(rest), Err(DecodeError::Truncated));
+        // The tail completes once the remaining bytes arrive.
+        let mut tail = rest.to_vec();
+        tail.extend_from_slice(&stream[cut..]);
+        let (completed, left) = drain_stream(&tail);
+        prop_assert_eq!(&completed[..], &frames[frames.len() - 1..]);
+        prop_assert!(left.is_empty());
+    }
+
+    #[test]
+    fn corrupted_concatenations_never_panic_and_stay_canonical(
+        frames in prop::collection::vec(any_frame(), 1..6),
+        pos in 0usize..64,
+        xor in 1u8..=255,
+    ) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.encode());
+        }
+        let at = pos % stream.len();
+        stream[at] ^= xor;
+        // Whatever the reader salvages must be canonical re-encodings of
+        // what it consumed — it may stop early, it may not invent data.
+        let (decoded, rest) = drain_stream(&stream);
+        let mut reencoded = Vec::new();
+        for f in &decoded {
+            reencoded.extend_from_slice(&f.encode());
+        }
+        prop_assert_eq!(reencoded.len() + rest.len(), stream.len());
+        prop_assert_eq!(&stream[..reencoded.len()], &reencoded[..]);
+    }
+}
+
 /// The proptest! shim needs `Arbitrary` for u8; exercise the boundary
 /// frames explicitly so the corner cases never depend on random draws.
 #[test]
