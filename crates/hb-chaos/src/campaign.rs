@@ -3,12 +3,14 @@
 //!
 //! A [`CampaignSpec`] is the cartesian grid
 //! `fix × loss × burst × drift × partition`; every cell is executed for
-//! every seed, twice — once with a participant crash at mid-run
+//! every seed, three times — once with a participant crash at mid-run
 //! (measuring detection delay against the claimed and corrected §6.2
-//! bounds) and once quiet (measuring false suspicions and steady-state
-//! overhead). Cells are distributed across worker threads; results are
-//! collected in grid order, so the emitted report is deterministic and a
-//! campaign re-run diffs clean (the CI smoke campaign relies on this).
+//! bounds), once with the crash followed by a §7 revive (measuring
+//! re-convergence and stale-beat admission), and once quiet (measuring
+//! false suspicions and steady-state overhead). Cells are distributed
+//! across worker threads; results are collected in grid order, so the
+//! emitted report is deterministic and a campaign re-run diffs clean
+//! (the CI smoke campaign relies on this).
 
 use std::fmt::Write as _;
 
@@ -104,6 +106,16 @@ pub struct CellStats {
     /// Mean messages per tick over the quiet runs (steady-state
     /// overhead).
     pub msg_per_tick: f64,
+    /// Revive runs in which the revived participant re-registered at the
+    /// coordinator before the horizon.
+    pub reconverged: usize,
+    /// Mean revive-to-re-registration delay over re-converged runs.
+    pub reconv_mean: f64,
+    /// Worst re-convergence delay.
+    pub reconv_max: Time,
+    /// Stale (superseded-epoch) beats the coordinator admitted as fresh,
+    /// summed over the revive runs.
+    pub stale_admitted: u64,
 }
 
 /// A finished campaign.
@@ -166,9 +178,30 @@ impl CampaignSpec {
 /// The crashing participant in campaign runs.
 pub const CRASH_PID: Pid = 1;
 
+/// Which of the per-seed runs a campaign plan describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunKind {
+    /// No lifecycle fault: false suspicions and steady-state overhead.
+    Quiet,
+    /// Participant 1 crashes at mid-run and stays down: detection delay.
+    Crash,
+    /// The mid-run crash followed by a §7 revive half a `tmax` later:
+    /// re-convergence and stale-beat admission.
+    CrashRevive,
+}
+
+impl RunKind {
+    fn suffix(self) -> &'static str {
+        match self {
+            RunKind::Quiet => "/quiet",
+            RunKind::Crash => "/crash",
+            RunKind::CrashRevive => "/revive",
+        }
+    }
+}
+
 /// Build the fault plan for one `(cell, seed)` run of a campaign.
-/// `crash` adds the mid-run crash of participant 1.
-pub fn cell_plan(spec: &CampaignSpec, cell: &Cell, seed: u64, crash: bool) -> FaultPlan {
+pub fn cell_plan(spec: &CampaignSpec, cell: &Cell, seed: u64, kind: RunKind) -> FaultPlan {
     let proto = ProtoSpec {
         variant: spec.variant,
         params: spec.params,
@@ -187,7 +220,7 @@ pub fn cell_plan(spec: &CampaignSpec, cell: &Cell, seed: u64, crash: bool) -> Fa
             cell.drift.1,
             cell.partition,
             seed,
-            if crash { "/crash" } else { "/quiet" }
+            kind.suffix()
         ),
         seed,
         proto,
@@ -217,10 +250,19 @@ pub fn cell_plan(spec: &CampaignSpec, cell: &Cell, seed: u64, crash: bool) -> Fa
             den: cell.drift.1,
         });
     }
-    if crash {
+    if kind != RunKind::Quiet {
         plan = plan.with(FaultSpec::Crash {
             pid: CRASH_PID,
             at: spec.duration / 2,
+        });
+    }
+    if kind == RunKind::CrashRevive {
+        // Half a round later: strictly after the crash, but well inside
+        // the coordinator's detection chain, so the revived incarnation
+        // can re-register before the cluster shuts down.
+        plan = plan.with(FaultSpec::Revive {
+            pid: CRASH_PID,
+            at: spec.duration / 2 + Time::from(spec.params.tmax() / 2).max(1),
         });
     }
     plan
@@ -238,8 +280,13 @@ fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellStats {
     let mut violations_corrected = 0;
     let mut false_suspicions = 0u64;
     let mut rate_sum = 0.0f64;
+    let mut reconverged = 0usize;
+    let mut reconv_sum = 0u128;
+    let mut reconv_max = 0;
+    let mut stale_admitted = 0u64;
     for &seed in &spec.seeds {
-        let crashed: RunSummary = run_plan(&cell_plan(spec, cell, seed, true), spec.backend);
+        let crashed: RunSummary =
+            run_plan(&cell_plan(spec, cell, seed, RunKind::Crash), spec.backend);
         match crashed.detection_delay {
             Some(d) => {
                 detected += 1;
@@ -264,7 +311,18 @@ fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellStats {
                 violations_corrected += 1;
             }
         }
-        let quiet: RunSummary = run_plan(&cell_plan(spec, cell, seed, false), spec.backend);
+        let revive: RunSummary = run_plan(
+            &cell_plan(spec, cell, seed, RunKind::CrashRevive),
+            spec.backend,
+        );
+        if let Some(d) = revive.reconvergence_delay {
+            reconverged += 1;
+            reconv_sum += u128::from(d);
+            reconv_max = reconv_max.max(d);
+        }
+        stale_admitted += u64::from(revive.stale_beats_admitted);
+        let quiet: RunSummary =
+            run_plan(&cell_plan(spec, cell, seed, RunKind::Quiet), spec.backend);
         false_suspicions += u64::from(quiet.false_inactivations);
         if quiet.duration > 0 {
             rate_sum += quiet.messages_sent as f64 / quiet.duration as f64;
@@ -291,6 +349,14 @@ fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellStats {
         } else {
             rate_sum / spec.seeds.len() as f64
         },
+        reconverged,
+        reconv_mean: if reconverged > 0 {
+            reconv_sum as f64 / reconverged as f64
+        } else {
+            0.0
+        },
+        reconv_max,
+        stale_admitted,
     }
 }
 
@@ -336,7 +402,9 @@ impl CellStats {
              \"detect_mean\":{:.3},\"detect_max\":{},\
              \"claimed_bound\":{},\"corrected_bound\":{},\
              \"violations_claimed\":{},\"violations_corrected\":{},\
-             \"false_suspicions\":{},\"msg_per_tick\":{:.4}}}",
+             \"false_suspicions\":{},\"msg_per_tick\":{:.4},\
+             \"reconverged\":{},\"reconv_mean\":{:.3},\"reconv_max\":{},\
+             \"stale_admitted\":{}}}",
             self.cell.fix.name(),
             self.cell.loss,
             self.cell.burst,
@@ -354,6 +422,10 @@ impl CellStats {
             self.violations_corrected,
             self.false_suspicions,
             self.msg_per_tick,
+            self.reconverged,
+            self.reconv_mean,
+            self.reconv_max,
+            self.stale_admitted,
         );
         s
     }
@@ -379,9 +451,10 @@ impl CampaignReport {
         )
     }
 
-    /// Total runs executed (two per cell per seed).
+    /// Total runs executed (three per cell per seed: crash, crash+revive,
+    /// quiet).
     pub fn total_runs(&self) -> usize {
-        2 * self.cells.len() * self.spec.seeds.len()
+        3 * self.cells.len() * self.spec.seeds.len()
     }
 }
 
@@ -439,6 +512,12 @@ mod tests {
             );
             if cell.cell.loss == 0.0 && cell.cell.partition == 0 {
                 assert_eq!(cell.detected, 2, "clean cells always detect");
+                assert_eq!(cell.reconverged, 2, "clean revives re-register");
+                assert!(
+                    cell.reconv_max <= cell.corrected_bound,
+                    "re-convergence within the corrected bound: {:?}",
+                    cell.cell
+                );
             }
             assert_eq!(
                 cell.violations_corrected, 0,
@@ -462,22 +541,28 @@ mod tests {
         assert!(json.contains("\"record\":\"campaign\""), "{json}");
         assert!(json.contains("\"backend\":\"sim\""), "{json}");
         assert!(json.contains("\"fix\":\"full-fix\""), "{json}");
-        assert_eq!(report.total_runs(), 2);
+        assert!(json.contains("\"reconverged\":"), "{json}");
+        assert_eq!(report.total_runs(), 3);
     }
 
     #[test]
     fn cell_plans_are_valid_and_heal_partitions_before_the_crash() {
         let spec = small_spec(Backend::Sim, 1);
         for cell in spec.cells() {
-            for crash in [false, true] {
-                let plan = cell_plan(&spec, &cell, 9, crash);
+            for kind in [RunKind::Quiet, RunKind::Crash, RunKind::CrashRevive] {
+                let plan = cell_plan(&spec, &cell, 9, kind);
                 plan.validate().expect("campaign plans must validate");
                 for f in &plan.faults {
                     if let FaultSpec::Partition { window, .. } = f {
                         assert!(window.to.unwrap() <= spec.duration / 2);
                     }
                 }
-                assert_eq!(plan.first_crash().is_some(), crash);
+                assert_eq!(plan.first_crash().is_some(), kind != RunKind::Quiet);
+                let revives = plan
+                    .faults
+                    .iter()
+                    .any(|f| matches!(f, FaultSpec::Revive { .. }));
+                assert_eq!(revives, kind == RunKind::CrashRevive);
             }
         }
     }

@@ -36,14 +36,16 @@ pub mod json;
 pub mod live;
 pub mod pipeline;
 pub mod plan;
+pub mod rejoin;
 pub mod sim;
 
 use hb_sim::schema::RunSummary;
 
-pub use campaign::{run_campaign, CampaignReport, CampaignSpec, Cell, CellStats};
+pub use campaign::{run_campaign, CampaignReport, CampaignSpec, Cell, CellStats, RunKind};
 pub use live::{run_plan_live, ChaosCluster, ChaosNet, ChaosTransport};
 pub use pipeline::{burst_model, FaultPipeline, PipelineStats};
 pub use plan::{FaultPlan, FaultSpec, Link, PlanError, ProtoSpec, Window};
+pub use rejoin::{rejoin_demo_plan, run_rejoin_demo, RejoinDemo};
 pub use sim::run_plan_sim;
 
 /// Which substrate executes a plan.

@@ -170,6 +170,11 @@ pub struct ChaosCluster {
     crashes: Vec<(Pid, Time)>,
     nv_inactivations: Vec<(Pid, Time)>,
     leaves: Vec<(Pid, Time)>,
+    revives: Vec<(Pid, Time)>,
+    /// Revived participants the coordinator has not yet re-registered:
+    /// `(pid, epoch, revived_at)`.
+    pending_reconv: Vec<(Pid, u8, Time)>,
+    reconv_delays: Vec<(Pid, Time)>,
     all_inactive_at: Option<Time>,
 }
 
@@ -203,6 +208,7 @@ impl ChaosCluster {
                 } => local[pid] = SkewedClock::new(clock.clone(), offset, num, den),
                 FaultSpec::Crash { pid, at } => injections.push((at, pid, Command::Crash)),
                 FaultSpec::Leave { pid, at } => injections.push((at, pid, Command::Leave)),
+                FaultSpec::Revive { pid, at } => injections.push((at, pid, Command::Revive)),
                 FaultSpec::Start { pid, at } => start_at[pid - 1] = at,
                 _ => {}
             }
@@ -230,6 +236,9 @@ impl ChaosCluster {
             crashes: Vec::new(),
             nv_inactivations: Vec::new(),
             leaves: Vec::new(),
+            revives: Vec::new(),
+            pending_reconv: Vec::new(),
+            reconv_delays: Vec::new(),
             all_inactive_at: None,
             plan,
         }
@@ -311,7 +320,8 @@ impl ChaosCluster {
         self.now += 1;
     }
 
-    /// Record status transitions at true time.
+    /// Record status transitions at true time and resolve pending
+    /// re-convergences.
     fn observe(&mut self, now: Time) {
         for (pid, node) in self.nodes.iter().enumerate() {
             let Some(node) = node else { continue };
@@ -321,7 +331,14 @@ impl ChaosCluster {
                 match cur.0 {
                     Status::Crashed => self.crashes.push((pid, now)),
                     Status::NvInactive => self.nv_inactivations.push((pid, now)),
-                    Status::Active => {}
+                    Status::Active => {
+                        // Crashed -> Active is only reachable via revive.
+                        if prev.map(|(s, _)| s) == Some(Status::Crashed) {
+                            self.revives.push((pid, now));
+                            self.pending_reconv.push((pid, node.epoch(), now));
+                            self.all_inactive_at = None;
+                        }
+                    }
                 }
             }
             if prev.map(|(_, l)| l) != Some(cur.1) && cur.1 {
@@ -329,11 +346,31 @@ impl ChaosCluster {
             }
             self.statuses[pid] = Some(cur);
         }
+        if let Some(coord) = self.nodes[0].as_ref() {
+            let resolved: Vec<(Pid, u8, Time)> = self
+                .pending_reconv
+                .iter()
+                .copied()
+                .filter(|&(pid, epoch, _)| coord.registered_epoch(pid) >= Some(epoch))
+                .collect();
+            for (pid, epoch, t0) in resolved {
+                self.pending_reconv
+                    .retain(|&(p, e, _)| (p, e) != (pid, epoch));
+                self.reconv_delays.push((pid, now - t0));
+            }
+        }
     }
 
-    /// Run until true tick `t` or until everything is inactive.
+    fn revives_pending(&self) -> bool {
+        self.injections
+            .iter()
+            .any(|&(t, _, cmd)| cmd == Command::Revive && t >= self.now)
+    }
+
+    /// Run until true tick `t` or until everything is inactive (a pending
+    /// revive keeps the run alive — a crashed node is coming back).
     pub fn run_until(&mut self, t: Time) {
-        while self.now < t && !self.all_inactive() {
+        while self.now < t && (!self.all_inactive() || self.revives_pending()) {
             self.step();
         }
     }
@@ -356,6 +393,8 @@ impl ChaosCluster {
             .iter()
             .map(|n| n.as_ref().map_or(Status::Active, |n| n.status()))
             .collect();
+        let (stale_admitted, stale_filtered) =
+            self.nodes[0].as_ref().map_or((0, 0), |c| c.stale_beats());
         RunSummary {
             source: "live",
             duration: self.now,
@@ -365,6 +404,10 @@ impl ChaosCluster {
             crashes: self.crashes,
             nv_inactivations: self.nv_inactivations,
             leaves: self.leaves,
+            revives: self.revives,
+            reconvergence_delay: self.reconv_delays.iter().map(|&(_, d)| d).max(),
+            stale_beats_admitted: stale_admitted,
+            stale_beats_filtered: stale_filtered,
             detection_delay,
             false_inactivations,
             final_status,

@@ -92,8 +92,8 @@ pub struct FaultPipeline {
 
 impl FaultPipeline {
     /// Compile the message-level faults of `plan`. Schedule-level faults
-    /// (crash / start / leave / drift) are the harness's job and are
-    /// ignored here.
+    /// (crash / start / leave / revive / drift) are the harness's job and
+    /// are ignored here.
     pub fn new(plan: &FaultPlan) -> Self {
         let stages = plan
             .faults
@@ -133,7 +133,8 @@ impl FaultPipeline {
                 FaultSpec::Drift { .. }
                 | FaultSpec::Crash { .. }
                 | FaultSpec::Start { .. }
-                | FaultSpec::Leave { .. } => None,
+                | FaultSpec::Leave { .. }
+                | FaultSpec::Revive { .. } => None,
             })
             .collect();
         FaultPipeline {

@@ -178,6 +178,15 @@ pub enum FaultSpec {
         /// Earliest leave tick.
         at: Time,
     },
+    /// Revive participant `pid` at tick `at` (§7 rejoin): a crashed node
+    /// restarts with a fresh epoch. Only valid after an earlier `crash`
+    /// of the same pid.
+    Revive {
+        /// The reviving participant.
+        pid: Pid,
+        /// Revive tick.
+        at: Time,
+    },
 }
 
 /// The protocol configuration a plan runs against.
@@ -389,6 +398,9 @@ impl FaultSpec {
             FaultSpec::Leave { pid, at } => {
                 format!("{{\"kind\":\"leave\",\"pid\":{pid},\"at\":{at}}}")
             }
+            FaultSpec::Revive { pid, at } => {
+                format!("{{\"kind\":\"revive\",\"pid\":{pid},\"at\":{at}}}")
+            }
         }
     }
 
@@ -451,6 +463,7 @@ impl FaultSpec {
             "crash" => pid_at().map(|(pid, at)| FaultSpec::Crash { pid, at }),
             "start" => pid_at().map(|(pid, at)| FaultSpec::Start { pid, at }),
             "leave" => pid_at().map(|(pid, at)| FaultSpec::Leave { pid, at }),
+            "revive" => pid_at().map(|(pid, at)| FaultSpec::Revive { pid, at }),
             other => Err(PlanError(format!("unknown fault kind \"{other}\""))),
         }
     }
@@ -516,9 +529,11 @@ impl FaultPlan {
         self.crashes().iter().map(|&(_, t)| t).min()
     }
 
-    /// Validate topology references: every pid a fault names must exist
-    /// (`0..=n`), start/leave only name participants, and leave needs the
-    /// dynamic variant.
+    /// Validate topology references and per-pid lifecycle ordering: every
+    /// pid a fault names must exist (`0..=n`), start/leave/revive only
+    /// name participants, leave needs the dynamic variant, a pid crashes
+    /// at most once, a revive needs a strictly earlier crash of the same
+    /// pid, and a late start must precede that pid's crash.
     pub fn validate(&self) -> Result<(), PlanError> {
         let n = self.proto.n;
         let check = |pid: Pid, what: &str| {
@@ -577,6 +592,54 @@ impl FaultPlan {
                         )));
                     }
                 }
+                FaultSpec::Revive { pid, .. } => check_part(*pid, "revive")?,
+            }
+        }
+
+        // Per-pid lifecycle ordering: each pid crashes at most once, a
+        // revive needs a strictly earlier crash of the same pid, and a
+        // late start must precede that pid's crash.
+        let mut crashes: Vec<(Pid, Time)> = Vec::new();
+        for f in &self.faults {
+            if let FaultSpec::Crash { pid, at } = f {
+                if let Some(&(_, prev)) = crashes.iter().find(|(p, _)| p == pid) {
+                    return Err(PlanError(format!(
+                        "pid {pid} crashes twice (at {prev} and {at})"
+                    )));
+                }
+                crashes.push((*pid, *at));
+            }
+        }
+        let crash_of = |pid: Pid| crashes.iter().find(|&&(p, _)| p == pid).map(|&(_, t)| t);
+        let mut revived: Vec<Pid> = Vec::new();
+        for f in &self.faults {
+            match *f {
+                FaultSpec::Revive { pid, at } => {
+                    let Some(c) = crash_of(pid) else {
+                        return Err(PlanError(format!(
+                            "revive of pid {pid} at {at} has no matching crash"
+                        )));
+                    };
+                    if at <= c {
+                        return Err(PlanError(format!(
+                            "revive of pid {pid} at {at} must follow its crash at {c}"
+                        )));
+                    }
+                    if revived.contains(&pid) {
+                        return Err(PlanError(format!("pid {pid} revives twice")));
+                    }
+                    revived.push(pid);
+                }
+                FaultSpec::Start { pid, at } => {
+                    if let Some(c) = crash_of(pid) {
+                        if at >= c {
+                            return Err(PlanError(format!(
+                                "start of pid {pid} at {at} must precede its crash at {c}"
+                            )));
+                        }
+                    }
+                }
+                _ => {}
             }
         }
         Ok(())
@@ -690,6 +753,7 @@ mod tests {
             .with(FaultSpec::Start { pid: 2, at: 40 })
             .with(FaultSpec::Leave { pid: 3, at: 900 })
             .with(FaultSpec::Crash { pid: 1, at: 4_000 })
+            .with(FaultSpec::Revive { pid: 1, at: 4_200 })
     }
 
     #[test]
@@ -717,6 +781,77 @@ mod tests {
             groups: vec![vec![0], vec![7]],
         });
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn lifecycle_ordering_is_validated_per_pid() {
+        // Two crashes of the same pid.
+        let bad = FaultPlan::new("p", 1, proto())
+            .with(FaultSpec::Crash { pid: 1, at: 10 })
+            .with(FaultSpec::Crash { pid: 1, at: 20 });
+        let msg = bad.validate().unwrap_err().to_string();
+        assert!(msg.contains("crashes twice (at 10 and 20)"), "{msg}");
+
+        // Revive with no matching crash.
+        let bad = FaultPlan::new("p", 1, proto()).with(FaultSpec::Revive { pid: 2, at: 50 });
+        let msg = bad.validate().unwrap_err().to_string();
+        assert!(msg.contains("no matching crash"), "{msg}");
+
+        // Revive at or before the crash tick (fault order in the list is
+        // irrelevant; only the ticks matter).
+        let bad = FaultPlan::new("p", 1, proto())
+            .with(FaultSpec::Revive { pid: 1, at: 10 })
+            .with(FaultSpec::Crash { pid: 1, at: 10 });
+        let msg = bad.validate().unwrap_err().to_string();
+        assert!(msg.contains("must follow its crash at 10"), "{msg}");
+
+        // A second revive of the same pid.
+        let bad = FaultPlan::new("p", 1, proto())
+            .with(FaultSpec::Crash { pid: 1, at: 10 })
+            .with(FaultSpec::Revive { pid: 1, at: 20 })
+            .with(FaultSpec::Revive { pid: 1, at: 30 });
+        let msg = bad.validate().unwrap_err().to_string();
+        assert!(msg.contains("revives twice"), "{msg}");
+
+        // Late start scheduled after the pid already crashed.
+        let bad = FaultPlan::new("p", 1, proto())
+            .with(FaultSpec::Crash { pid: 2, at: 10 })
+            .with(FaultSpec::Start { pid: 2, at: 10 });
+        let msg = bad.validate().unwrap_err().to_string();
+        assert!(msg.contains("must precede its crash at 10"), "{msg}");
+
+        // Revive of the coordinator is rejected outright.
+        let bad = FaultPlan::new("p", 1, proto())
+            .with(FaultSpec::Crash { pid: 0, at: 10 })
+            .with(FaultSpec::Revive { pid: 0, at: 20 });
+        let msg = bad.validate().unwrap_err().to_string();
+        assert!(msg.contains("revive must name a participant"), "{msg}");
+
+        // The legal shape round-trips at the JSON level.
+        let good = FaultPlan::new("p", 1, proto())
+            .with(FaultSpec::Crash { pid: 1, at: 10 })
+            .with(FaultSpec::Revive { pid: 1, at: 20 });
+        assert_eq!(FaultPlan::from_json(&good.to_json()).unwrap(), good);
+    }
+
+    #[test]
+    fn json_parse_reports_lifecycle_errors() {
+        let base = r#"{"name":"x","seed":1,"proto":{"variant":"binary","tmin":1,"tmax":2,"fix":"full-fix","n":2,"duration":100},"faults":FAULTS}"#;
+        for (faults, needle) in [
+            (
+                r#"[{"kind":"crash","pid":1,"at":5},{"kind":"crash","pid":1,"at":9}]"#,
+                "crashes twice",
+            ),
+            (r#"[{"kind":"revive","pid":1,"at":9}]"#, "no matching crash"),
+            (
+                r#"[{"kind":"crash","pid":1,"at":9},{"kind":"revive","pid":1,"at":4}]"#,
+                "must follow its crash",
+            ),
+        ] {
+            let json = base.replace("FAULTS", faults);
+            let msg = FaultPlan::from_json(&json).unwrap_err().to_string();
+            assert!(msg.contains(needle), "{json}: {msg}");
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! The plan's message-level faults become the world's
 //! [`FaultHook`](hb_sim::FaultHook); its schedule-level faults (crash /
-//! start / leave) map onto the world's own injection API. Drift faults
+//! start / leave / revive) map onto the world's own injection API. Drift faults
 //! are meaningless here — the simulator has a single global clock — and
 //! are skipped (the live backend applies them; see [`crate::live`]).
 
@@ -37,6 +37,7 @@ pub fn run_plan_sim_report(plan: &FaultPlan) -> Report {
             FaultSpec::Crash { pid, at } => world.schedule_crash(pid, at),
             FaultSpec::Start { pid, at } => world.schedule_start(pid, at),
             FaultSpec::Leave { pid, at } => world.schedule_leave(pid, at),
+            FaultSpec::Revive { pid, at } => world.schedule_revive(pid, at),
             _ => {}
         }
     }

@@ -42,8 +42,21 @@ pub struct CoordState {
     /// Per-participant: joined the protocol? (All-true for non-join
     /// variants.)
     pub jnd: Vec<bool>,
-    /// Per-participant: has permanently left (dynamic protocol only).
+    /// Per-participant: has permanently left (dynamic protocol only;
+    /// unused when the §7 epoch rejoin is active — the epoch bar below
+    /// replaces the latch).
     pub left: Vec<bool>,
+    /// Per-participant §7 epoch bar: the registered incarnation. Beats
+    /// tagged with a smaller epoch are stale leftovers of a superseded
+    /// incarnation; an epoch-rejoin coordinator ignores them, the base
+    /// protocols merely count them (see `stale_admitted`). Always
+    /// maintained, so a run can report what naive rejoin would have let
+    /// through.
+    pub min_epoch: Vec<u8>,
+    /// Stale beats processed as if fresh (naive rejoin only).
+    pub stale_admitted: u32,
+    /// Stale beats rejected by the epoch filter (§7 rejoin only).
+    pub stale_filtered: u32,
 }
 
 /// What a coordinator round timeout produced.
@@ -66,9 +79,10 @@ pub enum TimeoutOutcome {
 pub enum CoordReaction {
     /// Nothing to send.
     None,
-    /// Dynamic protocol: acknowledge a leave by an immediate
-    /// `Heartbeat::leave()` to this participant.
-    LeaveAck(Pid),
+    /// Dynamic protocol: acknowledge a leave by sending this
+    /// `Heartbeat::leave()`-style ack (tagged with the leaver's epoch) to
+    /// this participant immediately.
+    LeaveAck(Pid, Heartbeat),
 }
 
 impl CoordSpec {
@@ -139,7 +153,16 @@ impl CoordSpec {
             tm: vec![self.params.tmax(); self.n],
             jnd: vec![joined; self.n],
             left: vec![false; self.n],
+            min_epoch: vec![0; self.n],
+            stale_admitted: 0,
+            stale_filtered: 0,
         }
+    }
+
+    /// Whether this coordinator runs the §7 epoch-tagged rejoin (it rides
+    /// on the full §6 fix; see [`FixLevel::epoch_rejoin`]).
+    pub fn epoch_rejoin(&self) -> bool {
+        self.fix.epoch_rejoin()
     }
 
     /// Whether the round timeout must fire now (urgent).
@@ -237,9 +260,17 @@ impl CoordSpec {
     /// Crashed/inactive coordinators consume messages without reacting
     /// (the paper: messages to crashed processes are delivered but get no
     /// reply). A `flag = false` beat in the dynamic protocol removes the
-    /// sender from the joined set and is acknowledged immediately; beats
-    /// from participants that already left are ignored (a process can
-    /// never rejoin).
+    /// sender from the joined set and is acknowledged immediately.
+    ///
+    /// Without the §7 rejoin (any fix level below `Full`) a participant
+    /// that left can never rejoin: its slot latches shut, and beats from
+    /// superseded incarnations are *admitted* as if fresh (counted in
+    /// `stale_admitted` — the naive-rejoin hazard). With
+    /// [`epoch_rejoin`](Self::epoch_rejoin) the coordinator instead keeps
+    /// a per-participant epoch bar, mirroring
+    /// [`RejoinCoordSpec`](crate::rejoin::RejoinCoordSpec): stale beats
+    /// are dropped, a leave of epoch `e` raises the bar to `e + 1`, and a
+    /// later incarnation registers by beating with a higher epoch.
     ///
     /// # Panics
     ///
@@ -247,20 +278,52 @@ impl CoordSpec {
     pub fn on_heartbeat(&self, s: &mut CoordState, from: Pid, hb: Heartbeat) -> CoordReaction {
         assert!((1..=self.n).contains(&from), "pid {from} out of range");
         let i = from - 1;
-        if !s.status.is_active() || s.left[i] {
+        if !s.status.is_active() {
             return CoordReaction::None;
+        }
+        let rejoin = self.epoch_rejoin();
+        if s.left[i] && !rejoin {
+            return CoordReaction::None;
+        }
+        if hb.epoch < s.min_epoch[i] {
+            if rejoin {
+                s.stale_filtered = s.stale_filtered.saturating_add(1);
+                return CoordReaction::None;
+            }
+            s.stale_admitted = s.stale_admitted.saturating_add(1);
         }
         if self.variant.supports_leave() && !hb.flag {
             s.jnd[i] = false;
-            s.left[i] = true;
             s.rcvd[i] = false;
-            return CoordReaction::LeaveAck(from);
+            if rejoin {
+                s.min_epoch[i] = s.min_epoch[i].max(hb.epoch.saturating_add(1));
+            } else {
+                s.left[i] = true;
+            }
+            return CoordReaction::LeaveAck(from, Heartbeat::leave().with_epoch(hb.epoch));
         }
         s.rcvd[i] = true;
         if self.variant.has_join_phase() {
             s.jnd[i] = true;
         }
+        if hb.epoch > s.min_epoch[i] {
+            s.min_epoch[i] = hb.epoch;
+        }
         CoordReaction::None
+    }
+
+    /// The broadcast heartbeat for `pid`: echoes the participant's
+    /// registered incarnation, so an epoch-aware responder can tell its
+    /// own rounds from leftovers addressed to a superseded incarnation.
+    /// For the base protocols every epoch is 0 and this is
+    /// `Heartbeat::plain()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn beat_for(&self, s: &CoordState, pid: Pid) -> Heartbeat {
+        assert!((1..=self.n).contains(&pid), "pid {pid} out of range");
+        Heartbeat::plain().with_epoch(s.min_epoch[pid - 1])
     }
 
     /// Time until the next round timeout, if the coordinator is active.
@@ -425,7 +488,7 @@ mod tests {
         assert!(s.jnd[0]);
         assert_eq!(
             sp.on_heartbeat(&mut s, 1, Heartbeat::leave()),
-            CoordReaction::LeaveAck(1)
+            CoordReaction::LeaveAck(1, Heartbeat::leave())
         );
         assert!(!s.jnd[0]);
         assert!(s.left[0]);
@@ -478,6 +541,77 @@ mod tests {
     #[should_panic(expected = "two-process protocol")]
     fn binary_rejects_multiple_participants() {
         spec(Variant::Binary, 1, 10, 2);
+    }
+
+    fn rejoin_spec(variant: Variant, n: usize) -> CoordSpec {
+        CoordSpec::new(variant, Params::new(1, 10).unwrap(), n, FixLevel::Full)
+    }
+
+    #[test]
+    fn epoch_rejoin_rides_on_the_full_fix_only() {
+        for fix in [
+            FixLevel::Original,
+            FixLevel::ReceivePriority,
+            FixLevel::CorrectedBounds,
+        ] {
+            let sp = CoordSpec::new(Variant::Binary, Params::new(1, 10).unwrap(), 1, fix);
+            assert!(!sp.epoch_rejoin(), "{fix}");
+        }
+        assert!(rejoin_spec(Variant::Binary, 1).epoch_rejoin());
+    }
+
+    #[test]
+    fn stale_beats_are_filtered_under_rejoin_and_admitted_without() {
+        // Register epoch 2, then replay an epoch-1 leftover.
+        let sp = rejoin_spec(Variant::Binary, 1);
+        let mut s = sp.init_state();
+        sp.on_heartbeat(&mut s, 1, Heartbeat::plain().with_epoch(2));
+        assert_eq!(s.min_epoch, vec![2]);
+        s.rcvd[0] = false;
+        sp.on_heartbeat(&mut s, 1, Heartbeat::plain().with_epoch(1));
+        assert!(!s.rcvd[0], "stale beat must not count as liveness");
+        assert_eq!((s.stale_filtered, s.stale_admitted), (1, 0));
+
+        // Naive rejoin (no epoch filter): the same leftover is admitted.
+        let sp = spec(Variant::Binary, 1, 10, 1);
+        let mut s = sp.init_state();
+        sp.on_heartbeat(&mut s, 1, Heartbeat::plain().with_epoch(2));
+        s.rcvd[0] = false;
+        sp.on_heartbeat(&mut s, 1, Heartbeat::plain().with_epoch(1));
+        assert!(s.rcvd[0], "naive coordinator counts the stale beat");
+        assert_eq!((s.stale_filtered, s.stale_admitted), (0, 1));
+    }
+
+    #[test]
+    fn rejoin_leave_raises_the_bar_instead_of_latching() {
+        let sp = rejoin_spec(Variant::Dynamic, 1);
+        let mut s = sp.init_state();
+        sp.on_heartbeat(&mut s, 1, Heartbeat::plain().with_epoch(1));
+        assert!(s.jnd[0]);
+        assert_eq!(
+            sp.on_heartbeat(&mut s, 1, Heartbeat::leave().with_epoch(1)),
+            CoordReaction::LeaveAck(1, Heartbeat::leave().with_epoch(1))
+        );
+        assert!(!s.jnd[0]);
+        assert!(!s.left[0], "no permanent latch under rejoin");
+        assert_eq!(s.min_epoch, vec![2]);
+        // The old incarnation can no longer re-enrol...
+        sp.on_heartbeat(&mut s, 1, Heartbeat::plain().with_epoch(1));
+        assert!(!s.jnd[0]);
+        // ...but a fresh one can.
+        sp.on_heartbeat(&mut s, 1, Heartbeat::plain().with_epoch(2));
+        assert!(s.jnd[0]);
+        assert_eq!(s.min_epoch, vec![2]);
+    }
+
+    #[test]
+    fn beat_for_echoes_the_registered_epoch() {
+        let sp = rejoin_spec(Variant::Expanding, 2);
+        let mut s = sp.init_state();
+        assert_eq!(sp.beat_for(&s, 1), Heartbeat::plain());
+        sp.on_heartbeat(&mut s, 2, Heartbeat::plain().with_epoch(3));
+        assert_eq!(sp.beat_for(&s, 2), Heartbeat::plain().with_epoch(3));
+        assert_eq!(sp.beat_for(&s, 1), Heartbeat::plain());
     }
 
     #[test]

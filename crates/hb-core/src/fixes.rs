@@ -52,6 +52,19 @@ impl FixLevel {
         matches!(self, FixLevel::CorrectedBounds | FixLevel::Full)
     }
 
+    /// Whether the §7 epoch-tagged rejoin protocol is active in the
+    /// runtimes: the coordinator filters beats from superseded
+    /// incarnations behind a per-participant epoch bar, and participants
+    /// re-enter the join phase with a fresh epoch after a restart.
+    ///
+    /// Rejoin presupposes *both* §6 corrections (its watchdog-bound
+    /// analysis assumes receive priority and the corrected bounds), so it
+    /// rides on [`FixLevel::Full`] only; every other level keeps the
+    /// naive behaviour where stale beats are admitted as if fresh.
+    pub fn epoch_rejoin(self) -> bool {
+        matches!(self, FixLevel::Full)
+    }
+
     /// A short name for reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -83,6 +96,14 @@ mod tests {
         assert!(FixLevel::CorrectedBounds.corrected_bounds());
         assert!(FixLevel::Full.receive_priority());
         assert!(FixLevel::Full.corrected_bounds());
+        // §7 rejoin requires both §6 corrections.
+        for f in FixLevel::ALL {
+            assert_eq!(
+                f.epoch_rejoin(),
+                f.receive_priority() && f.corrected_bounds(),
+                "{f}"
+            );
+        }
     }
 
     #[test]

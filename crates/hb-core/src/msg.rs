@@ -12,21 +12,45 @@ pub type Pid = usize;
 /// (`flag = true`). The dynamic protocol overloads the flag: `true` means
 /// *join / remain in the protocol*, `false` means *leave* (from a
 /// participant) or *leave acknowledged* (from the coordinator).
+///
+/// The §7 rejoin extension additionally tags every message with the
+/// sender's incarnation `epoch`: a participant bumps its epoch on every
+/// (re)join, and an epoch-aware coordinator uses the tag to tell a fresh
+/// incarnation's beats from stale ones still in flight from a crashed
+/// predecessor. The base 1998/2004 protocols ignore the field and always
+/// send epoch `0`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Heartbeat {
     /// Dynamic-protocol payload; `true` for every other variant.
     pub flag: bool,
+    /// Sender incarnation (§7 rejoin); `0` for the base protocols.
+    pub epoch: u8,
 }
 
 impl Heartbeat {
-    /// A plain heartbeat (also the dynamic join/stay beat).
+    /// A plain heartbeat (also the dynamic join/stay beat), epoch 0.
     pub const fn plain() -> Self {
-        Heartbeat { flag: true }
+        Heartbeat {
+            flag: true,
+            epoch: 0,
+        }
     }
 
-    /// A dynamic-protocol leave beat / leave acknowledgement.
+    /// A dynamic-protocol leave beat / leave acknowledgement, epoch 0.
     pub const fn leave() -> Self {
-        Heartbeat { flag: false }
+        Heartbeat {
+            flag: false,
+            epoch: 0,
+        }
+    }
+
+    /// The same message re-tagged with `epoch`.
+    #[must_use]
+    pub const fn with_epoch(self, epoch: u8) -> Self {
+        Heartbeat {
+            flag: self.flag,
+            epoch,
+        }
     }
 }
 
@@ -39,10 +63,14 @@ impl Default for Heartbeat {
 impl fmt::Display for Heartbeat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.flag {
-            write!(f, "hb")
+            write!(f, "hb")?;
         } else {
-            write!(f, "hb(leave)")
+            write!(f, "hb(leave)")?;
         }
+        if self.epoch > 0 {
+            write!(f, "@e{}", self.epoch)?;
+        }
+        Ok(())
     }
 }
 
@@ -94,13 +122,27 @@ mod tests {
     fn heartbeat_constructors() {
         assert!(Heartbeat::plain().flag);
         assert!(!Heartbeat::leave().flag);
+        assert_eq!(Heartbeat::plain().epoch, 0);
+        assert_eq!(Heartbeat::leave().epoch, 0);
         assert_eq!(Heartbeat::default(), Heartbeat::plain());
+    }
+
+    #[test]
+    fn with_epoch_retags_without_touching_the_flag() {
+        let hb = Heartbeat::plain().with_epoch(3);
+        assert!(hb.flag);
+        assert_eq!(hb.epoch, 3);
+        let lv = Heartbeat::leave().with_epoch(255);
+        assert!(!lv.flag);
+        assert_eq!(lv.epoch, 255);
     }
 
     #[test]
     fn heartbeat_display() {
         assert_eq!(Heartbeat::plain().to_string(), "hb");
         assert_eq!(Heartbeat::leave().to_string(), "hb(leave)");
+        assert_eq!(Heartbeat::plain().with_epoch(2).to_string(), "hb@e2");
+        assert_eq!(Heartbeat::leave().with_epoch(1).to_string(), "hb(leave)@e1");
     }
 
     #[test]

@@ -62,6 +62,14 @@ impl Error for ParamsError {}
 impl Params {
     /// Validate and construct timing parameters.
     ///
+    /// `tmin == tmax` is legal — the paper requires only
+    /// `0 < tmin ≤ tmax`. The degenerate point (no acceleration: the
+    /// halving chain is a single round) is exactly where the original
+    /// protocols violate R2/R3 (Fig 12), so generators and regression
+    /// seeds deliberately include it; see
+    /// `tests/cross_validation.proptest-regressions` and the promoted
+    /// `regression_tmin_eq_tmax_*` tests.
+    ///
     /// # Errors
     ///
     /// Returns [`ParamsError`] unless `0 < tmin <= tmax`.

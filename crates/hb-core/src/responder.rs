@@ -35,6 +35,10 @@ pub struct RespState {
     pub joined: bool,
     /// Whether the participant has permanently left (dynamic only).
     pub left: bool,
+    /// §7 incarnation of this participant: stamped on every outgoing
+    /// beat, bumped by [`RespSpec::revive_state`] on each restart. The
+    /// base protocols leave it at 0.
+    pub epoch: u8,
 }
 
 /// The participant's decision when replying to a coordinator beat in the
@@ -94,7 +98,24 @@ impl RespSpec {
             join_elapsed: 0,
             joined: !self.variant.has_join_phase(),
             left: false,
+            epoch: 0,
         }
+    }
+
+    /// The state of a restarted participant (§7 rejoin): a fresh
+    /// [`init_state`](Self::init_state) — back in the join phase for the
+    /// join variants — carrying the next incarnation after `prev_epoch`.
+    /// Runtimes call this on a node-restart path after a crash.
+    pub fn revive_state(&self, prev_epoch: u8) -> RespState {
+        let mut s = self.init_state();
+        s.epoch = prev_epoch.saturating_add(1);
+        s
+    }
+
+    /// Whether this participant runs the §7 epoch-tagged rejoin (rides on
+    /// the full §6 fix; see [`FixLevel::epoch_rejoin`]).
+    pub fn epoch_rejoin(&self) -> bool {
+        self.fix.epoch_rejoin()
     }
 
     /// Whether the participant's clocks are running (active and not left).
@@ -167,7 +188,7 @@ impl RespSpec {
     pub fn on_join_send(&self, s: &mut RespState) -> Heartbeat {
         debug_assert!(self.join_send_due(s));
         s.join_elapsed = 0;
-        Heartbeat::plain()
+        Heartbeat::plain().with_epoch(s.epoch)
     }
 
     /// Time until the next urgent participant event — the watchdog or, in
@@ -198,6 +219,16 @@ impl RespSpec {
     /// departure permanent. Inactive or left participants consume the
     /// message silently, as do coordinator leave-acknowledgements
     /// (`flag = false`).
+    ///
+    /// Under the §7 rejoin, a join-phase participant additionally ignores
+    /// coordinator beats whose epoch echo does not match its own
+    /// incarnation (mirroring
+    /// [`RejoinRespSpec::on_beat`](crate::rejoin::RejoinRespSpec::on_beat)):
+    /// after a restart the coordinator keeps echoing the superseded epoch
+    /// until the fresh join beat registers, and those echoes must neither
+    /// reset the watchdog nor confirm the join. Non-join variants have no
+    /// join to confirm, so they accept any epoch and let their reply
+    /// (stamped with the current incarnation) re-register them.
     pub fn on_beat(
         &self,
         s: &mut RespState,
@@ -205,6 +236,9 @@ impl RespSpec {
         decision: LeaveDecision,
     ) -> Option<Heartbeat> {
         if !s.status.is_active() || s.left {
+            return None;
+        }
+        if self.epoch_rejoin() && self.variant.has_join_phase() && hb.epoch != s.epoch {
             return None;
         }
         if !hb.flag {
@@ -217,9 +251,9 @@ impl RespSpec {
         s.joined = true;
         if self.variant.supports_leave() && decision == LeaveDecision::Leave {
             s.left = true;
-            Some(Heartbeat::leave())
+            Some(Heartbeat::leave().with_epoch(s.epoch))
         } else {
-            Some(Heartbeat::plain())
+            Some(Heartbeat::plain().with_epoch(s.epoch))
         }
     }
 }
@@ -421,6 +455,74 @@ mod tests {
             None
         );
         assert_eq!(s.waiting, w, "leave ack must not reset the watchdog");
+    }
+
+    #[test]
+    fn revive_state_bumps_the_epoch_and_reenters_the_join_phase() {
+        let sp = spec(Variant::Expanding, 3, 10, FixLevel::Full);
+        let mut s = sp.init_state();
+        assert_eq!(s.epoch, 0);
+        sp.on_beat(&mut s, Heartbeat::plain(), LeaveDecision::Stay);
+        sp.crash(&mut s);
+        let r = sp.revive_state(s.epoch);
+        assert_eq!(r.epoch, 1);
+        assert_eq!(r.status, Status::Active);
+        assert!(!r.joined, "restart re-enters the join phase");
+        assert_eq!((r.waiting, r.join_elapsed), (0, 0));
+        // Saturation at the top of the epoch space.
+        assert_eq!(sp.revive_state(255).epoch, 255);
+        // Non-join variants restart straight into the joined steady state.
+        let sp = spec(Variant::Binary, 3, 10, FixLevel::Full);
+        assert!(sp.revive_state(0).joined);
+        assert_eq!(sp.revive_state(0).epoch, 1);
+    }
+
+    #[test]
+    fn outgoing_beats_carry_the_incarnation() {
+        let sp = spec(Variant::Expanding, 2, 10, FixLevel::Full);
+        let mut s = sp.revive_state(0);
+        for _ in 0..2 {
+            sp.tick(&mut s);
+        }
+        assert_eq!(
+            sp.on_join_send(&mut s),
+            Heartbeat::plain().with_epoch(1),
+            "join beats announce the new incarnation"
+        );
+        let reply = sp.on_beat(
+            &mut s,
+            Heartbeat::plain().with_epoch(1),
+            LeaveDecision::Stay,
+        );
+        assert_eq!(reply, Some(Heartbeat::plain().with_epoch(1)));
+    }
+
+    #[test]
+    fn rejoin_participant_ignores_superseded_epoch_echoes() {
+        let sp = spec(Variant::Expanding, 2, 10, FixLevel::Full);
+        let mut s = sp.revive_state(0); // epoch 1
+        sp.tick(&mut s);
+        let w = s.waiting;
+        // The coordinator still echoes the pre-crash epoch 0.
+        assert_eq!(
+            sp.on_beat(&mut s, Heartbeat::plain(), LeaveDecision::Stay),
+            None
+        );
+        assert_eq!(s.waiting, w, "stale echo must not reset the watchdog");
+        assert!(!s.joined, "stale echo must not confirm the join");
+        // Without the rejoin fix the same echo is accepted (naive).
+        let sp = spec(Variant::Expanding, 2, 10, FixLevel::CorrectedBounds);
+        let mut s = sp.revive_state(0);
+        assert!(sp
+            .on_beat(&mut s, Heartbeat::plain(), LeaveDecision::Stay)
+            .is_some());
+        // Non-join variants accept any epoch even under the full fix.
+        let sp = spec(Variant::Binary, 2, 10, FixLevel::Full);
+        let mut s = sp.revive_state(0);
+        assert_eq!(
+            sp.on_beat(&mut s, Heartbeat::plain(), LeaveDecision::Stay),
+            Some(Heartbeat::plain().with_epoch(1))
+        );
     }
 
     #[test]

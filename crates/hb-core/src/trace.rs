@@ -72,6 +72,13 @@ pub enum Event {
         /// Leaving process.
         pid: Pid,
     },
+    /// `pid` restarted after a crash with a fresh epoch (§7 rejoin).
+    Revive {
+        /// Time of occurrence.
+        at: u64,
+        /// Revived process.
+        pid: Pid,
+    },
 }
 
 impl Event {
@@ -84,7 +91,8 @@ impl Event {
             | Event::Timeout { at, .. }
             | Event::Crash { at, .. }
             | Event::NvInactivate { at, .. }
-            | Event::Leave { at, .. } => at,
+            | Event::Leave { at, .. }
+            | Event::Revive { at, .. } => at,
         }
     }
 }
@@ -107,6 +115,9 @@ impl fmt::Display for Event {
                 write!(f, "t={at:>4}  p[{pid}] inactivated NON-VOLUNTARILY")
             }
             Event::Leave { at, pid } => write!(f, "t={at:>4}  p[{pid}] leaves the protocol"),
+            Event::Revive { at, pid } => {
+                write!(f, "t={at:>4}  p[{pid}] revives with a fresh epoch")
+            }
         }
     }
 }
@@ -155,7 +166,8 @@ impl EventLog {
                 Event::Timeout { pid: p, .. }
                 | Event::Crash { pid: p, .. }
                 | Event::NvInactivate { pid: p, .. }
-                | Event::Leave { pid: p, .. } => p == pid,
+                | Event::Leave { pid: p, .. }
+                | Event::Revive { pid: p, .. } => p == pid,
             })
             .collect()
     }
@@ -200,6 +212,7 @@ impl EventLog {
                 Event::Crash { pid, .. } => mark(&mut cells, pid, "CRASH"),
                 Event::NvInactivate { pid, .. } => mark(&mut cells, pid, "NV-INACTIVE"),
                 Event::Leave { pid, .. } => mark(&mut cells, pid, "leave"),
+                Event::Revive { pid, .. } => mark(&mut cells, pid, "REVIVE"),
             }
             out.push_str(&format!("  {:>4}  ", e.at()));
             for c in cells {
@@ -310,6 +323,17 @@ mod tests {
         let log = sample_log();
         let rebuilt: EventLog = log.events().iter().copied().collect();
         assert_eq!(rebuilt.len(), log.len());
+    }
+
+    #[test]
+    fn revive_renders_in_chart_and_listing() {
+        let mut log = EventLog::new();
+        log.push(Event::Crash { at: 4, pid: 1 });
+        log.push(Event::Revive { at: 9, pid: 1 });
+        assert_eq!(log.of_process(1).len(), 2);
+        let chart = log.render_chart(1);
+        assert!(chart.contains("REVIVE"));
+        assert!(log.to_string().contains("revives with a fresh epoch"));
     }
 
     #[test]

@@ -64,6 +64,11 @@ pub struct VirtualCluster {
     crashes: Vec<(Pid, Time)>,
     nv_inactivations: Vec<(Pid, Time)>,
     leaves: Vec<(Pid, Time)>,
+    revives: Vec<(Pid, Time)>,
+    /// Revived participants the coordinator has not yet re-registered:
+    /// `(pid, epoch, revived_at)`.
+    pending_reconv: Vec<(Pid, u8, Time)>,
+    reconv_delays: Vec<(Pid, Time)>,
     all_inactive_at: Option<Time>,
 }
 
@@ -91,6 +96,9 @@ impl VirtualCluster {
             crashes: Vec::new(),
             nv_inactivations: Vec::new(),
             leaves: Vec::new(),
+            revives: Vec::new(),
+            pending_reconv: Vec::new(),
+            reconv_delays: Vec::new(),
             all_inactive_at: None,
             cfg,
         }
@@ -106,6 +114,19 @@ impl VirtualCluster {
     pub fn schedule_leave(&mut self, pid: Pid, t: Time) {
         assert!((1..=self.cfg.n).contains(&pid), "pid {pid} out of range");
         self.injections.push((t, pid, Command::Leave));
+    }
+
+    /// Revive participant `pid` at tick `t` (§7 rejoin): a crashed node
+    /// restarts with a fresh epoch; a live node ignores the command.
+    pub fn schedule_revive(&mut self, pid: Pid, t: Time) {
+        assert!((1..=self.cfg.n).contains(&pid), "pid {pid} out of range");
+        self.injections.push((t, pid, Command::Revive));
+    }
+
+    fn revives_pending(&self) -> bool {
+        self.injections
+            .iter()
+            .any(|&(t, _, cmd)| cmd == Command::Revive && t >= self.now)
     }
 
     /// Delay participant `pid`'s start until tick `t`.
@@ -184,7 +205,8 @@ impl VirtualCluster {
         self.now += 1;
     }
 
-    /// Record status transitions (crash / nv-inactivation / leave times).
+    /// Record status transitions (crash / nv-inactivation / leave /
+    /// revive times) and resolve pending re-convergences.
     fn observe(&mut self, now: Time) {
         for (pid, node) in self.nodes.iter().enumerate() {
             let Some(node) = node else { continue };
@@ -194,7 +216,14 @@ impl VirtualCluster {
                 match cur.0 {
                     Status::Crashed => self.crashes.push((pid, now)),
                     Status::NvInactive => self.nv_inactivations.push((pid, now)),
-                    Status::Active => {}
+                    Status::Active => {
+                        // Crashed -> Active is only reachable via revive.
+                        if prev.map(|(s, _)| s) == Some(Status::Crashed) {
+                            self.revives.push((pid, now));
+                            self.pending_reconv.push((pid, node.epoch(), now));
+                            self.all_inactive_at = None;
+                        }
+                    }
                 }
             }
             if prev.map(|(_, l)| l) != Some(cur.1) && cur.1 {
@@ -202,11 +231,25 @@ impl VirtualCluster {
             }
             self.statuses[pid] = Some(cur);
         }
+        if let Some(coord) = self.nodes[0].as_ref() {
+            let resolved: Vec<(Pid, u8, Time)> = self
+                .pending_reconv
+                .iter()
+                .copied()
+                .filter(|&(pid, epoch, _)| coord.registered_epoch(pid) >= Some(epoch))
+                .collect();
+            for (pid, epoch, t0) in resolved {
+                self.pending_reconv
+                    .retain(|&(p, e, _)| (p, e) != (pid, epoch));
+                self.reconv_delays.push((pid, now - t0));
+            }
+        }
     }
 
-    /// Run until tick `t` or until everything is inactive.
+    /// Run until tick `t` or until everything is inactive (a pending
+    /// revive keeps the run alive — a crashed node is coming back).
     pub fn run_until(&mut self, t: Time) {
-        while self.now < t && !self.all_inactive() {
+        while self.now < t && (!self.all_inactive() || self.revives_pending()) {
             self.step();
         }
     }
@@ -229,6 +272,8 @@ impl VirtualCluster {
             .iter()
             .map(|n| n.as_ref().map_or(Status::Active, |n| n.status()))
             .collect();
+        let (stale_admitted, stale_filtered) =
+            self.nodes[0].as_ref().map_or((0, 0), |c| c.stale_beats());
         let summary = RunSummary {
             source: "live",
             duration: self.now,
@@ -238,6 +283,10 @@ impl VirtualCluster {
             crashes: self.crashes,
             nv_inactivations: self.nv_inactivations,
             leaves: self.leaves,
+            revives: self.revives,
+            reconvergence_delay: self.reconv_delays.iter().map(|&(_, d)| d).max(),
+            stale_beats_admitted: stale_admitted,
+            stale_beats_filtered: stale_filtered,
             detection_delay,
             false_inactivations,
             final_status,
@@ -321,6 +370,22 @@ mod tests {
         assert_eq!(r.summary.leaves[0].0, 1);
         assert!(r.summary.nv_inactivations.is_empty());
         assert_eq!(r.summary.final_status[0], Status::Active);
+    }
+
+    #[test]
+    fn crash_then_revive_reconverges_under_the_full_fix() {
+        let mut cl = VirtualCluster::new(cfg(Variant::Expanding, 2, 8, 1));
+        cl.schedule_crash(1, 100);
+        cl.schedule_revive(1, 104);
+        cl.run_until(2_000);
+        let r = cl.into_report();
+        assert_eq!(r.summary.revives, vec![(1, 104)]);
+        let reconv = r.summary.reconvergence_delay.expect("must re-register");
+        // Re-registration takes at most one join-send period plus delivery.
+        assert!(reconv <= 16, "reconvergence took {reconv}");
+        assert_eq!(r.summary.final_status, vec![Status::Active, Status::Active]);
+        assert!(r.summary.nv_inactivations.is_empty());
+        assert_eq!(r.nodes[1].counters.revives, 1);
     }
 
     #[test]

@@ -33,6 +33,8 @@ pub struct Counters {
     /// Graceful leaves observed (own leave for participants, acknowledged
     /// leaves for the coordinator).
     pub leaves: u64,
+    /// Post-crash restarts executed (§7 rejoin).
+    pub revives: u64,
 }
 
 /// Where a node's events go: an in-memory [`EventLog`], a JSON-lines

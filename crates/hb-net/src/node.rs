@@ -22,8 +22,9 @@
 //! Fault injection and lifecycle are driven over the wire by control
 //! frames ([`crate::wire::Command`]): `Crash` voluntarily inactivates the
 //! node (it keeps consuming messages silently, as the paper's crashed
-//! processes do), `Leave` schedules a dynamic-protocol leave, `Shutdown`
-//! stops the run loop.
+//! processes do), `Leave` schedules a dynamic-protocol leave, `Revive`
+//! restarts a crashed participant with a fresh epoch (§7 rejoin),
+//! `Shutdown` stops the run loop.
 
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -166,6 +167,35 @@ impl<T: Transport> NodeRuntime<T> {
         self.local_now
     }
 
+    /// A participant's current epoch (its incarnation number); `0` for
+    /// the coordinator.
+    pub fn epoch(&self) -> u8 {
+        match &self.role {
+            Role::Coordinator { .. } => 0,
+            Role::Participant { state, .. } => state.epoch,
+        }
+    }
+
+    /// The epoch the coordinator has registered for participant `pid`
+    /// (`None` on participants or out-of-range pids).
+    pub fn registered_epoch(&self, pid: Pid) -> Option<u8> {
+        match &self.role {
+            Role::Coordinator { spec, state } if (1..=spec.n()).contains(&pid) => {
+                Some(state.min_epoch[pid - 1])
+            }
+            _ => None,
+        }
+    }
+
+    /// `(admitted, filtered)` stale-beat counts observed by a
+    /// coordinator; `(0, 0)` on participants.
+    pub fn stale_beats(&self) -> (u32, u32) {
+        match &self.role {
+            Role::Coordinator { state, .. } => (state.stale_admitted, state.stale_filtered),
+            Role::Participant { .. } => (0, 0),
+        }
+    }
+
     /// Whether the run loop is done: shut down, protocol-inactivated, or
     /// left. A *crashed* node is not halted — like the paper's crashed
     /// processes it keeps consuming messages silently until shut down.
@@ -249,7 +279,7 @@ impl<T: Transport> NodeRuntime<T> {
                                 self.counters.halvings += 1;
                             }
                             for dst in recipients {
-                                outgoing.push((dst, Heartbeat::plain(), fresh));
+                                outgoing.push((dst, spec.beat_for(state, dst), fresh));
                             }
                         }
                     }
@@ -299,13 +329,13 @@ impl<T: Transport> NodeRuntime<T> {
                         if (1..=spec.n()).contains(&src) {
                             match spec.on_heartbeat(state, src, hb) {
                                 CoordReaction::None => {}
-                                CoordReaction::LeaveAck(pid) => {
+                                CoordReaction::LeaveAck(pid, ack) => {
                                     self.counters.leaves += 1;
                                     self.sink.emit(&Event::Leave { at: now, pid });
                                     // Fresh budget, as in the simulator: the
                                     // ack is a new message, not a reply
                                     // completing a round trip.
-                                    outgoing.push((pid, Heartbeat::leave(), fresh));
+                                    outgoing.push((pid, ack, fresh));
                                 }
                             }
                         }
@@ -358,6 +388,24 @@ impl<T: Transport> NodeRuntime<T> {
                     Command::Leave => {
                         if let Role::Participant { leave_after, .. } = &mut self.role {
                             leave_after.get_or_insert(now);
+                        }
+                    }
+                    Command::Revive => {
+                        if let Role::Participant {
+                            spec,
+                            state,
+                            leave_after,
+                        } = &mut self.role
+                        {
+                            if state.status == Status::Crashed {
+                                *state = spec.revive_state(state.epoch);
+                                *leave_after = None;
+                                self.counters.revives += 1;
+                                self.sink.emit(&Event::Revive {
+                                    at: now,
+                                    pid: self.pid,
+                                });
+                            }
                         }
                     }
                     Command::Shutdown => self.shutdown = true,
@@ -555,6 +603,38 @@ mod tests {
             .unwrap();
         p.poll(11).unwrap();
         assert!(p.halted());
+    }
+
+    #[test]
+    fn revive_restarts_a_crashed_participant_with_a_fresh_epoch() {
+        let (mut c, mut p, net) = coord_resp(Variant::Expanding, 2, 8, FixLevel::Full);
+        let mut injector = net.endpoint(2);
+        step_pair(&mut c, &mut p, &net, 30);
+        assert_eq!(p.epoch(), 0);
+        injector
+            .send(30, 1, &Frame::control(2, Command::Crash), 0)
+            .unwrap();
+        p.poll(31).unwrap();
+        assert_eq!(p.status(), Status::Crashed);
+        // A revive on a live node is a no-op; on the crashed node it bumps
+        // the epoch and re-enters the join phase.
+        injector
+            .send(31, 1, &Frame::control(2, Command::Revive), 0)
+            .unwrap();
+        p.poll(32).unwrap();
+        assert_eq!(p.status(), Status::Active);
+        assert_eq!(p.epoch(), 1);
+        assert_eq!(p.counters.revives, 1);
+        injector
+            .send(32, 1, &Frame::control(2, Command::Revive), 0)
+            .unwrap();
+        p.poll(33).unwrap();
+        assert_eq!(p.epoch(), 1, "revive of a live node is a no-op");
+        // The pair re-converges: the coordinator registers the new epoch.
+        step_pair(&mut c, &mut p, &net, 100);
+        assert_eq!(c.registered_epoch(1), Some(1));
+        assert_eq!(c.status(), Status::Active);
+        assert_eq!(p.status(), Status::Active);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::time::Time;
 use crate::transport::{Recv, Transport};
 use crate::wire::Frame;
 
-/// Maximum datagram size accepted. Frames are 7 bytes; anything larger
+/// Maximum datagram size accepted. Frames are 8 bytes; anything larger
 /// than this is hostile by definition and dropped at the socket.
 const MAX_DATAGRAM: usize = 512;
 
@@ -263,6 +263,36 @@ mod tests {
             a.wait(Duration::from_millis(1))
                 .expect("wait after bounce must not be fatal");
         }
+    }
+
+    #[test]
+    fn peer_socket_closed_mid_run_is_survived() {
+        // Regression: a peer that exchanges traffic and *then* dies
+        // (its socket closed mid-run, as a crash/revive plan does over
+        // UDP) leaves ICMP connection-refused echoes queued on our
+        // socket. `try_recv` must absorb them as transient loss and
+        // keep draining — not surface an error mid-run.
+        let (mut a, b) = pair();
+        let b_addr = b.local_addr().unwrap();
+        {
+            let mut b = b;
+            a.send(0, 1, &Frame::beat(0, Heartbeat::plain()), 0)
+                .unwrap();
+            recv_with_retry(&mut b).expect("peer alive: frame arrives");
+        } // b dropped here: the socket closes mid-run
+        for _ in 0..20 {
+            a.send(0, 1, &Frame::beat(0, Heartbeat::plain()), 0)
+                .expect("send after peer close must not be fatal");
+            assert!(a
+                .try_recv(0)
+                .expect("try_recv after peer close must not be fatal")
+                .is_none());
+            a.wait(Duration::from_millis(1))
+                .expect("wait after peer close must not be fatal");
+        }
+        // The route is still in place for a revived peer on the same
+        // address (the rebind re-teaches it on the first join beat).
+        assert_eq!(a.peer(1), Some(b_addr));
     }
 
     #[test]

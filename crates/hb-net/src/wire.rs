@@ -3,13 +3,17 @@
 //! Every frame is encoded as
 //!
 //! ```text
-//! +--------+---------+------+----------+---------+
-//! | len u16 | version | kind | src u16  | payload |
-//! |  (LE)   |  (= 1)  | u8   |  (LE)    |  u8     |
-//! +--------+---------+------+----------+---------+
+//! +--------+---------+------+----------+---------+-------+
+//! | len u16 | version | kind | src u16  | payload | epoch |
+//! |  (LE)   |  (= 2)  | u8   |  (LE)    |  u8     |  u8   |
+//! +--------+---------+------+----------+---------+-------+
 //! ```
 //!
-//! where `len` counts everything after the two length bytes. The same
+//! where `len` counts everything after the two length bytes. Version 2
+//! appended the epoch byte for the §7 rejoin protocol; version-1 frames
+//! (no epoch) are rejected with [`DecodeError::Version`] rather than
+//! misparsed — the version byte is checked before anything else in the
+//! body. The same
 //! encoding is used for UDP datagrams (exactly one frame per datagram) and
 //! would frame a byte stream unchanged; [`Frame::decode`] returns the
 //! number of bytes consumed for that purpose.
@@ -24,10 +28,11 @@ use std::fmt;
 
 use hb_core::{Heartbeat, Pid};
 
-/// Current wire-format version, carried in every frame.
-pub const WIRE_VERSION: u8 = 1;
+/// Current wire-format version, carried in every frame. Version 2 added
+/// the trailing epoch byte.
+pub const WIRE_VERSION: u8 = 2;
 
-/// Upper bound on the `len` field. Real frames are 5 bytes; the cap
+/// Upper bound on the `len` field. Real frames are 6 bytes; the cap
 /// leaves room for future kinds while bounding what a decoder will
 /// accept.
 pub const MAX_FRAME: usize = 64;
@@ -37,7 +42,7 @@ const KIND_CONTROL: u8 = 1;
 
 /// Byte length of the body (everything after the length prefix) of every
 /// currently defined frame kind.
-const BODY_LEN: usize = 5;
+const BODY_LEN: usize = 6;
 
 /// Out-of-band commands for fault injection and lifecycle control.
 ///
@@ -53,6 +58,8 @@ pub enum Command {
     Leave,
     /// Stop the receiving node's run loop.
     Shutdown,
+    /// Restart a crashed participant with a fresh epoch (§7 rejoin).
+    Revive,
 }
 
 impl fmt::Display for Command {
@@ -61,6 +68,7 @@ impl fmt::Display for Command {
             Command::Crash => "crash",
             Command::Leave => "leave",
             Command::Shutdown => "shutdown",
+            Command::Revive => "revive",
         })
     }
 }
@@ -142,8 +150,8 @@ impl Frame {
     /// Panics if `src` does not fit in a `u16` — the wire format caps a
     /// cluster at 65535 participants.
     pub fn encode(&self) -> Vec<u8> {
-        let (kind, src, payload) = match *self {
-            Frame::Beat { src, hb } => (KIND_BEAT, src, u8::from(hb.flag)),
+        let (kind, src, payload, epoch) = match *self {
+            Frame::Beat { src, hb } => (KIND_BEAT, src, u8::from(hb.flag), hb.epoch),
             Frame::Control { src, cmd } => (
                 KIND_CONTROL,
                 src,
@@ -151,7 +159,9 @@ impl Frame {
                     Command::Crash => 0,
                     Command::Leave => 1,
                     Command::Shutdown => 2,
+                    Command::Revive => 3,
                 },
+                0,
             ),
         };
         let src = u16::try_from(src).expect("pid must fit the u16 wire field");
@@ -161,6 +171,7 @@ impl Frame {
         out.push(kind);
         out.extend_from_slice(&src.to_le_bytes());
         out.push(payload);
+        out.push(epoch);
         out
     }
 
@@ -178,15 +189,21 @@ impl Frame {
         let Some(body) = buf.get(2..2 + len) else {
             return Err(DecodeError::Truncated);
         };
+        // The version byte is authoritative before any layout assumption:
+        // a version-1 frame is shorter than BODY_LEN and must surface as a
+        // version mismatch, not as a truncation artefact.
+        match body.first() {
+            None => return Err(DecodeError::Truncated),
+            Some(&v) if v != WIRE_VERSION => return Err(DecodeError::Version(v)),
+            Some(_) => {}
+        }
         if len < BODY_LEN {
             return Err(DecodeError::Truncated);
-        }
-        if body[0] != WIRE_VERSION {
-            return Err(DecodeError::Version(body[0]));
         }
         let kind = body[1];
         let src = Pid::from(u16::from_le_bytes([body[2], body[3]]));
         let payload = body[4];
+        let epoch = body[5];
         if len > BODY_LEN {
             return Err(DecodeError::Trailing);
         }
@@ -194,20 +211,28 @@ impl Frame {
             KIND_BEAT => Frame::Beat {
                 src,
                 hb: match payload {
-                    0 => Heartbeat::leave(),
-                    1 => Heartbeat::plain(),
+                    0 => Heartbeat::leave().with_epoch(epoch),
+                    1 => Heartbeat::plain().with_epoch(epoch),
                     _ => return Err(DecodeError::Payload),
                 },
             },
-            KIND_CONTROL => Frame::Control {
-                src,
-                cmd: match payload {
-                    0 => Command::Crash,
-                    1 => Command::Leave,
-                    2 => Command::Shutdown,
-                    _ => return Err(DecodeError::Payload),
-                },
-            },
+            KIND_CONTROL => {
+                if epoch != 0 {
+                    // Control frames carry no epoch; a nonzero byte keeps
+                    // the encoding canonical (one frame, one byte string).
+                    return Err(DecodeError::Payload);
+                }
+                Frame::Control {
+                    src,
+                    cmd: match payload {
+                        0 => Command::Crash,
+                        1 => Command::Leave,
+                        2 => Command::Shutdown,
+                        3 => Command::Revive,
+                        _ => return Err(DecodeError::Payload),
+                    },
+                }
+            }
             k => return Err(DecodeError::Kind(k)),
         };
         Ok((frame, 2 + len))
@@ -234,9 +259,12 @@ mod tests {
             Frame::beat(0, Heartbeat::plain()),
             Frame::beat(7, Heartbeat::leave()),
             Frame::beat(usize::from(u16::MAX), Heartbeat::plain()),
+            Frame::beat(4, Heartbeat::plain().with_epoch(1)),
+            Frame::beat(4, Heartbeat::leave().with_epoch(u8::MAX)),
             Frame::control(3, Command::Crash),
             Frame::control(0, Command::Leave),
             Frame::control(9, Command::Shutdown),
+            Frame::control(9, Command::Revive),
         ];
         for f in frames {
             let bytes = f.encode();
@@ -295,9 +323,39 @@ mod tests {
     #[test]
     fn inflated_length_prefix_is_trailing() {
         let mut bytes = Frame::beat(1, Heartbeat::plain()).encode();
-        bytes[..2].copy_from_slice(&6u16.to_le_bytes());
+        bytes[..2].copy_from_slice(&7u16.to_le_bytes());
         bytes.push(0); // make the promised bytes available
         assert_eq!(Frame::decode(&bytes), Err(DecodeError::Trailing));
+    }
+
+    #[test]
+    fn version_one_frames_are_rejected_as_version_not_truncated() {
+        // A well-formed v1 frame: 5-byte body, no epoch.
+        let v1 = [5u8, 0, 1, KIND_BEAT, 1, 0, 1];
+        assert_eq!(Frame::decode(&v1), Err(DecodeError::Version(1)));
+        // Even a v1 *control* frame fails on version before anything else.
+        let v1c = [5u8, 0, 1, KIND_CONTROL, 9, 0, 2];
+        assert_eq!(Frame::decode(&v1c), Err(DecodeError::Version(1)));
+    }
+
+    #[test]
+    fn epoch_survives_the_round_trip() {
+        for epoch in [0u8, 1, 7, 255] {
+            let f = Frame::beat(2, Heartbeat::plain().with_epoch(epoch));
+            let bytes = f.encode();
+            let (decoded, _) = Frame::decode(&bytes).unwrap();
+            match decoded {
+                Frame::Beat { hb, .. } => assert_eq!(hb.epoch, epoch),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn control_frames_with_nonzero_epoch_byte_are_rejected() {
+        let mut bytes = Frame::control(3, Command::Revive).encode();
+        *bytes.last_mut().unwrap() = 1;
+        assert_eq!(Frame::decode(&bytes), Err(DecodeError::Payload));
     }
 
     #[test]

@@ -232,6 +232,10 @@ impl NaiveWorld {
             crashes: self.crashes,
             nv_inactivations: self.nv_inactivations,
             leaves: Vec::new(),
+            revives: Vec::new(),
+            reconvergence_delay: None,
+            stale_beats_admitted: 0,
+            stale_beats_filtered: 0,
             detection_delay,
             false_inactivations,
             final_status,

@@ -23,6 +23,18 @@ pub struct Report {
     pub nv_inactivations: Vec<(Pid, Time)>,
     /// `(pid, time)` of every leave (dynamic protocol).
     pub leaves: Vec<(Pid, Time)>,
+    /// `(pid, time)` of every post-crash revive (§7 rejoin).
+    pub revives: Vec<(Pid, Time)>,
+    /// Worst observed re-convergence delay: ticks from a revive until the
+    /// coordinator registered the fresh epoch (`None` if no revive
+    /// re-converged).
+    pub reconvergence_delay: Option<Time>,
+    /// Beats from superseded incarnations the coordinator accepted as if
+    /// fresh (naive rejoin only).
+    pub stale_beats_admitted: u32,
+    /// Beats from superseded incarnations the coordinator filtered
+    /// behind the epoch bar (§7 rejoin only).
+    pub stale_beats_filtered: u32,
     /// Time from the first injected crash until every process was
     /// inactive, if both happened.
     pub detection_delay: Option<Time>,
@@ -82,6 +94,10 @@ mod tests {
             crashes: vec![(1, 40)],
             nv_inactivations: vec![(0, 60)],
             leaves: vec![],
+            revives: vec![],
+            reconvergence_delay: None,
+            stale_beats_admitted: 0,
+            stale_beats_filtered: 0,
             detection_delay: Some(20),
             false_inactivations: 0,
             final_status: vec![Status::NvInactive, Status::Crashed],

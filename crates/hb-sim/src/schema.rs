@@ -34,19 +34,33 @@ fn pairs_json(pairs: &[(Pid, Time)]) -> String {
 /// {"t":12,"ev":"crash","pid":1}
 /// {"t":38,"ev":"nv_inactivate","pid":0}
 /// {"t":600,"ev":"leave","pid":1}
+/// {"t":700,"ev":"revive","pid":1}
 /// ```
+///
+/// `send`/`deliver` records also carry `"epoch"` when the heartbeat is
+/// from a restarted incarnation (epoch > 0), keeping pre-rejoin logs
+/// byte-stable.
 pub fn event_json(e: &Event) -> String {
+    let epoch_field = |hb: hb_core::Heartbeat| {
+        if hb.epoch > 0 {
+            format!(",\"epoch\":{}", hb.epoch)
+        } else {
+            String::new()
+        }
+    };
     match *e {
         Event::Send { at, from, to, hb } => {
             format!(
-                "{{\"t\":{at},\"ev\":\"send\",\"from\":{from},\"to\":{to},\"flag\":{}}}",
-                hb.flag
+                "{{\"t\":{at},\"ev\":\"send\",\"from\":{from},\"to\":{to},\"flag\":{}{}}}",
+                hb.flag,
+                epoch_field(hb)
             )
         }
         Event::Deliver { at, from, to, hb } => {
             format!(
-                "{{\"t\":{at},\"ev\":\"deliver\",\"from\":{from},\"to\":{to},\"flag\":{}}}",
-                hb.flag
+                "{{\"t\":{at},\"ev\":\"deliver\",\"from\":{from},\"to\":{to},\"flag\":{}{}}}",
+                hb.flag,
+                epoch_field(hb)
             )
         }
         Event::Lose { at, from, to } => {
@@ -63,6 +77,9 @@ pub fn event_json(e: &Event) -> String {
         }
         Event::Leave { at, pid } => {
             format!("{{\"t\":{at},\"ev\":\"leave\",\"pid\":{pid}}}")
+        }
+        Event::Revive { at, pid } => {
+            format!("{{\"t\":{at},\"ev\":\"revive\",\"pid\":{pid}}}")
         }
     }
 }
@@ -87,6 +104,15 @@ pub struct RunSummary {
     pub nv_inactivations: Vec<(Pid, Time)>,
     /// `(pid, time)` of every graceful leave.
     pub leaves: Vec<(Pid, Time)>,
+    /// `(pid, time)` of every post-crash revive (§7 rejoin).
+    pub revives: Vec<(Pid, Time)>,
+    /// Worst observed revive-to-re-registration delay, if any revive
+    /// re-converged.
+    pub reconvergence_delay: Option<Time>,
+    /// Stale (superseded-epoch) beats the coordinator admitted as fresh.
+    pub stale_beats_admitted: u32,
+    /// Stale beats the coordinator filtered behind the epoch bar.
+    pub stale_beats_filtered: u32,
     /// Time from the first crash until every process was inactive.
     pub detection_delay: Option<Time>,
     /// Non-voluntary inactivations with no crash injected.
@@ -107,6 +133,10 @@ impl RunSummary {
             crashes: r.crashes.clone(),
             nv_inactivations: r.nv_inactivations.clone(),
             leaves: r.leaves.clone(),
+            revives: r.revives.clone(),
+            reconvergence_delay: r.reconvergence_delay,
+            stale_beats_admitted: r.stale_beats_admitted,
+            stale_beats_filtered: r.stale_beats_filtered,
             detection_delay: r.detection_delay,
             false_inactivations: r.false_inactivations,
             final_status: r.final_status.clone(),
@@ -124,10 +154,16 @@ impl RunSummary {
             Some(d) => d.to_string(),
             None => "null".to_string(),
         };
+        let reconv = match self.reconvergence_delay {
+            Some(d) => d.to_string(),
+            None => "null".to_string(),
+        };
         format!(
             "{{\"record\":\"run_summary\",\"source\":\"{}\",\"duration\":{},\
              \"messages_sent\":{},\"messages_delivered\":{},\"messages_lost\":{},\
-             \"crashes\":{},\"nv_inactivations\":{},\"leaves\":{},\
+             \"crashes\":{},\"nv_inactivations\":{},\"leaves\":{},\"revives\":{},\
+             \"reconvergence_delay\":{},\"stale_beats_admitted\":{},\
+             \"stale_beats_filtered\":{},\
              \"detection_delay\":{},\"false_inactivations\":{},\"final_status\":[{}]}}",
             self.source,
             self.duration,
@@ -137,6 +173,10 @@ impl RunSummary {
             pairs_json(&self.crashes),
             pairs_json(&self.nv_inactivations),
             pairs_json(&self.leaves),
+            pairs_json(&self.revives),
+            reconv,
+            self.stale_beats_admitted,
+            self.stale_beats_filtered,
             detection,
             self.false_inactivations,
             statuses.join(",")
@@ -179,6 +219,10 @@ mod tests {
             crashes: vec![(1, 40)],
             nv_inactivations: vec![(0, 60)],
             leaves: vec![],
+            revives: vec![(1, 55)],
+            reconvergence_delay: Some(6),
+            stale_beats_admitted: 2,
+            stale_beats_filtered: 0,
             detection_delay: Some(20),
             false_inactivations: 0,
             final_status: vec![Status::NvInactive, Status::Crashed],
@@ -190,6 +234,9 @@ mod tests {
         let json = s.to_json();
         assert!(json.contains("\"crashes\":[[1,40]]"), "{json}");
         assert!(json.contains("\"detection_delay\":20"), "{json}");
+        assert!(json.contains("\"revives\":[[1,55]]"), "{json}");
+        assert!(json.contains("\"reconvergence_delay\":6"), "{json}");
+        assert!(json.contains("\"stale_beats_admitted\":2"), "{json}");
         assert!(json.contains("\"final_status\":[\"nv-inactive\",\"crashed\"]"));
     }
 
@@ -204,10 +251,40 @@ mod tests {
             crashes: vec![],
             nv_inactivations: vec![],
             leaves: vec![],
+            revives: vec![],
+            reconvergence_delay: None,
+            stale_beats_admitted: 0,
+            stale_beats_filtered: 0,
             detection_delay: None,
             false_inactivations: 0,
             final_status: vec![],
         };
         assert!(s.to_json().contains("\"detection_delay\":null"));
+        assert!(s.to_json().contains("\"reconvergence_delay\":null"));
+    }
+
+    #[test]
+    fn epoch_tagged_events_carry_the_epoch_field() {
+        let plain = Event::Send {
+            at: 1,
+            from: 1,
+            to: 0,
+            hb: Heartbeat::plain(),
+        };
+        assert!(!event_json(&plain).contains("epoch"));
+        let tagged = Event::Deliver {
+            at: 2,
+            from: 1,
+            to: 0,
+            hb: Heartbeat::plain().with_epoch(3),
+        };
+        assert_eq!(
+            event_json(&tagged),
+            "{\"t\":2,\"ev\":\"deliver\",\"from\":1,\"to\":0,\"flag\":true,\"epoch\":3}"
+        );
+        assert_eq!(
+            event_json(&Event::Revive { at: 7, pid: 1 }),
+            "{\"t\":7,\"ev\":\"revive\",\"pid\":1}"
+        );
     }
 }

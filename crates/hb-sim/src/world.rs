@@ -48,6 +48,11 @@ pub struct World {
     start_at: Vec<Time>,
     leave_after: Vec<Option<Time>>,
     scheduled_crashes: Vec<(Pid, Time)>,
+    scheduled_revives: Vec<(Pid, Time)>,
+    /// Revived participants whose fresh epoch the coordinator has not yet
+    /// registered: `(pid, epoch, revived_at)`.
+    pending_reconv: Vec<(Pid, u8, Time)>,
+    reconv_delays: Vec<(Pid, Time)>,
     channel: Channel,
     fault_hook: Option<Box<dyn FaultHook>>,
     rng: StdRng,
@@ -55,6 +60,7 @@ pub struct World {
     crashes: Vec<(Pid, Time)>,
     nv_inactivations: Vec<(Pid, Time)>,
     leaves: Vec<(Pid, Time)>,
+    revives: Vec<(Pid, Time)>,
     all_inactive_at: Option<Time>,
     log: EventLog,
 }
@@ -79,6 +85,9 @@ impl World {
             start_at: vec![0; cfg.n],
             leave_after: vec![None; cfg.n],
             scheduled_crashes: Vec::new(),
+            scheduled_revives: Vec::new(),
+            pending_reconv: Vec::new(),
+            reconv_delays: Vec::new(),
             channel: Channel::new(cfg.loss_prob),
             fault_hook: None,
             rng: StdRng::seed_from_u64(seed),
@@ -86,6 +95,7 @@ impl World {
             crashes: Vec::new(),
             nv_inactivations: Vec::new(),
             leaves: Vec::new(),
+            revives: Vec::new(),
             all_inactive_at: None,
             log: EventLog::new(),
             cfg,
@@ -139,6 +149,28 @@ impl World {
     pub fn schedule_leave(&mut self, pid: Pid, t: Time) {
         assert!((1..=self.cfg.n).contains(&pid));
         self.leave_after[pid - 1] = Some(t);
+    }
+
+    /// Revive participant `pid` at time `t`: if it is crashed when `t`
+    /// arrives, it restarts with a fresh state, a bumped epoch, and
+    /// (for join variants) re-enters the join phase. A revive landing on
+    /// a non-crashed participant is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is 0 or out of range — the coordinator cannot be
+    /// revived (the §7 protocol restarts participants only).
+    pub fn schedule_revive(&mut self, pid: Pid, t: Time) {
+        assert!(
+            (1..=self.cfg.n).contains(&pid),
+            "pid {pid} out of revivable range"
+        );
+        self.scheduled_revives.push((pid, t));
+    }
+
+    /// Whether a scheduled revive has not yet fired.
+    fn revives_pending(&self) -> bool {
+        self.scheduled_revives.iter().any(|&(_, t)| t >= self.now)
     }
 
     /// Current simulation time.
@@ -247,9 +279,9 @@ impl World {
                 if m.dst == 0 {
                     match self.coord_spec.on_heartbeat(&mut self.coord, m.src, m.hb) {
                         CoordReaction::None => {}
-                        CoordReaction::LeaveAck(pid) => {
+                        CoordReaction::LeaveAck(pid, ack) => {
                             let budget = self.cfg.params.tmin();
-                            self.send(0, pid, hb_core::Heartbeat::leave(), budget);
+                            self.send(0, pid, ack, budget);
                         }
                     }
                 } else {
@@ -301,7 +333,8 @@ impl World {
                     TimeoutOutcome::Beat { recipients } => {
                         let budget = self.cfg.params.tmin();
                         for pid in recipients {
-                            self.send(0, pid, hb_core::Heartbeat::plain(), budget);
+                            let hb = self.coord_spec.beat_for(&self.coord, pid);
+                            self.send(0, pid, hb, budget);
                         }
                     }
                 }
@@ -356,6 +389,25 @@ impl World {
             false
         });
         self.scheduled_crashes = crashes;
+        let mut revives = std::mem::take(&mut self.scheduled_revives);
+        revives.retain(|&(pid, t)| {
+            if t != self.now {
+                return true;
+            }
+            if let Some(r) = &self.resps[pid - 1] {
+                if r.status == Status::Crashed {
+                    let fresh = self.resp_spec.revive_state(r.epoch);
+                    let epoch = fresh.epoch;
+                    self.resps[pid - 1] = Some(fresh);
+                    self.revives.push((pid, self.now));
+                    self.pending_reconv.push((pid, epoch, self.now));
+                    self.all_inactive_at = None;
+                    self.log_event(Event::Revive { at: self.now, pid });
+                }
+            }
+            false
+        });
+        self.scheduled_revives = revives;
         for i in 0..self.cfg.n {
             if self.resps[i].is_none() && self.start_at[i] == self.now {
                 self.resps[i] = Some(self.resp_spec.init_state());
@@ -374,6 +426,23 @@ impl World {
             }
         }
 
+        // Re-convergence: a revived participant counts as re-registered
+        // once the coordinator's epoch bar has caught up with its fresh
+        // incarnation.
+        let coord = &self.coord;
+        let now = self.now;
+        let resolved: Vec<(Pid, u8, Time)> = self
+            .pending_reconv
+            .iter()
+            .copied()
+            .filter(|&(pid, epoch, _)| coord.min_epoch[pid - 1] >= epoch)
+            .collect();
+        for (pid, epoch, t0) in resolved {
+            self.pending_reconv
+                .retain(|&(p, e, _)| (p, e) != (pid, epoch));
+            self.reconv_delays.push((pid, now - t0));
+        }
+
         if self.all_inactive_at.is_none() && self.all_inactive() {
             self.all_inactive_at = Some(self.now);
         }
@@ -386,9 +455,10 @@ impl World {
         self.now += 1;
     }
 
-    /// Run until time `t` or until every process is inactive.
+    /// Run until time `t` or until every process is inactive (a pending
+    /// revive keeps the run alive — the crashed node is coming back).
     pub fn run_until(&mut self, t: Time) {
-        while self.now < t && !self.all_inactive() {
+        while self.now < t && (!self.all_inactive() || self.revives_pending()) {
             self.step();
         }
     }
@@ -419,6 +489,10 @@ impl World {
             crashes: self.crashes,
             nv_inactivations: self.nv_inactivations,
             leaves: self.leaves,
+            revives: self.revives,
+            reconvergence_delay: self.reconv_delays.iter().map(|&(_, d)| d).max(),
+            stale_beats_admitted: self.coord.stale_admitted,
+            stale_beats_filtered: self.coord.stale_filtered,
             detection_delay,
             false_inactivations,
             final_status,
@@ -465,6 +539,47 @@ mod tests {
             "rate {}",
             r.message_rate()
         );
+    }
+
+    #[test]
+    fn revived_participant_re_registers_within_the_corrected_bound() {
+        for seed in 0..10 {
+            let mut w = World::new(
+                WorldConfig {
+                    fix: FixLevel::Full,
+                    ..cfg(Variant::Binary, 2, 8)
+                },
+                seed,
+            );
+            w.schedule_crash(1, 100);
+            w.schedule_revive(1, 104);
+            w.run_until(400);
+            assert_eq!(w.resp_status(1), Some(Status::Active), "seed {seed}");
+            let r = w.into_report();
+            assert_eq!(r.crashes, vec![(1, 100)], "seed {seed}");
+            assert_eq!(r.revives, vec![(1, 104)], "seed {seed}");
+            let bound = u64::from(
+                Params::new(2, 8)
+                    .unwrap()
+                    .p0_bound_corrected(Variant::Binary),
+            );
+            let rc = r.reconvergence_delay.expect("must re-register");
+            assert!(rc <= bound, "seed {seed}: reconvergence {rc} > {bound}");
+            // Nothing stale in a loss-free, in-order run.
+            assert_eq!(r.stale_beats_admitted, 0, "seed {seed}");
+            assert_eq!(r.stale_beats_filtered, 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn revive_of_a_live_participant_is_a_no_op() {
+        let mut w = World::new(cfg(Variant::Binary, 2, 8), 7);
+        w.schedule_revive(1, 100);
+        w.run_until(1_000);
+        let r = w.into_report();
+        assert!(r.revives.is_empty(), "no crash, so nothing to revive");
+        assert!(r.reconvergence_delay.is_none());
+        assert_eq!(r.false_inactivations, 0);
     }
 
     #[test]

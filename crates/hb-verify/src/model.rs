@@ -394,26 +394,32 @@ impl Model for HbModel {
                     // Beat from participant `msg.src` arrives at p[0].
                     if !next.monitors.is_empty() {
                         let m = &mut next.monitors[msg.src - 1];
+                        // A stale join/stay beat overtaken by a leave must
+                        // not re-arm the monitor: p[0] ignores it (via the
+                        // `left` latch, or the epoch bar under the §7
+                        // rejoin fix), so it expects nothing more from
+                        // this incarnation.
+                        let ignored = if self.coord.fix().epoch_rejoin() {
+                            msg.hb.epoch < next.coord.min_epoch[msg.src - 1]
+                        } else {
+                            next.coord.left[msg.src - 1]
+                        };
                         if !msg.hb.flag {
                             m.armed = false;
-                        } else if !next.coord.left[msg.src - 1] {
-                            // A stale join/stay beat overtaken by a leave
-                            // must not re-arm the monitor: once p[0] has
-                            // processed the leave it expects nothing more
-                            // from this participant, ever.
+                        } else if !ignored {
                             m.armed = true;
                             m.since_last = 0;
                         }
                     }
                     match self.coord.on_heartbeat(&mut next.coord, msg.src, msg.hb) {
                         CoordReaction::None => {}
-                        CoordReaction::LeaveAck(pid) => {
+                        CoordReaction::LeaveAck(pid, ack) => {
                             Self::push_msg(
                                 &mut next.channel,
                                 Msg {
                                     src: 0,
                                     dst: pid,
-                                    hb: Heartbeat::leave(),
+                                    hb: ack,
                                     budget: self.params().tmin(),
                                 },
                             );

@@ -8,7 +8,13 @@
 //! cargo run --release --example chaos_campaign -- --backend live
 //! cargo run --release --example chaos_campaign -- --out artifacts/campaign.json
 //! cargo run --release --example chaos_campaign -- --table       # markdown summary
+//! cargo run --release --example chaos_campaign -- --rejoin artifacts
 //! ```
+//!
+//! `--rejoin DIR` skips the grid and instead emits the §7 rejoin
+//! demonstration artifacts (`rejoin_sim.json` / `rejoin_live.json`):
+//! one seed-pinned reorder + crash + revive plan per backend, run with
+//! epochs off and on.
 //!
 //! The report is deterministic: the same grid, seeds, and backend always
 //! produce byte-identical JSON, regardless of `--threads`. CI runs the
@@ -16,7 +22,9 @@
 
 use std::io::Write as _;
 
-use accelerated_heartbeat::chaos::{run_campaign, Backend, CampaignReport, CampaignSpec};
+use accelerated_heartbeat::chaos::{
+    run_campaign, run_rejoin_demo, Backend, CampaignReport, CampaignSpec,
+};
 use accelerated_heartbeat::core::{FixLevel, Params, Variant};
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -73,12 +81,14 @@ fn markdown_table(report: &CampaignReport) -> String {
     let mut out = String::new();
     out.push_str(
         "| fix | loss | drift | partition | detected | down first | mean delay | max | \
-         claimed | corrected | >claimed | >corrected | false susp. |\n",
+         claimed | corrected | >claimed | >corrected | false susp. | reconv | reconv mean | \
+         reconv max | stale adm. |\n",
     );
-    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
     for c in &report.cells {
         out.push_str(&format!(
-            "| {} | {} | {}/{} | {} | {}/{} | {} | {:.1} | {} | {} | {} | {} | {} | {} |\n",
+            "| {} | {} | {}/{} | {} | {}/{} | {} | {:.1} | {} | {} | {} | {} | {} | {} | \
+             {}/{} | {:.1} | {} | {} |\n",
             c.cell.fix.name(),
             c.cell.loss,
             c.cell.drift.0,
@@ -94,9 +104,42 @@ fn markdown_table(report: &CampaignReport) -> String {
             c.violations_claimed,
             c.violations_corrected,
             c.false_suspicions,
+            c.reconverged,
+            c.runs,
+            c.reconv_mean,
+            c.reconv_max,
+            c.stale_admitted,
         ));
     }
     out
+}
+
+/// The seed behind the checked-in rejoin artifacts (verified to separate
+/// naive from epoch-tagged rejoin on both backends).
+const REJOIN_SEED: u64 = 1;
+
+/// Emit the §7 rejoin demonstration artifacts for both backends.
+fn emit_rejoin_artifacts(dir: &str) -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::create_dir_all(dir)?;
+    for backend in [Backend::Sim, Backend::Live] {
+        let demo = run_rejoin_demo(backend, REJOIN_SEED);
+        let path = format!("{dir}/rejoin_{}.json", backend.name());
+        let mut file = std::fs::File::create(&path)?;
+        writeln!(file, "{}", demo.to_json())?;
+        eprintln!(
+            "rejoin demo ({}): naive admitted {} stale beat(s), epoch filtered {}, \
+             re-converged in {:?} ticks, replay identical: {} -> {path}",
+            backend.name(),
+            demo.naive.stale_beats_admitted,
+            demo.epoch.stale_beats_filtered,
+            demo.epoch.reconvergence_delay,
+            demo.replay_identical,
+        );
+        if !demo.separates() {
+            return Err(format!("rejoin demo failed to separate on {}", backend.name()).into());
+        }
+    }
+    Ok(())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -110,6 +153,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .ok_or_else(|| format!("unknown backend {name:?} (sim|live)"))?,
         None => Backend::Sim,
     };
+    if let Some(dir) = arg_value(&args, "--rejoin") {
+        return emit_rejoin_artifacts(&dir);
+    }
     let spec = if args.iter().any(|a| a == "--smoke") {
         smoke_spec(threads)
     } else {

@@ -221,6 +221,10 @@ fn report_live(reports: &[NodeReport], bound: u64) {
         crashes,
         nv_inactivations: nv,
         leaves,
+        revives: Vec::new(),
+        reconvergence_delay: None,
+        stale_beats_admitted: 0,
+        stale_beats_filtered: 0,
         detection_delay: detection,
         false_inactivations: 0,
         final_status: reports.iter().map(|r| r.status).collect(),

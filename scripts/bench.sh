@@ -2,6 +2,9 @@
 # The evaluation suite, runnable locally: every bench target of the
 # `bench` crate (the paper's tables and figures), then a chaos campaign
 # over the fault grid, leaving its JSON report in BENCH_chaos.json.
+# Each grid cell runs quiet / crash / crash+revive, so the report also
+# carries the §7 re-convergence sweep (reconverged, reconv_mean,
+# reconv_max, stale_admitted per cell).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -17,6 +17,15 @@ cargo run --release --example chaos_campaign -- --smoke --threads 1 --out "$tmpd
 diff "$tmpdir/a.json" "$tmpdir/b.json" \
   || { echo "chaos campaign is not deterministic" >&2; exit 1; }
 
+echo "==> §7 crash/revive rejoin demo (seed-pinned, sim + live backends)"
+# Emits rejoin_{sim,live}.json twice; the emitter itself fails unless the
+# naive/epoch separation holds and in-process replay is byte-identical,
+# and the diff pins determinism across whole invocations.
+cargo run --release --example chaos_campaign -- --rejoin "$tmpdir/rejoin_a" >/dev/null
+cargo run --release --example chaos_campaign -- --rejoin "$tmpdir/rejoin_b" >/dev/null
+diff -r "$tmpdir/rejoin_a" "$tmpdir/rejoin_b" \
+  || { echo "crash/revive rejoin demo is not deterministic" >&2; exit 1; }
+
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 

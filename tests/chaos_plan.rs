@@ -115,6 +115,49 @@ fn fixed_variant_meets_corrected_bound_where_original_breaks_claimed() {
     }
 }
 
+/// A pinned crash + revive plan (§7): the victim crashes at tick 1200
+/// and restarts five ticks later, inside the coordinator's halving
+/// chain, so the fresh incarnation re-registers instead of being
+/// detected as dead.
+const REVIVE_PLAN_JSON: &str = r#"{"record":"fault_plan","name":"acceptance-revive","seed":1,"proto":{"variant":"binary","tmin":2,"tmax":8,"fix":"full-fix","n":1,"duration":2000},"faults":[{"kind":"crash","pid":1,"at":1200},{"kind":"revive","pid":1,"at":1205}]}"#;
+
+#[test]
+fn revive_plan_is_canonical_and_replays_identically_on_both_backends() {
+    let plan = FaultPlan::from_json(REVIVE_PLAN_JSON).unwrap();
+    assert_eq!(
+        plan.to_json(),
+        REVIVE_PLAN_JSON,
+        "serializer must round-trip the literal"
+    );
+    plan.validate().expect("crash-then-revive must validate");
+
+    for backend in [Backend::Sim, Backend::Live] {
+        let first = run_plan(&plan, backend);
+        let second = run_plan(&plan, backend);
+        assert_eq!(
+            first.to_json(),
+            second.to_json(),
+            "{} crash/revive replay must be byte-identical",
+            backend.name()
+        );
+        assert_eq!(first.crashes, vec![(1, 1200)], "{}", backend.name());
+        assert_eq!(first.revives, vec![(1, 1205)], "{}", backend.name());
+        // The revived incarnation re-registers within the corrected
+        // coordinator bound...
+        let bound = u64::from(plan.proto.params.p0_bound_corrected(plan.proto.variant));
+        let rc = first
+            .reconvergence_delay
+            .unwrap_or_else(|| panic!("{}: revived node never re-registered", backend.name()));
+        assert!(
+            rc <= bound,
+            "{}: re-convergence {rc} exceeds corrected bound {bound}",
+            backend.name()
+        );
+        // ...and under the epoch bar nothing stale slips through.
+        assert_eq!(first.stale_beats_admitted, 0, "{}", backend.name());
+    }
+}
+
 #[test]
 fn drift_shapes_the_live_run_but_not_the_sim() {
     // The simulator has a single global clock, so removing the drift

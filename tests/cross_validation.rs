@@ -119,6 +119,49 @@ proptest! {
     }
 }
 
+// -- Promoted proptest regressions ----------------------------------
+//
+// The two seeds checked in to `cross_validation.proptest-regressions`
+// both shrink to `Params { tmin: 1, tmax: 1 }` — the legal degenerate
+// point where the halving chain is a single round (`Params::new`
+// accepts any `0 < tmin ≤ tmax`). They are promoted here to named,
+// always-run deterministic tests so the corner stays covered even if
+// the regression file is pruned or proptest's replay order changes.
+
+/// Regression: `sim_fixed_lossless_never_inactivates` once failed at
+/// `tmin = tmax = 1`, binary, seed 0 — the fixed protocol must stay
+/// quiet even when every round is exactly one tick.
+#[test]
+fn regression_tmin_eq_tmax_fixed_lossless_never_inactivates() {
+    let params = Params::new(1, 1).unwrap();
+    let sc = Scenario::steady_state(Variant::Binary, params, 400).with_fix(FixLevel::Full);
+    let report = run_scenario(&sc, 0);
+    assert_eq!(report.false_inactivations, 0);
+    assert!(
+        report.nv_inactivations.is_empty(),
+        "spurious inactivations: {:?}",
+        report.nv_inactivations
+    );
+}
+
+/// Regression: `sim_detection_within_corrected_bounds` once failed at
+/// `tmin = tmax = 1`, binary, seed 0, phase 2 (crash at t = 5) — the
+/// corrected bound must hold all the way down to one-tick rounds.
+#[test]
+fn regression_tmin_eq_tmax_detection_within_corrected_bound() {
+    let params = Params::new(1, 1).unwrap();
+    let crash_at = u64::from(3 * params.tmax() + 2);
+    let sc = Scenario::crash_at(Variant::Binary, params, 1, crash_at).with_fix(FixLevel::Full);
+    let report = run_scenario(&sc, 0);
+    let delay = report.detection_delay.expect("fixed protocol must detect");
+    let bound = u64::from(
+        params.p0_bound_corrected(Variant::Binary)
+            + params.tmin()
+            + params.responder_bound_corrected(Variant::Binary),
+    );
+    assert!(delay <= bound, "delay {delay} > bound {bound}");
+}
+
 #[test]
 fn sim_and_model_agree_on_the_tmin_eq_tmax_race() {
     // The model checker says R3 is violated at tmin = tmax (Fig 12); the

@@ -157,7 +157,12 @@ proptest! {
                 }
                 Stim::Beat { flag, from_offset } => {
                     let dec = if from_offset % 2 == 0 { LeaveDecision::Stay } else { LeaveDecision::Leave };
-                    let _ = spec.on_beat(&mut s, Heartbeat { flag }, dec);
+                    let hb = if flag {
+                        Heartbeat::plain()
+                    } else {
+                        Heartbeat::leave()
+                    };
+                    let _ = spec.on_beat(&mut s, hb, dec);
                 }
                 Stim::Timeout => {
                     if spec.watchdog_due(&s) { spec.on_watchdog(&mut s); }

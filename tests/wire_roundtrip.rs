@@ -5,23 +5,25 @@ use accelerated_heartbeat::core::Heartbeat;
 use accelerated_heartbeat::net::wire::{Command, DecodeError, Frame};
 use proptest::prelude::*;
 
-/// Any encodable frame: beats with both heartbeat flags and all control
-/// commands, over the full pid range of the wire format.
+/// Any encodable frame: beats with both heartbeat flags over the full
+/// epoch range, and all control commands, over the full pid range of
+/// the wire format.
 fn any_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
-        (0usize..=u16::MAX as usize, any::<bool>()).prop_map(|(src, flag)| {
+        (0usize..=u16::MAX as usize, any::<bool>(), any::<u8>()).prop_map(|(src, flag, epoch)| {
             let hb = if flag {
                 Heartbeat::leave()
             } else {
                 Heartbeat::plain()
             };
-            Frame::beat(src, hb)
+            Frame::beat(src, hb.with_epoch(epoch))
         }),
-        (0usize..=u16::MAX as usize, 0u8..3).prop_map(|(src, c)| {
+        (0usize..=u16::MAX as usize, 0u8..4).prop_map(|(src, c)| {
             let cmd = match c {
                 0 => Command::Crash,
                 1 => Command::Leave,
-                _ => Command::Shutdown,
+                2 => Command::Shutdown,
+                _ => Command::Revive,
             };
             Frame::control(src, cmd)
         }),
@@ -79,7 +81,7 @@ proptest! {
     #[test]
     fn corrupting_one_byte_never_panics_and_never_misdecodes_src(
         frame in any_frame(),
-        pos in 0usize..7,
+        pos in 0usize..8,
         xor in 1u8..=255,
     ) {
         let mut bytes = frame.encode();
@@ -97,6 +99,54 @@ proptest! {
         let mut bytes = len.to_le_bytes().to_vec();
         bytes.resize(16, 0);
         prop_assert_eq!(Frame::decode(&bytes), Err(DecodeError::Oversized(len as usize)));
+    }
+
+    #[test]
+    fn the_epoch_byte_survives_every_beat_round_trip(
+        src in 0usize..=u16::MAX as usize,
+        flag in any::<bool>(),
+        epoch in any::<u8>(),
+    ) {
+        let hb = if flag { Heartbeat::leave() } else { Heartbeat::plain() };
+        let frame = Frame::beat(src, hb.with_epoch(epoch));
+        let bytes = frame.encode();
+        // The epoch is the final body byte.
+        prop_assert_eq!(*bytes.last().unwrap(), epoch);
+        match Frame::decode_datagram(&bytes).expect("own encoding must decode") {
+            Frame::Beat { hb, .. } => prop_assert_eq!(hb.epoch, epoch),
+            other => prop_assert!(false, "beat decoded as {:?}", other),
+        }
+    }
+
+    /// Pre-epoch (version-1) frames — 5-byte body, no trailing epoch —
+    /// must surface as a version mismatch, never as truncation, garbage
+    /// kinds, or (worst) a misparsed epoch.
+    #[test]
+    fn version_one_frames_are_rejected_as_version_errors(
+        kind in 0u8..2,
+        src in any::<u16>(),
+        payload in 0u8..4,
+    ) {
+        let mut v1 = vec![5u8, 0, 1, kind];
+        v1.extend_from_slice(&src.to_le_bytes());
+        v1.push(payload);
+        prop_assert_eq!(Frame::decode(&v1), Err(DecodeError::Version(1)));
+        prop_assert_eq!(Frame::decode_datagram(&v1), Err(DecodeError::Version(1)));
+    }
+
+    /// The version byte is checked before the body layout: whatever
+    /// length a foreign-version frame claims, the error is Version.
+    #[test]
+    fn foreign_versions_are_rejected_whatever_the_body_length(
+        version in any::<u8>(),
+        body in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        prop_assume!(version != 2);
+        let len = (body.len() + 1) as u16;
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.push(version);
+        bytes.extend_from_slice(&body);
+        prop_assert_eq!(Frame::decode(&bytes), Err(DecodeError::Version(version)));
     }
 }
 
@@ -226,7 +276,9 @@ fn boundary_pids_round_trip() {
         for frame in [
             Frame::beat(src, Heartbeat::plain()),
             Frame::beat(src, Heartbeat::leave()),
+            Frame::beat(src, Heartbeat::plain().with_epoch(u8::MAX)),
             Frame::control(src, Command::Shutdown),
+            Frame::control(src, Command::Revive),
         ] {
             assert_eq!(Frame::decode_datagram(&frame.encode()), Ok(frame));
         }
