@@ -19,6 +19,8 @@
 //! | `rejoin` | future-work extension: naive vs epoch-tagged rejoin |
 //! | `checker_perf` | Criterion micro-benchmarks of the checker itself |
 
+#![forbid(unsafe_code)]
+
 /// Mean of a sample.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {

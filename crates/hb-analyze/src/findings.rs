@@ -1,0 +1,125 @@
+//! Lint findings: machine-readable JSON and the human report.
+
+/// The lint that produced a finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Lint {
+    /// A time-triggered transition and a receive from the same control
+    /// state are jointly enabled at an urgent-delivery instant, the
+    /// receive writes state the timeout's decision reads, and the
+    /// timeout clobbers the receive's writes or inactivates — the AM09
+    /// §6 bug class.
+    TimeoutReceiveOverlap,
+    /// A control state no transition path can reach from the initial
+    /// state.
+    UnreachableState,
+    /// A transition whose guard is self-contradictory and can never
+    /// fire.
+    DeadTransition,
+    /// Two receive transitions from the same state, for the same
+    /// environment input, with jointly satisfiable guards: dispatch is
+    /// ambiguous.
+    AmbiguousReceive,
+    /// A transition writes an epoch variable without a monotone
+    /// (RFC 1982 serial order) discipline.
+    EpochNonMonotone,
+}
+
+impl Lint {
+    /// Stable kebab-case identifier (JSON `lint` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::TimeoutReceiveOverlap => "timeout-receive-overlap",
+            Lint::UnreachableState => "unreachable-state",
+            Lint::DeadTransition => "dead-transition",
+            Lint::AmbiguousReceive => "ambiguous-receive",
+            Lint::EpochNonMonotone => "epoch-non-monotone",
+        }
+    }
+}
+
+/// One finding of one lint on one machine.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Machine identifier (`role/variant/fix`).
+    pub machine: String,
+    /// Which lint fired.
+    pub lint: Lint,
+    /// The transition or state names involved.
+    pub items: Vec<String>,
+    /// One-sentence explanation.
+    pub detail: String,
+}
+
+impl Finding {
+    /// The finding as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let items: Vec<String> = self.items.iter().map(|i| format!("\"{i}\"")).collect();
+        format!(
+            "{{\"machine\":\"{}\",\"lint\":\"{}\",\"items\":[{}],\"detail\":\"{}\"}}",
+            self.machine,
+            self.lint.name(),
+            items.join(","),
+            self.detail.replace('\\', "\\\\").replace('"', "\\\""),
+        )
+    }
+}
+
+/// Render findings as a human report: one block per machine with
+/// findings, plus a one-line summary.
+pub fn render_human(findings: &[Finding], machines_checked: usize) -> String {
+    let mut out = String::new();
+    let mut last_machine = "";
+    for f in findings {
+        if f.machine != last_machine {
+            out.push_str(&format!("{}\n", f.machine));
+            last_machine = &f.machine;
+        }
+        out.push_str(&format!(
+            "  [{}] {}: {}\n",
+            f.lint.name(),
+            f.items.join(" / "),
+            f.detail
+        ));
+    }
+    out.push_str(&format!(
+        "{} finding(s) across {} machine(s) checked\n",
+        findings.len(),
+        machines_checked
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_flat_and_escaped() {
+        let f = Finding {
+            machine: "coordinator/binary/original".into(),
+            lint: Lint::TimeoutReceiveOverlap,
+            items: vec!["accelerate".into(), "register-beat".into()],
+            detail: "a \"race\"".into(),
+        };
+        assert_eq!(
+            f.to_json(),
+            "{\"machine\":\"coordinator/binary/original\",\
+             \"lint\":\"timeout-receive-overlap\",\
+             \"items\":[\"accelerate\",\"register-beat\"],\
+             \"detail\":\"a \\\"race\\\"\"}"
+        );
+    }
+
+    #[test]
+    fn human_report_groups_by_machine() {
+        let f = |m: &str| Finding {
+            machine: m.into(),
+            lint: Lint::UnreachableState,
+            items: vec!["x".into()],
+            detail: "d".into(),
+        };
+        let r = render_human(&[f("a"), f("a"), f("b")], 4);
+        assert_eq!(r.matches("a\n").count(), 1);
+        assert!(r.contains("3 finding(s) across 4 machine(s)"));
+    }
+}

@@ -1,0 +1,38 @@
+//! `hb-analyze` — static analysis of the heartbeat protocol machines.
+//!
+//! AM09's headline bugs in the GM98 family all share one static shape: a
+//! time-triggered action (round timeout, watchdog) racing a receive on
+//! jointly satisfiable guards, where the timeout destroys or pre-empts
+//! the liveness evidence the receive would have recorded. `hb-verify`
+//! finds those bugs dynamically by exhaustive exploration; this crate
+//! finds the *shape* statically, in microseconds, from the machines' own
+//! transition-system IR ([`hb_core::describe`]).
+//!
+//! Two halves:
+//!
+//! * [`lints`] — structural checks over every `variant × FixLevel`
+//!   machine: the timeout-vs-receive overlap above, unreachable control
+//!   states, dead (unsatisfiable) transitions, ambiguous receive
+//!   dispatch, and epoch monotonicity. Findings render as single-line
+//!   JSON ([`Finding::to_json`]) and as a human report.
+//! * [`por_check`] — the soundness gate for the independence-driven
+//!   partial-order reduction of [`hb_verify::por`]: re-checks every
+//!   Table 1/Table 2 cell with and without reduction, insists on
+//!   identical verdicts, and reports the explored-state savings.
+//!
+//! The expected lint outcome is itself a regression oracle: every
+//! machine below the §6.1 receive-priority fix trips the overlap lint,
+//! and every machine at `ReceivePriority`/`Full` is clean — asserted by
+//! the workspace golden tests and the `hb_analyze --deny-findings` CI
+//! gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod findings;
+pub mod lints;
+pub mod por_check;
+
+pub use findings::{render_human, Finding, Lint};
+pub use lints::{all_machines, lint_all, lint_machine};
+pub use por_check::{por_cross_check, render_state_table, PorCell};

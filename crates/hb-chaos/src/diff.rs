@@ -1,0 +1,509 @@
+//! Diffing two campaign reports: the sim-vs-live gate.
+//!
+//! The simulator and the live runtime execute the same plans, but their
+//! fault randomness is consumed in different orders, so per-cell
+//! statistics are two independent samples of the same distribution —
+//! byte equality is the wrong question. This module asks the right one:
+//! do the two reports tell the same protocol story?
+//!
+//! * **Structure is exact.** Same protocol context (variant, timing
+//!   parameters, n, duration, seed count) and the same grid, cell for
+//!   cell; the analytically derived `claimed_bound` / `corrected_bound`
+//!   and `runs` must match to the digit.
+//! * **Qualitative flags must agree.** Whether a cell saw bound
+//!   violations, false suspicions, pre-crash starvation, stale-beat
+//!   admission, missed detections or missed re-convergences is the
+//!   protocol story. A flag that is set on one side and clear on the
+//!   other is a hard divergence — unless both sides sit within a
+//!   one-run slack of zero, where a single unlucky seed can flip it
+//!   (reported, but tolerated).
+//! * **Quantities get calibrated tolerances.** Counters over seeds are
+//!   binomial samples (tolerance scales with `runs`); delay statistics
+//!   live on the tick grid (tolerance scales with `tmax`, and means are
+//!   only comparable when both sides have a population); message rates
+//!   are tight (the protocols send the same traffic modulo lost
+//!   retries).
+//!
+//! [`diff_reports`] returns every [`Divergence`] found;
+//! [`DiffReport::hard`] is the CI gate (`chaos_campaign --diff A B`
+//! exits non-zero iff it is non-empty against the checked-in artifact
+//! pair).
+
+use crate::json::{JsonError, Value};
+
+/// How bad one divergence is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Within calibrated tolerance or flip slack: reported for the
+    /// record, does not fail the gate.
+    Note,
+    /// Outside tolerance: the reports tell different stories.
+    Hard,
+}
+
+/// One discrepancy between the two reports.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Grid-cell label (`fix/loss/burst/drift/partition`), or `"campaign"`
+    /// for report-level mismatches.
+    pub cell: String,
+    /// The field that diverged.
+    pub field: String,
+    /// Value in the first report, rendered.
+    pub left: String,
+    /// Value in the second report, rendered.
+    pub right: String,
+    /// Whether the gate fails on it.
+    pub severity: Severity,
+}
+
+/// Everything [`diff_reports`] found.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// All divergences, in report order.
+    pub divergences: Vec<Divergence>,
+}
+
+impl DiffReport {
+    /// The gate-failing subset.
+    pub fn hard(&self) -> Vec<&Divergence> {
+        self.divergences
+            .iter()
+            .filter(|d| d.severity == Severity::Hard)
+            .collect()
+    }
+
+    /// Human rendering, one line per divergence plus a summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.divergences {
+            let tag = match d.severity {
+                Severity::Note => "note",
+                Severity::Hard => "HARD",
+            };
+            out.push_str(&format!(
+                "[{tag}] {}: {} = {} vs {}\n",
+                d.cell, d.field, d.left, d.right
+            ));
+        }
+        out.push_str(&format!(
+            "{} divergence(s), {} hard\n",
+            self.divergences.len(),
+            self.hard().len()
+        ));
+        out
+    }
+}
+
+/// Calibrated tolerances. The defaults are set against the checked-in
+/// `campaign_gm98_sim.json` / `campaign_gm98_live.json` pair: wide
+/// enough that two honest samples of the same protocol pass, tight
+/// enough that a protocol-level regression (a bound violated on one
+/// substrate only, detection lost wholesale) fails.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerances {
+    /// Fraction of `runs` two per-run counters (`detected`,
+    /// `reconverged`, `down_before_crash`, `violations_*`) may differ
+    /// by.
+    pub run_frac: f64,
+    /// Fraction of `runs` two event counters (`false_suspicions`,
+    /// `stale_admitted` — several events can land in one run) may
+    /// differ by.
+    pub event_frac: f64,
+    /// Tick tolerance for delay statistics, as a multiple of the
+    /// report's `tmax`.
+    pub tick_frac_of_tmax: f64,
+    /// Absolute tolerance on `msg_per_tick`.
+    pub rate_abs: f64,
+    /// A qualitative flag flip is only a note when both sides are at
+    /// most this many runs' worth of events away from zero.
+    pub flip_slack: u64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            run_frac: 0.35,
+            event_frac: 0.75,
+            tick_frac_of_tmax: 1.0,
+            rate_abs: 0.02,
+            flip_slack: 1,
+        }
+    }
+}
+
+/// Parse both documents and diff them. Shape errors (missing fields,
+/// wrong types) surface as [`JsonError`]; protocol-story differences
+/// come back inside the [`DiffReport`].
+pub fn diff_reports(left: &str, right: &str, tol: &Tolerances) -> Result<DiffReport, JsonError> {
+    let a = Value::parse(left)?;
+    let b = Value::parse(right)?;
+    let mut report = DiffReport::default();
+
+    // Report-level context must match exactly — except `backend`, which
+    // is the whole point of the comparison, and `name`, which embeds it.
+    for field in [
+        "record", "variant", "tmin", "tmax", "n", "duration", "seeds",
+    ] {
+        let (l, r) = (a.field(field)?, b.field(field)?);
+        if l != r {
+            report.divergences.push(Divergence {
+                cell: "campaign".into(),
+                field: field.into(),
+                left: render(l),
+                right: render(r),
+                severity: Severity::Hard,
+            });
+        }
+    }
+    let tmax = a.field("tmax")?.as_f64()?;
+    let tick_tol = tol.tick_frac_of_tmax * tmax;
+
+    let cells_a = a.field("cells")?.as_arr()?;
+    let cells_b = b.field("cells")?.as_arr()?;
+    if cells_a.len() != cells_b.len() {
+        report.divergences.push(Divergence {
+            cell: "campaign".into(),
+            field: "cells".into(),
+            left: cells_a.len().to_string(),
+            right: cells_b.len().to_string(),
+            severity: Severity::Hard,
+        });
+        return Ok(report); // no cell pairing to compare
+    }
+
+    for (ca, cb) in cells_a.iter().zip(cells_b) {
+        let label = cell_label(ca)?;
+        if cell_label(cb)? != label {
+            report.divergences.push(Divergence {
+                cell: label,
+                field: "grid".into(),
+                left: cell_label(ca)?,
+                right: cell_label(cb)?,
+                severity: Severity::Hard,
+            });
+            continue; // different grid points: values aren't comparable
+        }
+        diff_cell(ca, cb, &label, tol, tick_tol, &mut report)?;
+    }
+    Ok(report)
+}
+
+fn diff_cell(
+    ca: &Value,
+    cb: &Value,
+    label: &str,
+    tol: &Tolerances,
+    tick_tol: f64,
+    report: &mut DiffReport,
+) -> Result<(), JsonError> {
+    let runs = ca.field("runs")?.as_f64()?;
+    let mut push = |field: &str, l: f64, r: f64, severity: Severity| {
+        report.divergences.push(Divergence {
+            cell: label.to_string(),
+            field: field.into(),
+            left: trim_num(l),
+            right: trim_num(r),
+            severity,
+        });
+    };
+
+    // Exact: the run count and the analytic bounds don't sample anything.
+    for field in ["runs", "claimed_bound", "corrected_bound"] {
+        let (l, r) = (ca.field(field)?.as_f64()?, cb.field(field)?.as_f64()?);
+        if l != r {
+            push(field, l, r, Severity::Hard);
+        }
+    }
+
+    // Per-run counters: binomial over seeds.
+    let run_tol = (tol.run_frac * runs).ceil();
+    for field in [
+        "detected",
+        "down_before_crash",
+        "reconverged",
+        "violations_claimed",
+        "violations_corrected",
+    ] {
+        let (l, r) = (ca.field(field)?.as_f64()?, cb.field(field)?.as_f64()?);
+        if l != r {
+            let sev = if (l - r).abs() <= run_tol {
+                Severity::Note
+            } else {
+                Severity::Hard
+            };
+            push(field, l, r, sev);
+        }
+    }
+
+    // Event counters: several events can land in one run.
+    let event_tol = (tol.event_frac * runs).ceil();
+    for field in ["false_suspicions", "stale_admitted"] {
+        let (l, r) = (ca.field(field)?.as_f64()?, cb.field(field)?.as_f64()?);
+        if l != r {
+            let sev = if (l - r).abs() <= event_tol {
+                Severity::Note
+            } else {
+                Severity::Hard
+            };
+            push(field, l, r, sev);
+        }
+    }
+
+    // Qualitative flags: the protocol story. For the success counters
+    // (`detected`, `reconverged`) the flag is "ever succeeds" — a
+    // partial shortfall is sampling noise and already covered by the
+    // run tolerance above; for the trouble counters it is "ever
+    // troubles". A flip is hard unless both sides sit within the slack
+    // of zero, where one unlucky seed can flip it.
+    for field in [
+        "detected",
+        "reconverged",
+        "down_before_crash",
+        "violations_claimed",
+        "violations_corrected",
+        "false_suspicions",
+        "stale_admitted",
+    ] {
+        let (l, r) = (ca.field(field)?.as_f64()?, cb.field(field)?.as_f64()?);
+        if (l > 0.0) != (r > 0.0) {
+            let sev = if l.max(r) <= tol.flip_slack as f64 {
+                Severity::Note
+            } else {
+                Severity::Hard
+            };
+            push(&format!("{field} (flag)"), l, r, sev);
+        }
+    }
+
+    // Delay statistics: tick-grid quantities. Means and maxima are only
+    // comparable when both sides have the underlying population —
+    // otherwise one side's 0 is "no sample", not "zero delay", and the
+    // flag comparison above already covers the story.
+    let pairs = [
+        ("detect_mean", "detected"),
+        ("detect_max", "detected"),
+        ("reconv_mean", "reconverged"),
+        ("reconv_max", "reconverged"),
+    ];
+    for (field, population) in pairs {
+        let (pl, pr) = (
+            ca.field(population)?.as_f64()?,
+            cb.field(population)?.as_f64()?,
+        );
+        if pl == 0.0 || pr == 0.0 {
+            continue;
+        }
+        let (l, r) = (ca.field(field)?.as_f64()?, cb.field(field)?.as_f64()?);
+        if l != r {
+            let sev = if (l - r).abs() <= tick_tol {
+                Severity::Note
+            } else {
+                Severity::Hard
+            };
+            push(field, l, r, sev);
+        }
+    }
+
+    // Steady-state overhead: tight, the protocols send the same traffic.
+    let (l, r) = (
+        ca.field("msg_per_tick")?.as_f64()?,
+        cb.field("msg_per_tick")?.as_f64()?,
+    );
+    if l != r {
+        let sev = if (l - r).abs() <= tol.rate_abs {
+            Severity::Note
+        } else {
+            Severity::Hard
+        };
+        push("msg_per_tick", l, r, sev);
+    }
+    Ok(())
+}
+
+/// The grid-point label of one cell object.
+fn cell_label(cell: &Value) -> Result<String, JsonError> {
+    Ok(format!(
+        "{}/loss{}x{}/drift{}/part{}",
+        cell.field("fix")?.as_str()?,
+        trim_num(cell.field("loss")?.as_f64()?),
+        trim_num(cell.field("burst")?.as_f64()?),
+        cell.field("drift")?.as_str()?,
+        trim_num(cell.field("partition")?.as_f64()?),
+    ))
+}
+
+fn render(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::Num(n) => trim_num(*n),
+        other => format!("{other:?}"),
+    }
+}
+
+/// Render a float without a trailing `.0` when it is integral.
+fn trim_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(over: &[(&str, &str)]) -> String {
+        let mut fields: Vec<(String, String)> = [
+            ("fix", "\"original\""),
+            ("loss", "0.02"),
+            ("burst", "2"),
+            ("drift", "\"1/1\""),
+            ("partition", "0"),
+            ("runs", "10"),
+            ("detected", "10"),
+            ("down_before_crash", "0"),
+            ("detect_mean", "14.000"),
+            ("detect_max", "14"),
+            ("claimed_bound", "16"),
+            ("corrected_bound", "22"),
+            ("violations_claimed", "0"),
+            ("violations_corrected", "0"),
+            ("false_suspicions", "0"),
+            ("msg_per_tick", "0.2490"),
+            ("reconverged", "10"),
+            ("reconv_mean", "5.200"),
+            ("reconv_max", "6"),
+            ("stale_admitted", "0"),
+        ]
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+        for &(k, v) in over {
+            let slot = fields
+                .iter_mut()
+                .find(|(fk, _)| fk == k)
+                .expect("known field");
+            slot.1 = v.to_string();
+        }
+        let body: Vec<String> = fields
+            .into_iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+
+    fn campaign(backend: &str, cells: &[String]) -> String {
+        format!(
+            "{{\"record\":\"campaign\",\"name\":\"t\",\"backend\":\"{backend}\",\
+             \"variant\":\"binary\",\"tmin\":2,\"tmax\":8,\"n\":1,\"duration\":2000,\
+             \"seeds\":10,\"cells\":[{}]}}",
+            cells.join(",")
+        )
+    }
+
+    #[test]
+    fn identical_reports_diff_clean() {
+        let doc = campaign("sim", &[cell(&[])]);
+        let live = campaign("live", &[cell(&[])]);
+        let d = diff_reports(&doc, &live, &Tolerances::default()).unwrap();
+        assert!(d.divergences.is_empty(), "{}", d.render());
+    }
+
+    #[test]
+    fn sampling_noise_is_a_note_and_regressions_are_hard() {
+        let sim = campaign("sim", &[cell(&[])]);
+        // Two seeds' worth of drift on a run counter: tolerated.
+        let noisy = campaign(
+            "live",
+            &[cell(&[
+                ("detected", "8"),
+                ("reconverged", "8"),
+                ("detect_mean", "15.1"),
+            ])],
+        );
+        let d = diff_reports(&sim, &noisy, &Tolerances::default()).unwrap();
+        assert!(!d.divergences.is_empty());
+        assert!(d.hard().is_empty(), "{}", d.render());
+
+        // Detection collapsing on one substrate: hard.
+        let broken = campaign("live", &[cell(&[("detected", "2"), ("detect_mean", "19")])]);
+        let d = diff_reports(&sim, &broken, &Tolerances::default()).unwrap();
+        assert!(!d.hard().is_empty(), "{}", d.render());
+    }
+
+    #[test]
+    fn qualitative_flips_split_on_the_slack() {
+        let sim = campaign("sim", &[cell(&[])]);
+        // One unlucky seed claims a violation: borderline, a note.
+        let one = campaign("live", &[cell(&[("violations_claimed", "1")])]);
+        let d = diff_reports(&sim, &one, &Tolerances::default()).unwrap();
+        assert!(d.hard().is_empty(), "{}", d.render());
+
+        // A systematic violation pattern on one side only: hard.
+        let many = campaign("live", &[cell(&[("violations_claimed", "3")])]);
+        let d = diff_reports(&sim, &many, &Tolerances::default()).unwrap();
+        assert!(!d.hard().is_empty(), "{}", d.render());
+    }
+
+    #[test]
+    fn bounds_and_grid_must_match_exactly() {
+        let sim = campaign("sim", &[cell(&[])]);
+        let bound = campaign("live", &[cell(&[("corrected_bound", "23")])]);
+        let d = diff_reports(&sim, &bound, &Tolerances::default()).unwrap();
+        assert_eq!(d.hard().len(), 1, "{}", d.render());
+
+        let grid = campaign("live", &[cell(&[("loss", "0.05")])]);
+        let d = diff_reports(&sim, &grid, &Tolerances::default()).unwrap();
+        assert!(!d.hard().is_empty(), "{}", d.render());
+
+        let fewer = campaign("live", &[]);
+        let d = diff_reports(&sim, &fewer, &Tolerances::default()).unwrap();
+        assert!(!d.hard().is_empty(), "{}", d.render());
+    }
+
+    #[test]
+    fn missing_population_skips_delay_comparison() {
+        // Left never detects, right always does: the flag flip is the
+        // finding; detect_mean 0.0-vs-14.0 must not also fire.
+        let sim = campaign(
+            "sim",
+            &[cell(&[
+                ("detected", "0"),
+                ("detect_mean", "0.000"),
+                ("detect_max", "0"),
+            ])],
+        );
+        let live = campaign("live", &[cell(&[])]);
+        let d = diff_reports(&sim, &live, &Tolerances::default()).unwrap();
+        assert!(d.divergences.iter().all(|x| x.field != "detect_mean"));
+        assert!(
+            d.divergences.iter().any(|x| x.field == "detected (flag)"),
+            "{}",
+            d.render()
+        );
+    }
+
+    #[test]
+    fn the_checked_in_artifact_pair_passes_the_gate() {
+        // Calibration contract: the shipped sim/live artifacts must diff
+        // to notes only. (Paths are relative to the workspace root.)
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let sim = std::fs::read_to_string(format!("{root}/artifacts/campaign_gm98_sim.json"));
+        let live = std::fs::read_to_string(format!("{root}/artifacts/campaign_gm98_live.json"));
+        let (Ok(sim), Ok(live)) = (sim, live) else {
+            return; // artifacts not present in this checkout
+        };
+        let d = diff_reports(&sim, &live, &Tolerances::default()).unwrap();
+        assert!(
+            d.hard().is_empty(),
+            "checked-in artifacts must pass: {}",
+            d.render()
+        );
+        assert!(
+            !d.divergences.is_empty(),
+            "the two substrates are known to sample differently"
+        );
+    }
+}

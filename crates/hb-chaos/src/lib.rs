@@ -26,12 +26,16 @@
 //!   under replay;
 //! * [`campaign`] — a parallel campaign runner sweeping
 //!   `fix × loss × burst × drift × partition` grids across worker
-//!   threads into a deterministic JSON report.
+//!   threads into a deterministic JSON report;
+//! * [`diff`] — the sim-vs-live campaign differ: cell-by-cell
+//!   comparison with calibrated tolerances and qualitative divergence
+//!   flags (the CI gate for the checked-in artifact pair).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod diff;
 pub mod json;
 pub mod live;
 pub mod pipeline;
@@ -42,6 +46,7 @@ pub mod sim;
 use hb_sim::schema::RunSummary;
 
 pub use campaign::{run_campaign, CampaignReport, CampaignSpec, Cell, CellStats, RunKind};
+pub use diff::{diff_reports, DiffReport, Divergence, Severity, Tolerances};
 pub use live::{run_plan_live, ChaosCluster, ChaosNet, ChaosTransport};
 pub use pipeline::{burst_model, FaultPipeline, PipelineStats};
 pub use plan::{FaultPlan, FaultSpec, Link, PlanError, ProtoSpec, Window};

@@ -14,6 +14,7 @@
 use crate::fixes::FixLevel;
 use crate::msg::{Heartbeat, Pid, Status};
 use crate::params::Params;
+use crate::serial::{serial_bump, serial_gt, serial_lt, serial_max};
 use crate::variant::Variant;
 
 /// Immutable description of a coordinator.
@@ -285,7 +286,7 @@ impl CoordSpec {
         if s.left[i] && !rejoin {
             return CoordReaction::None;
         }
-        if hb.epoch < s.min_epoch[i] {
+        if serial_lt(hb.epoch, s.min_epoch[i]) {
             if rejoin {
                 s.stale_filtered = s.stale_filtered.saturating_add(1);
                 return CoordReaction::None;
@@ -296,7 +297,7 @@ impl CoordSpec {
             s.jnd[i] = false;
             s.rcvd[i] = false;
             if rejoin {
-                s.min_epoch[i] = s.min_epoch[i].max(hb.epoch.saturating_add(1));
+                s.min_epoch[i] = serial_max(s.min_epoch[i], serial_bump(hb.epoch));
             } else {
                 s.left[i] = true;
             }
@@ -306,7 +307,7 @@ impl CoordSpec {
         if self.variant.has_join_phase() {
             s.jnd[i] = true;
         }
-        if hb.epoch > s.min_epoch[i] {
+        if serial_gt(hb.epoch, s.min_epoch[i]) {
             s.min_epoch[i] = hb.epoch;
         }
         CoordReaction::None
@@ -580,6 +581,27 @@ mod tests {
         sp.on_heartbeat(&mut s, 1, Heartbeat::plain().with_epoch(1));
         assert!(s.rcvd[0], "naive coordinator counts the stale beat");
         assert_eq!((s.stale_filtered, s.stale_admitted), (0, 1));
+    }
+
+    #[test]
+    fn epoch_bar_wraps_past_255_incarnations() {
+        // Incarnations advance one step per revive, so a long-lived
+        // deployment walks the registered bar all the way to 255. The
+        // *next* revive wraps to epoch 0, which must still register as
+        // fresh (RFC 1982 serial order), not get filtered as stale.
+        let sp = rejoin_spec(Variant::Binary, 1);
+        let mut s = sp.init_state();
+        s.min_epoch[0] = 255;
+        s.rcvd[0] = false;
+        sp.on_heartbeat(&mut s, 1, Heartbeat::plain().with_epoch(0));
+        assert!(s.rcvd[0], "wrapped incarnation must re-register");
+        assert_eq!(s.min_epoch, vec![0], "bar follows the wrap");
+        assert_eq!((s.stale_filtered, s.stale_admitted), (0, 0));
+        // A leftover beat of the superseded incarnation 255 is now stale.
+        s.rcvd[0] = false;
+        sp.on_heartbeat(&mut s, 1, Heartbeat::plain().with_epoch(255));
+        assert!(!s.rcvd[0]);
+        assert_eq!(s.stale_filtered, 1);
     }
 
     #[test]

@@ -1,0 +1,852 @@
+//! Structural self-description of the protocol machines: an explicit
+//! transition-system IR consumed by the `hb-analyze` static analyzer and
+//! by the partial-order reduction in `hb-verify`.
+//!
+//! Every machine ([`CoordSpec`], [`RespSpec`]) can describe itself as a
+//! [`MachineIr`]: named control states plus guarded transitions, each
+//! annotated with a read/write footprint over the machine's variables
+//! (locals, timers, the epoch tag) and its channel endpoints. Guards are
+//! conjunctions of symbolic [`Atom`]s, deliberately parameter-free: the
+//! IR for `binary/original` is the same shape for every `(tmin, tmax)`.
+//!
+//! Two consumers:
+//!
+//! * **lints** (`hb-analyze`) check the IR for the AM09 §6 bug shape — a
+//!   time-triggered transition racing a receive on jointly satisfiable
+//!   guards — plus unreachable states, dead transitions, ambiguous
+//!   receive dispatch, and epoch-monotonicity;
+//! * **partial-order reduction** (`hb-verify::por`) derives a static
+//!   independence relation from the footprints via [`MachineIr::send_profile`].
+//!
+//! The footprints are *declared* by the machine implementations and
+//! kept deliberately conservative (a variable is listed as read if any
+//! code path of the transition consults it). Honesty is enforced by the
+//! golden-finding tests in the workspace root and by the POR-vs-full
+//! exploration cross-check, which would diverge if a declared
+//! independence were false.
+
+use crate::coordinator::CoordSpec;
+use crate::fixes::FixLevel;
+use crate::responder::RespSpec;
+use crate::variant::Variant;
+
+/// Which side of the protocol a machine implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// The coordinator `p[0]`.
+    Coordinator,
+    /// A participant `p[i]`, `i >= 1`.
+    Responder,
+}
+
+impl Role {
+    /// Lower-case name, used in machine identifiers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::Coordinator => "coordinator",
+            Role::Responder => "responder",
+        }
+    }
+}
+
+/// What kind of variable a footprint entry refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VarKind {
+    /// Ordinary local state.
+    Local,
+    /// A clock: advanced by the global tick, read against bounds.
+    Timer,
+    /// The §7 incarnation tag (compared in RFC 1982 serial order).
+    Epoch,
+}
+
+/// One declared machine variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Variable name, as referenced by transition footprints.
+    pub name: &'static str,
+    /// What kind of state it is.
+    pub kind: VarKind,
+}
+
+/// What causes a transition to fire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trigger {
+    /// A timer reaching its bound (timeout, watchdog, periodic send).
+    Time,
+    /// Delivery of a message from the channel.
+    Receive,
+    /// An environment fault (crash injection).
+    Fault,
+    /// An internal/administrative step (restart path).
+    Internal,
+}
+
+/// A symbolic guard conjunct.
+///
+/// Atoms are abstract predicates over the machine state and the pending
+/// message; [`atoms_conflict`] knows which pairs are mutually exclusive,
+/// which is all the satisfiability the lints need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Atom {
+    /// The machine is active (not crashed, not inactivated).
+    Active,
+    /// The participant has completed its join phase.
+    Joined,
+    /// The participant has not yet joined.
+    NotJoined,
+    /// The named timer has reached its firing bound.
+    TimerAtBound(&'static str),
+    /// A message is deliverable to this machine.
+    MessagePending,
+    /// A deliverable message's delay budget is exhausted: it *must* be
+    /// delivered within the current instant (before the next tick).
+    UrgentMessagePending,
+    /// No pending delivery is urgent — the §6.1 receive-priority side
+    /// condition that lets a timeout fire without racing a receive.
+    NoUrgentMessage,
+    /// The pending message's join/leave flag has the given value
+    /// (`true` = join/stay heartbeat, `false` = leave or leave-ack).
+    MessageFlag(bool),
+    /// The pending message's epoch is not behind the registered bar
+    /// (RFC 1982 serial order).
+    EpochFresh,
+    /// The pending message's epoch equals the local incarnation.
+    EpochMatches,
+    /// The acceleration floor has not been reached: halving the round
+    /// still keeps it at or above `tmin`.
+    AccelAboveFloor,
+    /// The acceleration floor is reached: the next halving would drop
+    /// below `tmin`, so the machine gives up instead.
+    AccelAtFloor,
+}
+
+/// Whether two guard atoms are mutually exclusive.
+pub fn atoms_conflict(a: Atom, b: Atom) -> bool {
+    use Atom::*;
+    matches!(
+        (a, b),
+        (Joined, NotJoined)
+            | (NotJoined, Joined)
+            | (NoUrgentMessage, UrgentMessagePending)
+            | (UrgentMessagePending, NoUrgentMessage)
+            | (MessageFlag(true), MessageFlag(false))
+            | (MessageFlag(false), MessageFlag(true))
+            | (AccelAboveFloor, AccelAtFloor)
+            | (AccelAtFloor, AccelAboveFloor)
+    )
+}
+
+/// Whether a set of atoms (a conjunction) is satisfiable, i.e. contains
+/// no conflicting pair. Atoms are abstract, so pairwise consistency is
+/// the whole decision procedure.
+pub fn satisfiable(atoms: &[Atom]) -> bool {
+    atoms
+        .iter()
+        .enumerate()
+        .all(|(i, &a)| atoms[i + 1..].iter().all(|&b| !atoms_conflict(a, b)))
+}
+
+/// How a transition moves the machine's epoch tag, if at all.
+///
+/// Everything except [`EpochEffect::Clobber`] is monotone in RFC 1982
+/// serial order; `Clobber` exists so synthetic IRs can exercise the
+/// monotonicity lint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EpochEffect {
+    /// The transition does not write an epoch variable.
+    None,
+    /// Raise the registered bar to the message's (fresh) tag:
+    /// `bar := serial_max(bar, tag)`.
+    RaiseToTag,
+    /// Raise the bar past a leaver's tag:
+    /// `bar := serial_max(bar, bump(tag))`.
+    BumpPastLeaver,
+    /// Start the next incarnation: `epoch := bump(epoch)`.
+    BumpOnRevive,
+    /// Overwrite the epoch with an arbitrary value (not monotone).
+    Clobber,
+}
+
+impl EpochEffect {
+    /// Whether the effect is monotone in serial order.
+    pub fn is_monotone(self) -> bool {
+        !matches!(self, EpochEffect::Clobber)
+    }
+}
+
+/// One guarded transition of a machine.
+#[derive(Clone, Debug)]
+pub struct Transition {
+    /// Short lint-facing name, unique within the machine.
+    pub name: &'static str,
+    /// Source control state.
+    pub from: &'static str,
+    /// Target control state.
+    pub to: &'static str,
+    /// What fires it.
+    pub trigger: Trigger,
+    /// An environment-choice label: two transitions with different
+    /// inputs (e.g. the stay/leave decision) are *intended* branching,
+    /// not nondeterminism, and the ambiguity lint exempts them.
+    pub input: Option<&'static str>,
+    /// Guard conjunction.
+    pub guard: Vec<Atom>,
+    /// Variables any code path of the transition consults.
+    pub reads: Vec<&'static str>,
+    /// Variables any code path of the transition may update.
+    pub writes: Vec<&'static str>,
+    /// Whether the transition consumes the triggering message.
+    pub consumes: bool,
+    /// Channel endpoints the transition may send on.
+    pub sends: Vec<&'static str>,
+    /// Epoch discipline of the transition.
+    pub epoch_effect: EpochEffect,
+}
+
+/// Which transition classes of a machine send messages — the footprint
+/// summary the partial-order reduction consumes (see
+/// `hb-verify::por`). Derived from the IR, not hard-coded, so a machine
+/// whose description gains a new send site automatically re-enters the
+/// dependence relation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SendProfile {
+    /// Some time-triggered transition sends (coordinator broadcast,
+    /// responder join-phase sends).
+    pub time_sends: bool,
+    /// Some receive of a flag-`true` (join/stay) message sends (the
+    /// responder's reply).
+    pub receive_true_sends: bool,
+    /// Some receive of a flag-`false` (leave) message sends (the
+    /// coordinator's leave-ack).
+    pub receive_false_sends: bool,
+}
+
+/// The transition-system IR of one machine.
+#[derive(Clone, Debug)]
+pub struct MachineIr {
+    /// Coordinator or responder.
+    pub role: Role,
+    /// Protocol variant.
+    pub variant: Variant,
+    /// Fix level the machine was built with.
+    pub fix: FixLevel,
+    /// Control states.
+    pub states: Vec<&'static str>,
+    /// The initial control state.
+    pub initial: &'static str,
+    /// Declared variables.
+    pub vars: Vec<VarDecl>,
+    /// Guarded transitions.
+    pub transitions: Vec<Transition>,
+}
+
+impl MachineIr {
+    /// `role/variant/fix` identifier, e.g. `coordinator/binary/original`.
+    pub fn name(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.role.name(),
+            self.variant.name(),
+            self.fix.name()
+        )
+    }
+
+    /// The kind of a declared variable, if declared.
+    pub fn var_kind(&self, name: &str) -> Option<VarKind> {
+        self.vars.iter().find(|v| v.name == name).map(|v| v.kind)
+    }
+
+    /// Summarize which transition classes send (for the independence
+    /// relation in `hb-verify::por`).
+    pub fn send_profile(&self) -> SendProfile {
+        let mut p = SendProfile::default();
+        for t in &self.transitions {
+            if t.sends.is_empty() {
+                continue;
+            }
+            match t.trigger {
+                Trigger::Time => p.time_sends = true,
+                Trigger::Receive => {
+                    if t.guard.contains(&Atom::MessageFlag(false)) {
+                        p.receive_false_sends = true;
+                    } else {
+                        p.receive_true_sends = true;
+                    }
+                }
+                Trigger::Fault | Trigger::Internal => {}
+            }
+        }
+        p
+    }
+}
+
+/// A machine that can produce its transition-system IR.
+pub trait DescribeMachine {
+    /// The machine's IR, shaped by its variant and fix level.
+    fn describe(&self) -> MachineIr;
+}
+
+impl DescribeMachine for CoordSpec {
+    fn describe(&self) -> MachineIr {
+        let variant = self.variant();
+        let fix = self.fix();
+        let rp = fix.receive_priority();
+        let rejoin = fix.epoch_rejoin();
+        let join = variant.has_join_phase();
+        let leave = variant.supports_leave();
+
+        let mut vars = vec![
+            VarDecl {
+                name: "status",
+                kind: VarKind::Local,
+            },
+            VarDecl {
+                name: "t",
+                kind: VarKind::Local,
+            },
+            VarDecl {
+                name: "elapsed",
+                kind: VarKind::Timer,
+            },
+            VarDecl {
+                name: "rcvd",
+                kind: VarKind::Local,
+            },
+            VarDecl {
+                name: "tm",
+                kind: VarKind::Timer,
+            },
+        ];
+        if join {
+            vars.push(VarDecl {
+                name: "jnd",
+                kind: VarKind::Local,
+            });
+        }
+        if leave && !rejoin {
+            vars.push(VarDecl {
+                name: "left",
+                kind: VarKind::Local,
+            });
+        }
+        if rejoin {
+            vars.push(VarDecl {
+                name: "min_epoch",
+                kind: VarKind::Epoch,
+            });
+        }
+
+        // The §6.1 receive-priority side condition on timeout actions.
+        let time_guard = |mut g: Vec<Atom>| {
+            if rp {
+                g.push(Atom::NoUrgentMessage);
+            }
+            g
+        };
+
+        // The acceleration decision consults the join ledger only on
+        // join variants.
+        let mut timeout_reads = vec!["t", "elapsed", "rcvd", "tm"];
+        if join {
+            timeout_reads.push("jnd");
+        }
+
+        let mut transitions = Vec::new();
+
+        // Round timeout, acceleration branch: halve (or reset) the round
+        // and rebroadcast. Clears the per-round `rcvd` evidence.
+        transitions.push(Transition {
+            name: "accelerate",
+            from: "active",
+            to: "active",
+            trigger: Trigger::Time,
+            input: None,
+            guard: time_guard(vec![
+                Atom::Active,
+                Atom::TimerAtBound("elapsed"),
+                Atom::AccelAboveFloor,
+            ]),
+            reads: timeout_reads.clone(),
+            writes: vec!["t", "elapsed", "rcvd"],
+            consumes: false,
+            sends: vec!["to-participants"],
+            epoch_effect: EpochEffect::None,
+        });
+
+        // Round timeout, starvation branch: the acceleration floor is
+        // reached with a silent participant — inactivate.
+        transitions.push(Transition {
+            name: "starve-out",
+            from: "active",
+            to: "nv-inactive",
+            trigger: Trigger::Time,
+            input: None,
+            guard: time_guard(vec![
+                Atom::Active,
+                Atom::TimerAtBound("elapsed"),
+                Atom::AccelAtFloor,
+            ]),
+            reads: timeout_reads,
+            writes: vec!["status"],
+            consumes: false,
+            sends: vec![],
+            epoch_effect: EpochEffect::None,
+        });
+
+        // A join/stay heartbeat registers liveness (and, under rejoin,
+        // the sender's incarnation).
+        {
+            let mut guard = vec![Atom::Active, Atom::MessagePending, Atom::MessageFlag(true)];
+            if rejoin {
+                guard.push(Atom::EpochFresh);
+            }
+            let mut writes = vec!["rcvd", "tm"];
+            if join {
+                writes.push("jnd");
+            }
+            let mut reads = vec![];
+            if rejoin {
+                reads.push("min_epoch");
+                writes.push("min_epoch");
+            }
+            if leave && !rejoin {
+                reads.push("left");
+            }
+            transitions.push(Transition {
+                name: "register-beat",
+                from: "active",
+                to: "active",
+                trigger: Trigger::Receive,
+                input: None,
+                guard,
+                reads,
+                writes,
+                consumes: true,
+                sends: vec![],
+                epoch_effect: if rejoin {
+                    EpochEffect::RaiseToTag
+                } else {
+                    EpochEffect::None
+                },
+            });
+        }
+
+        // A leave beat un-enrols the sender and is acknowledged.
+        if leave {
+            let mut reads = vec![];
+            let mut writes = vec!["jnd", "rcvd"];
+            if rejoin {
+                reads.push("min_epoch");
+                writes.push("min_epoch");
+            } else {
+                writes.push("left");
+            }
+            transitions.push(Transition {
+                name: "ack-leave",
+                from: "active",
+                to: "active",
+                trigger: Trigger::Receive,
+                input: None,
+                guard: vec![Atom::Active, Atom::MessagePending, Atom::MessageFlag(false)],
+                reads,
+                writes,
+                consumes: true,
+                sends: vec!["to-participants"],
+                epoch_effect: if rejoin {
+                    EpochEffect::BumpPastLeaver
+                } else {
+                    EpochEffect::None
+                },
+            });
+        }
+
+        // Environment fault.
+        transitions.push(Transition {
+            name: "crash",
+            from: "active",
+            to: "crashed",
+            trigger: Trigger::Fault,
+            input: None,
+            guard: vec![Atom::Active],
+            reads: vec![],
+            writes: vec!["status"],
+            consumes: false,
+            sends: vec![],
+            epoch_effect: EpochEffect::None,
+        });
+
+        MachineIr {
+            role: Role::Coordinator,
+            variant,
+            fix,
+            states: vec!["active", "nv-inactive", "crashed"],
+            initial: "active",
+            vars,
+            transitions,
+        }
+    }
+}
+
+impl DescribeMachine for RespSpec {
+    fn describe(&self) -> MachineIr {
+        let variant = self.variant();
+        let fix = self.fix();
+        let rp = fix.receive_priority();
+        let rejoin = fix.epoch_rejoin();
+        let join = variant.has_join_phase();
+        let leave = variant.supports_leave();
+
+        let mut vars = vec![
+            VarDecl {
+                name: "status",
+                kind: VarKind::Local,
+            },
+            VarDecl {
+                name: "waiting",
+                kind: VarKind::Timer,
+            },
+            VarDecl {
+                name: "joined",
+                kind: VarKind::Local,
+            },
+            VarDecl {
+                name: "epoch",
+                kind: VarKind::Epoch,
+            },
+        ];
+        if join {
+            vars.push(VarDecl {
+                name: "join_elapsed",
+                kind: VarKind::Timer,
+            });
+        }
+        if leave {
+            vars.push(VarDecl {
+                name: "left",
+                kind: VarKind::Local,
+            });
+        }
+
+        let mut states = Vec::new();
+        if join {
+            states.push("joining");
+        }
+        states.push("in");
+        if leave {
+            states.push("left");
+        }
+        states.push("nv-inactive");
+        states.push("crashed");
+        let initial = if join { "joining" } else { "in" };
+
+        let time_guard = |mut g: Vec<Atom>| {
+            if rp {
+                g.push(Atom::NoUrgentMessage);
+            }
+            g
+        };
+
+        let mut transitions = Vec::new();
+
+        // The watchdog is armed in every phase where clocks run.
+        let mut watch_states = vec![("watchdog-in", "in")];
+        if join {
+            watch_states.push(("watchdog-joining", "joining"));
+        }
+        for (name, from) in watch_states {
+            transitions.push(Transition {
+                name,
+                from,
+                to: "nv-inactive",
+                trigger: Trigger::Time,
+                input: None,
+                guard: time_guard(vec![Atom::Active, Atom::TimerAtBound("waiting")]),
+                reads: vec!["waiting"],
+                writes: vec!["status"],
+                consumes: false,
+                sends: vec![],
+                epoch_effect: EpochEffect::None,
+            });
+        }
+
+        // Join variants beat unprompted every `tmin` until confirmed.
+        if join {
+            transitions.push(Transition {
+                name: "join-send",
+                from: "joining",
+                to: "joining",
+                trigger: Trigger::Time,
+                input: None,
+                guard: vec![
+                    Atom::Active,
+                    Atom::NotJoined,
+                    Atom::TimerAtBound("join_elapsed"),
+                ],
+                reads: vec!["joined", "join_elapsed", "epoch"],
+                writes: vec!["join_elapsed"],
+                consumes: false,
+                sends: vec!["to-coordinator"],
+                epoch_effect: EpochEffect::None,
+            });
+
+            // The first echoed beat confirms the join. Under the §7
+            // rejoin an unconfirmed participant only accepts an echo of
+            // its own incarnation.
+            let mut guard = vec![
+                Atom::Active,
+                Atom::NotJoined,
+                Atom::MessagePending,
+                Atom::MessageFlag(true),
+            ];
+            if rejoin {
+                guard.push(Atom::EpochMatches);
+            }
+            transitions.push(Transition {
+                name: "confirm-join",
+                from: "joining",
+                to: "in",
+                trigger: Trigger::Receive,
+                input: None,
+                guard,
+                reads: vec!["epoch"],
+                writes: vec!["waiting", "joined"],
+                consumes: true,
+                sends: vec!["to-coordinator"],
+                epoch_effect: EpochEffect::None,
+            });
+        }
+
+        // The steady-state receive: reset the watchdog, reply.
+        let steady_guard = |extra: Option<Atom>| {
+            let mut g = vec![Atom::Active, Atom::MessagePending, Atom::MessageFlag(true)];
+            if join {
+                g.push(Atom::Joined);
+            }
+            if let Some(a) = extra {
+                g.push(a);
+            }
+            g
+        };
+        if leave {
+            // The dynamic variant consults the environment: stay or
+            // leave. Distinct inputs mark this as intended branching.
+            transitions.push(Transition {
+                name: "beat-reply-stay",
+                from: "in",
+                to: "in",
+                trigger: Trigger::Receive,
+                input: Some("stay"),
+                guard: steady_guard(None),
+                reads: vec!["epoch"],
+                writes: vec!["waiting"],
+                consumes: true,
+                sends: vec!["to-coordinator"],
+                epoch_effect: EpochEffect::None,
+            });
+            transitions.push(Transition {
+                name: "beat-reply-leave",
+                from: "in",
+                to: "left",
+                trigger: Trigger::Receive,
+                input: Some("leave"),
+                guard: steady_guard(None),
+                reads: vec!["epoch"],
+                writes: vec!["waiting", "left"],
+                consumes: true,
+                sends: vec!["to-coordinator"],
+                epoch_effect: EpochEffect::None,
+            });
+            // A leave-ack echo carries flag `false` and is absorbed.
+            transitions.push(Transition {
+                name: "absorb-ack",
+                from: "in",
+                to: "in",
+                trigger: Trigger::Receive,
+                input: None,
+                guard: vec![Atom::Active, Atom::MessagePending, Atom::MessageFlag(false)],
+                reads: vec![],
+                writes: vec![],
+                consumes: true,
+                sends: vec![],
+                epoch_effect: EpochEffect::None,
+            });
+        } else {
+            transitions.push(Transition {
+                name: "beat-reply",
+                from: "in",
+                to: "in",
+                trigger: Trigger::Receive,
+                input: None,
+                guard: steady_guard(None),
+                reads: vec!["epoch"],
+                writes: vec!["waiting"],
+                consumes: true,
+                sends: vec!["to-coordinator"],
+                epoch_effect: EpochEffect::None,
+            });
+        }
+
+        // Environment fault, from every phase with running clocks.
+        let mut crash_states = vec![("crash-in", "in")];
+        if join {
+            crash_states.push(("crash-joining", "joining"));
+        }
+        for (name, from) in crash_states {
+            transitions.push(Transition {
+                name,
+                from,
+                to: "crashed",
+                trigger: Trigger::Fault,
+                input: None,
+                guard: vec![Atom::Active],
+                reads: vec![],
+                writes: vec!["status"],
+                consumes: false,
+                sends: vec![],
+                epoch_effect: EpochEffect::None,
+            });
+        }
+
+        // The runtimes' restart path: a fresh incarnation re-enters the
+        // protocol (the join phase, for join variants).
+        transitions.push(Transition {
+            name: "revive",
+            from: "crashed",
+            to: initial,
+            trigger: Trigger::Internal,
+            input: None,
+            guard: vec![],
+            reads: vec!["epoch"],
+            writes: vec!["status", "waiting", "joined", "epoch"],
+            consumes: false,
+            sends: vec![],
+            epoch_effect: EpochEffect::BumpOnRevive,
+        });
+
+        MachineIr {
+            role: Role::Responder,
+            variant,
+            fix,
+            states,
+            initial,
+            vars,
+            transitions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+
+    fn all_machines() -> Vec<MachineIr> {
+        let p = Params::new(1, 10).unwrap();
+        let mut out = Vec::new();
+        for v in Variant::ALL {
+            for fix in FixLevel::ALL {
+                out.push(CoordSpec::new(v, p, 1, fix).describe());
+                out.push(RespSpec::new(v, p, fix).describe());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn every_machine_ir_is_well_formed() {
+        let machines = all_machines();
+        assert_eq!(machines.len(), 48);
+        for ir in &machines {
+            assert!(ir.states.contains(&ir.initial), "{}", ir.name());
+            let mut names = std::collections::HashSet::new();
+            for t in &ir.transitions {
+                assert!(ir.states.contains(&t.from), "{}/{}", ir.name(), t.name);
+                assert!(ir.states.contains(&t.to), "{}/{}", ir.name(), t.name);
+                assert!(names.insert(t.name), "{}: dup {}", ir.name(), t.name);
+                assert!(satisfiable(&t.guard), "{}/{}", ir.name(), t.name);
+                for v in t.reads.iter().chain(&t.writes) {
+                    assert!(
+                        v == &"status" || ir.var_kind(v).is_some(),
+                        "{}/{} references undeclared {v}",
+                        ir.name(),
+                        t.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn receive_priority_guards_timeouts_with_the_side_condition() {
+        let p = Params::new(1, 10).unwrap();
+        for v in Variant::ALL {
+            for fix in FixLevel::ALL {
+                for ir in [
+                    CoordSpec::new(v, p, 1, fix).describe(),
+                    RespSpec::new(v, p, fix).describe(),
+                ] {
+                    for t in ir
+                        .transitions
+                        .iter()
+                        .filter(|t| t.trigger == Trigger::Time && t.name != "join-send")
+                    {
+                        assert_eq!(
+                            t.guard.contains(&Atom::NoUrgentMessage),
+                            fix.receive_priority(),
+                            "{}/{}",
+                            ir.name(),
+                            t.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn send_profiles_match_the_protocol_shape() {
+        let p = Params::new(1, 10).unwrap();
+        let coord = CoordSpec::new(Variant::Dynamic, p, 1, FixLevel::Full)
+            .describe()
+            .send_profile();
+        assert!(coord.time_sends, "broadcast on round timeout");
+        assert!(coord.receive_false_sends, "leave-ack");
+        assert!(!coord.receive_true_sends);
+        let resp = RespSpec::new(Variant::Binary, p, FixLevel::Original)
+            .describe()
+            .send_profile();
+        assert!(resp.receive_true_sends, "beat reply");
+        assert!(!resp.receive_false_sends);
+        assert!(!resp.time_sends, "no join phase");
+        let joiner = RespSpec::new(Variant::Expanding, p, FixLevel::Original)
+            .describe()
+            .send_profile();
+        assert!(joiner.time_sends, "join-phase periodic send");
+    }
+
+    #[test]
+    fn conflict_table_is_symmetric() {
+        let atoms = [
+            Atom::Active,
+            Atom::Joined,
+            Atom::NotJoined,
+            Atom::TimerAtBound("waiting"),
+            Atom::MessagePending,
+            Atom::UrgentMessagePending,
+            Atom::NoUrgentMessage,
+            Atom::MessageFlag(true),
+            Atom::MessageFlag(false),
+            Atom::EpochFresh,
+            Atom::EpochMatches,
+            Atom::AccelAboveFloor,
+            Atom::AccelAtFloor,
+        ];
+        for &a in &atoms {
+            assert!(!atoms_conflict(a, a));
+            for &b in &atoms {
+                assert_eq!(atoms_conflict(a, b), atoms_conflict(b, a));
+            }
+        }
+    }
+}

@@ -57,15 +57,18 @@
 #![warn(missing_docs)]
 
 pub mod coordinator;
+pub mod describe;
 pub mod fixes;
 pub mod msg;
 pub mod params;
 pub mod rejoin;
 pub mod responder;
+pub mod serial;
 pub mod trace;
 pub mod variant;
 
 pub use coordinator::{CoordSpec, CoordState};
+pub use describe::{DescribeMachine, MachineIr};
 pub use fixes::FixLevel;
 pub use msg::{Heartbeat, Pid, Status};
 pub use params::Params;

@@ -25,6 +25,7 @@
 
 use crate::msg::{Pid, Status};
 use crate::params::Params;
+use crate::serial::{serial_bump, serial_lt, serial_max};
 
 /// A heartbeat carrying the sender's incarnation number.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -192,12 +193,12 @@ impl RejoinCoordSpec {
         if !s.status.is_active() {
             return RejoinCoordReaction::None;
         }
-        if self.epochs && beat.epoch < s.min_epoch[i] {
+        if self.epochs && serial_lt(beat.epoch, s.min_epoch[i]) {
             return RejoinCoordReaction::None; // stale incarnation
         }
         if beat.flag {
             if self.epochs {
-                s.min_epoch[i] = beat.epoch;
+                s.min_epoch[i] = serial_max(s.min_epoch[i], beat.epoch);
             }
             s.jnd[i] = true;
             s.rcvd[i] = true;
@@ -206,7 +207,7 @@ impl RejoinCoordSpec {
             s.jnd[i] = false;
             s.rcvd[i] = false;
             if self.epochs {
-                s.min_epoch[i] = beat.epoch.saturating_add(1);
+                s.min_epoch[i] = serial_max(s.min_epoch[i], serial_bump(beat.epoch));
             }
             RejoinCoordReaction::LeaveAck(
                 from,

@@ -105,10 +105,13 @@ impl RespSpec {
     /// The state of a restarted participant (§7 rejoin): a fresh
     /// [`init_state`](Self::init_state) — back in the join phase for the
     /// join variants — carrying the next incarnation after `prev_epoch`.
-    /// Runtimes call this on a node-restart path after a crash.
+    /// Runtimes call this on a node-restart path after a crash. The epoch
+    /// wraps past 255 back to 0; the coordinator compares epochs in
+    /// RFC 1982 serial order (see [`crate::serial`]), so the wrapped
+    /// incarnation still registers as fresh.
     pub fn revive_state(&self, prev_epoch: u8) -> RespState {
         let mut s = self.init_state();
-        s.epoch = prev_epoch.saturating_add(1);
+        s.epoch = crate::serial::serial_bump(prev_epoch);
         s
     }
 
@@ -469,8 +472,10 @@ mod tests {
         assert_eq!(r.status, Status::Active);
         assert!(!r.joined, "restart re-enters the join phase");
         assert_eq!((r.waiting, r.join_elapsed), (0, 0));
-        // Saturation at the top of the epoch space.
-        assert_eq!(sp.revive_state(255).epoch, 255);
+        // Wrap-around at the top of the epoch space: the 257th
+        // incarnation re-uses epoch 0 (RFC 1982 serial order keeps it
+        // fresh at the coordinator).
+        assert_eq!(sp.revive_state(255).epoch, 0);
         // Non-join variants restart straight into the joined steady state.
         let sp = spec(Variant::Binary, 3, 10, FixLevel::Full);
         assert!(sp.revive_state(0).joined);

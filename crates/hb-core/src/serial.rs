@@ -1,0 +1,128 @@
+//! RFC 1982 serial-number arithmetic over the `u8` epoch space.
+//!
+//! §7 rejoin tags every heartbeat with the sender's incarnation epoch.
+//! Epochs live in a single byte on the wire, so a node that crashes and
+//! revives often enough wraps past 255. Plain integer comparison breaks
+//! at the wrap: incarnation 0 (the 256th) would look *older* than the
+//! registered incarnation 255 and every later beat would be filtered as
+//! stale, permanently un-registering the node. DNS SOA serials have the
+//! same problem, and RFC 1982 gives the standard answer: compare on the
+//! circle, where `a < b` iff `b` is within a half-space (128 values)
+//! *ahead* of `a`.
+//!
+//! Two values exactly half the space apart (distance 128) are
+//! *incomparable* under RFC 1982 — neither is less than the other. The
+//! helpers here resolve every such tie conservatively in favour of the
+//! **first** argument, which callers pass as the currently registered
+//! value: an incomparable tag never moves the epoch bar. In practice
+//! consecutive incarnations differ by 1, so ties only arise if ~128
+//! incarnations are skipped wholesale.
+
+/// Half of the 8-bit serial space (`2^(SERIAL_BITS - 1)` of RFC 1982).
+const HALF: u8 = 128;
+
+/// RFC 1982 `a < b` on 8-bit serials: `b` is strictly ahead of `a`.
+///
+/// Wrap-aware: `serial_lt(255, 0)` is `true` (0 is the next incarnation
+/// after 255), while `serial_lt(0, 255)` is `false`.
+#[must_use]
+pub fn serial_lt(a: u8, b: u8) -> bool {
+    (a < b && b - a < HALF) || (a > b && a - b > HALF)
+}
+
+/// RFC 1982 `a > b` on 8-bit serials: `a` is strictly ahead of `b`.
+#[must_use]
+pub fn serial_gt(a: u8, b: u8) -> bool {
+    serial_lt(b, a)
+}
+
+/// `a >= b` on the serial circle: equal, or `a` strictly ahead.
+#[must_use]
+pub fn serial_ge(a: u8, b: u8) -> bool {
+    a == b || serial_gt(a, b)
+}
+
+/// The later of two serials; keeps `a` on an RFC 1982 incomparable tie.
+///
+/// Callers pass the registered value first, so a tie never moves an
+/// epoch bar.
+#[must_use]
+pub fn serial_max(a: u8, b: u8) -> u8 {
+    if serial_gt(b, a) {
+        b
+    } else {
+        a
+    }
+}
+
+/// The next incarnation after `e`, wrapping past 255 back to 0.
+#[must_use]
+pub fn serial_bump(e: u8) -> u8 {
+    e.wrapping_add(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agrees_with_plain_order_far_from_the_wrap() {
+        for a in 0u8..=100 {
+            for b in 0u8..=100 {
+                assert_eq!(serial_lt(a, b), a < b, "lt({a},{b})");
+                assert_eq!(serial_gt(a, b), a > b, "gt({a},{b})");
+                assert_eq!(serial_ge(a, b), a >= b, "ge({a},{b})");
+                assert_eq!(serial_max(a, b), a.max(b), "max({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn wraps_past_the_top_of_the_space() {
+        // The 256th incarnation (epoch 0 again) is *newer* than 255.
+        assert!(serial_lt(255, 0));
+        assert!(serial_gt(0, 255));
+        assert!(serial_ge(0, 255));
+        assert!(!serial_lt(0, 255));
+        assert_eq!(serial_max(255, 0), 0);
+        assert_eq!(serial_max(0, 255), 0);
+        // A short window ahead of the wrap still orders correctly.
+        assert!(serial_lt(250, 3));
+        assert!(serial_gt(3, 250));
+    }
+
+    #[test]
+    fn bump_wraps_and_always_moves_forward() {
+        assert_eq!(serial_bump(0), 1);
+        assert_eq!(serial_bump(254), 255);
+        assert_eq!(serial_bump(255), 0);
+        for e in 0u8..=255 {
+            assert!(serial_gt(serial_bump(e), e), "bump({e}) not ahead");
+        }
+    }
+
+    #[test]
+    fn incomparable_ties_keep_the_first_argument() {
+        // Distance exactly 128: neither is ahead (RFC 1982 leaves the
+        // order undefined); `serial_max` must not move the bar.
+        assert!(!serial_lt(0, 128));
+        assert!(!serial_lt(128, 0));
+        assert!(!serial_gt(0, 128));
+        assert!(!serial_ge(0, 128));
+        assert_eq!(serial_max(0, 128), 0);
+        assert_eq!(serial_max(128, 0), 128);
+    }
+
+    #[test]
+    fn strict_order_is_antisymmetric_and_irreflexive() {
+        for a in [0u8, 1, 5, 127, 128, 129, 200, 254, 255] {
+            assert!(!serial_lt(a, a));
+            for b in [0u8, 1, 5, 127, 128, 129, 200, 254, 255] {
+                assert!(
+                    !(serial_lt(a, b) && serial_lt(b, a)),
+                    "lt not antisymmetric at ({a},{b})"
+                );
+            }
+        }
+    }
+}

@@ -236,7 +236,11 @@ impl VirtualCluster {
                 .pending_reconv
                 .iter()
                 .copied()
-                .filter(|&(pid, epoch, _)| coord.registered_epoch(pid) >= Some(epoch))
+                .filter(|&(pid, epoch, _)| {
+                    coord
+                        .registered_epoch(pid)
+                        .is_some_and(|bar| hb_core::serial::serial_ge(bar, epoch))
+                })
                 .collect();
             for (pid, epoch, t0) in resolved {
                 self.pending_reconv

@@ -435,7 +435,7 @@ impl World {
             .pending_reconv
             .iter()
             .copied()
-            .filter(|&(pid, epoch, _)| coord.min_epoch[pid - 1] >= epoch)
+            .filter(|&(pid, epoch, _)| hb_core::serial::serial_ge(coord.min_epoch[pid - 1], epoch))
             .collect();
         for (pid, epoch, t0) in resolved {
             self.pending_reconv

@@ -45,6 +45,7 @@
 pub mod figures;
 pub mod liveness;
 pub mod model;
+pub mod por;
 pub mod rejoin_model;
 pub mod render;
 pub mod requirements;
@@ -53,5 +54,6 @@ pub mod symmetry;
 pub mod tables;
 
 pub use model::{HbAction, HbModel, HbState, Msg};
+pub use por::{verify_with_n_por, HbAmpleOracle};
 pub use requirements::{verify, verify_with_n, Requirement, Verdict};
 pub use tables::{table1, table2, table_fixed, TableReport};

@@ -400,7 +400,10 @@ impl Model for HbModel {
                         // rejoin fix), so it expects nothing more from
                         // this incarnation.
                         let ignored = if self.coord.fix().epoch_rejoin() {
-                            msg.hb.epoch < next.coord.min_epoch[msg.src - 1]
+                            hb_core::serial::serial_lt(
+                                msg.hb.epoch,
+                                next.coord.min_epoch[msg.src - 1],
+                            )
                         } else {
                             next.coord.left[msg.src - 1]
                         };

@@ -57,6 +57,7 @@ pub mod liveness;
 pub mod lts;
 pub mod model;
 pub mod parallel;
+pub mod por;
 pub mod props;
 pub mod sim;
 pub mod symmetry;
@@ -65,4 +66,5 @@ pub mod trace;
 
 pub use bfs::{CheckOutcome, Checker};
 pub use model::{Model, ModelExt};
+pub use por::{AmpleOracle, Reduced};
 pub use trace::Path;

@@ -9,12 +9,19 @@
 //! cargo run --release --example chaos_campaign -- --out artifacts/campaign.json
 //! cargo run --release --example chaos_campaign -- --table       # markdown summary
 //! cargo run --release --example chaos_campaign -- --rejoin artifacts
+//! cargo run --release --example chaos_campaign -- --diff a.json b.json
 //! ```
 //!
 //! `--rejoin DIR` skips the grid and instead emits the §7 rejoin
 //! demonstration artifacts (`rejoin_sim.json` / `rejoin_live.json`):
 //! one seed-pinned reorder + crash + revive plan per backend, run with
 //! epochs off and on.
+//!
+//! `--diff A B` compares two campaign reports cell by cell with the
+//! calibrated sim-vs-live tolerances of [`hb_chaos::diff`], prints the
+//! divergence report, and exits non-zero on any hard divergence — the
+//! CI gate for the checked-in `campaign_gm98_sim.json` /
+//! `campaign_gm98_live.json` artifact pair.
 //!
 //! The report is deterministic: the same grid, seeds, and backend always
 //! produce byte-identical JSON, regardless of `--threads`. CI runs the
@@ -23,7 +30,7 @@
 use std::io::Write as _;
 
 use accelerated_heartbeat::chaos::{
-    run_campaign, run_rejoin_demo, Backend, CampaignReport, CampaignSpec,
+    diff_reports, run_campaign, run_rejoin_demo, Backend, CampaignReport, CampaignSpec, Tolerances,
 };
 use accelerated_heartbeat::core::{FixLevel, Params, Variant};
 
@@ -142,6 +149,21 @@ fn emit_rejoin_artifacts(dir: &str) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Diff two campaign reports under the calibrated tolerances; hard
+/// divergences are fatal.
+fn diff_reports_main(left: &str, right: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let l = std::fs::read_to_string(left)?;
+    let r = std::fs::read_to_string(right)?;
+    let report = diff_reports(&l, &r, &Tolerances::default())
+        .map_err(|e| format!("malformed campaign report: {e:?}"))?;
+    print!("{}", report.render());
+    let hard = report.hard().len();
+    if hard > 0 {
+        return Err(format!("{hard} hard divergence(s) between {left} and {right}").into());
+    }
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let threads = match arg_value(&args, "--threads") {
@@ -153,6 +175,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .ok_or_else(|| format!("unknown backend {name:?} (sim|live)"))?,
         None => Backend::Sim,
     };
+    if let Some(left) = arg_value(&args, "--diff") {
+        let right = args
+            .iter()
+            .position(|a| a == "--diff")
+            .and_then(|i| args.get(i + 2))
+            .ok_or("--diff needs two report paths")?;
+        return diff_reports_main(&left, right);
+    }
     if let Some(dir) = arg_value(&args, "--rejoin") {
         return emit_rejoin_artifacts(&dir);
     }

@@ -1,0 +1,98 @@
+//! `hb_analyze` — the static-analyzer CLI.
+//!
+//! Lints the transition-system IR of every protocol machine and, on
+//! request, runs the POR soundness cross-check:
+//!
+//! ```text
+//! cargo run --release --example hb_analyze                      # human report, all machines
+//! cargo run --release --example hb_analyze -- --json            # one JSON line per finding
+//! cargo run --release --example hb_analyze -- --machines fixed --deny-findings
+//! cargo run --release --example hb_analyze -- --por-check       # POR vs full, state table
+//! cargo run --release --example hb_analyze -- --por-check --no-por
+//! ```
+//!
+//! `--deny-findings` exits non-zero if any finding is reported for the
+//! selected machines — the CI gate runs it over the `--machines fixed`
+//! set (ReceivePriority/Full), which must be clean. `--no-por` is the
+//! escape hatch: the cross-check cells run full exploration only.
+
+use hb_analyze::{lint_all, lints, por_check, render_human};
+use hb_core::describe::MachineIr;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    if flag("--por-check") {
+        por_check_main(flag("--no-por"));
+        return;
+    }
+
+    let selection = value("--machines").unwrap_or_else(|| "all".to_string());
+    let machines: Vec<MachineIr> = lints::all_machines()
+        .into_iter()
+        .filter(|m| match selection.as_str() {
+            "fixed" => m.fix.receive_priority(),
+            "naive" => !m.fix.receive_priority(),
+            "all" => true,
+            other => {
+                eprintln!("unknown --machines selection '{other}' (all|fixed|naive)");
+                std::process::exit(2);
+            }
+        })
+        .collect();
+
+    let findings = lint_all(&machines);
+    if flag("--json") {
+        for f in &findings {
+            println!("{}", f.to_json());
+        }
+    } else {
+        print!("{}", render_human(&findings, machines.len()));
+    }
+    if flag("--deny-findings") && !findings.is_empty() {
+        eprintln!(
+            "hb_analyze: {} finding(s) on --machines {selection}; denying",
+            findings.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+fn por_check_main(no_por: bool) {
+    if no_por {
+        // Escape hatch: full exploration only, no reduction in play.
+        use hb_verify::requirements::{verify_with_n, Requirement};
+        let variants = hb_core::Variant::TABLE1
+            .into_iter()
+            .chain(hb_core::Variant::TABLE2);
+        for variant in variants {
+            for params in hb_verify::tables::paper_params() {
+                for req in Requirement::ALL {
+                    let n = por_check::cell_n(variant, req);
+                    let v = verify_with_n(variant, params, hb_core::FixLevel::Original, req, n);
+                    println!(
+                        "{}/{}-{}/{:?}: {} ({} states, full exploration)",
+                        variant.name(),
+                        params.tmin(),
+                        params.tmax(),
+                        req,
+                        v.symbol(),
+                        v.stats.states
+                    );
+                }
+            }
+        }
+        return;
+    }
+    let cells = por_check::por_cross_check();
+    print!("{}", por_check::render_state_table(&cells));
+    let frac = por_check::fraction_reduced(&cells, 30.0);
+    println!("fraction of cells at >=30% reduction: {:.2}", frac);
+}

@@ -26,6 +26,19 @@ cargo run --release --example chaos_campaign -- --rejoin "$tmpdir/rejoin_b" >/de
 diff -r "$tmpdir/rejoin_a" "$tmpdir/rejoin_b" \
   || { echo "crash/revive rejoin demo is not deterministic" >&2; exit 1; }
 
+echo "==> static analyzer gate (fixed machines must be clean)"
+cargo run --release --example hb_analyze -- --machines fixed --deny-findings
+
+echo "==> POR soundness cross-check (reduced vs full verdicts, all table cells)"
+# por_cross_check panics on any verdict divergence; the tail lines report
+# the state savings (EXPERIMENTS.md carries the full table).
+cargo run --release --example hb_analyze -- --por-check > "$tmpdir/por.txt"
+tail -n 2 "$tmpdir/por.txt"
+
+echo "==> sim-vs-live campaign differ (checked-in artifact pair)"
+cargo run --release --example chaos_campaign -- --diff \
+  artifacts/campaign_gm98_sim.json artifacts/campaign_gm98_live.json >/dev/null
+
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -25,6 +25,11 @@
 //!   delay spikes, clock drift, crash/churn schedules) executed on both
 //!   the simulator and the live runtime, plus a parallel chaos-campaign
 //!   runner sweeping fault grids into deterministic reports.
+//! * [`analyze`] (`hb-analyze`) — the static protocol analyzer: lints
+//!   over the machines' transition-system IR (the AM09 timeout-vs-receive
+//!   overlap, unreachable states, dead transitions, ambiguous receives,
+//!   epoch monotonicity) and the soundness cross-check for the
+//!   partial-order reduction in [`verify`](hb_verify::por).
 //!
 //! ## Quickstart
 //!
@@ -52,6 +57,9 @@
 //! assert_eq!(report.false_inactivations, 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub use hb_analyze as analyze;
 pub use hb_chaos as chaos;
 pub use hb_core as core;
 pub use hb_net as net;

@@ -1,0 +1,86 @@
+//! Golden lint outcomes for the static analyzer.
+//!
+//! The expected finding set is the analyzer's regression oracle: every
+//! machine *below* the §6.1 receive-priority fix carries the AM09
+//! timeout-vs-receive overlap, and every machine at or above it is
+//! completely clean. A new lint (or a change to the IR extraction) that
+//! breaks either direction is a bug in the analyzer, not in the
+//! protocols.
+
+use accelerated_heartbeat::analyze::{lint_machine, Lint};
+use accelerated_heartbeat::core::describe::DescribeMachine;
+use accelerated_heartbeat::core::{CoordSpec, FixLevel, Params, RespSpec, Variant};
+
+fn machine_irs(
+    variant: Variant,
+    fix: FixLevel,
+) -> Vec<accelerated_heartbeat::core::describe::MachineIr> {
+    let p = Params::new(1, 10).expect("valid params");
+    vec![
+        CoordSpec::new(variant, p, 1, fix).describe(),
+        RespSpec::new(variant, p, fix).describe(),
+    ]
+}
+
+/// Every naive machine pair (no receive priority) trips the overlap
+/// lint — the static shadow of the AM09 §6 counterexamples.
+#[test]
+fn every_naive_variant_trips_the_overlap_lint() {
+    for variant in Variant::ALL {
+        for fix in [FixLevel::Original, FixLevel::CorrectedBounds] {
+            let findings: Vec<_> = machine_irs(variant, fix)
+                .iter()
+                .flat_map(lint_machine)
+                .collect();
+            assert!(
+                findings
+                    .iter()
+                    .any(|f| f.lint == Lint::TimeoutReceiveOverlap),
+                "{}/{:?}: expected a timeout-receive-overlap finding, got {:?}",
+                variant.name(),
+                fix,
+                findings,
+            );
+        }
+    }
+}
+
+/// Every fixed machine pair (receive priority on) is clean — not just
+/// free of the overlap lint, free of *all* findings.
+#[test]
+fn every_fixed_variant_is_clean() {
+    for variant in Variant::ALL {
+        for fix in [FixLevel::ReceivePriority, FixLevel::Full] {
+            let findings: Vec<_> = machine_irs(variant, fix)
+                .iter()
+                .flat_map(lint_machine)
+                .collect();
+            assert!(
+                findings.is_empty(),
+                "{}/{:?}: expected zero findings, got {:?}",
+                variant.name(),
+                fix,
+                findings,
+            );
+        }
+    }
+}
+
+/// The overlap findings on naive machines survive the JSON round:
+/// machine-readable output carries the lint identifier CI greps for.
+#[test]
+fn findings_serialize_with_stable_lint_names() {
+    let findings: Vec<_> = machine_irs(Variant::Binary, FixLevel::Original)
+        .iter()
+        .flat_map(lint_machine)
+        .collect();
+    assert!(!findings.is_empty());
+    for f in &findings {
+        let json = f.to_json();
+        assert!(
+            json.contains("\"lint\":\"timeout-receive-overlap\""),
+            "unexpected finding in golden set: {json}"
+        );
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

@@ -1,0 +1,61 @@
+//! Property test: ample-set reduction never changes a verdict.
+//!
+//! The exhaustive cross-check (`hb_analyze::por_check`) pins the paper's
+//! table cells; this test walks random *small* corners of the parameter
+//! space — every variant, every fix level, every requirement — and
+//! insists the reduced exploration reaches the same verdict as the full
+//! one. Parameters are kept small so the full exploration stays cheap;
+//! R1 cells run at one participant for the same reason the cross-check
+//! pins them there (the full fault-bearing graph is the expensive side).
+
+use accelerated_heartbeat::core::{FixLevel, Params, Variant};
+use accelerated_heartbeat::verify::por::verify_with_n_por;
+use accelerated_heartbeat::verify::requirements::{verify_with_n, Requirement};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn por_and_full_exploration_agree(
+        variant in prop::sample::select(Variant::ALL.to_vec()),
+        fix in prop::sample::select(FixLevel::ALL.to_vec()),
+        req in prop::sample::select(Requirement::ALL.to_vec()),
+        tmin in 1u32..=3,
+        extra in 0u32..=3,
+        wide in any::<bool>(),
+    ) {
+        let params = Params::new(tmin, tmin + extra).expect("valid params");
+        let two_process = matches!(
+            variant,
+            Variant::Binary | Variant::RevisedBinary | Variant::TwoPhase
+        );
+        // Fault-free requirements get a second participant on the
+        // multi-party variants when the dice say so.
+        let n = if two_process || req == Requirement::R1 || !wide {
+            1
+        } else {
+            2
+        };
+        let full = verify_with_n(variant, params, fix, req, n);
+        let por = verify_with_n_por(variant, params, fix, req, n);
+        prop_assert!(
+            full.holds == por.holds,
+            "verdict divergence on {}/{}-{}/{:?}/{:?}/n={}: full={} por={}",
+            variant.name(),
+            params.tmin(),
+            params.tmax(),
+            fix,
+            req,
+            n,
+            full.holds,
+            por.holds
+        );
+        prop_assert!(
+            por.stats.states <= full.stats.states || !full.holds,
+            "reduction grew a passing cell: full={} por={}",
+            full.stats.states,
+            por.stats.states
+        );
+    }
+}
