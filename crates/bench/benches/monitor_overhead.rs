@@ -1,0 +1,155 @@
+//! Monitor overhead: simulator throughput with and without an attached
+//! streaming `MonitorSet` — the cost of judging R1–R3 online.
+//!
+//! Each configuration runs the same lossless steady-state world twice
+//! per round, once bare and once with the monitor tapping every event,
+//! and reports beats/sec plus the relative slowdown. The verdicts of
+//! every monitored run must come back clean (steady state breaks no
+//! requirement), so the bench doubles as a long-horizon soak test.
+//!
+//! Writes `BENCH_monitor.json` (path overridable as the first
+//! non-flag argument) to start the monitor's speed trajectory.
+
+use std::time::Instant;
+
+use bench::{mean, stddev};
+use hb_core::events::SharedTap;
+use hb_core::{FixLevel, Params, Variant};
+use hb_monitor::MonitorSet;
+use hb_sim::world::WorldConfig;
+use hb_sim::World;
+
+const HORIZON: u64 = 100_000;
+const ROUNDS: usize = 5;
+
+struct Config {
+    name: &'static str,
+    variant: Variant,
+    n: usize,
+}
+
+struct Sample {
+    /// beats delivered per wall second.
+    throughput: f64,
+    delivered: u64,
+}
+
+fn run_once(cfg: &Config, monitored: bool) -> Sample {
+    let world_cfg = WorldConfig {
+        variant: cfg.variant,
+        params: Params::new(2, 8).expect("valid"),
+        fix: FixLevel::Full,
+        n: cfg.n,
+        loss_prob: 0.0,
+        log_events: false,
+    };
+    let mut world = World::new(world_cfg, 1);
+    let monitor = monitored.then(|| {
+        let m = MonitorSet::shared(
+            cfg.variant,
+            Params::new(2, 8).expect("valid"),
+            FixLevel::Full,
+            cfg.n,
+        );
+        let tap: SharedTap = m.clone();
+        world.attach_tap(tap);
+        m
+    });
+    let t0 = Instant::now();
+    world.run_until(HORIZON);
+    let secs = t0.elapsed().as_secs_f64();
+    let report = world.into_report();
+    if let Some(m) = monitor {
+        let mut m = m.lock().expect("monitor poisoned");
+        m.finish(report.duration);
+        let v = m.verdicts();
+        assert!(
+            v.clean(),
+            "{}: steady state must be monitor-clean: {}",
+            cfg.name,
+            v.to_json()
+        );
+    }
+    Sample {
+        throughput: report.messages_delivered as f64 / secs,
+        delivered: report.messages_delivered,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "BENCH_monitor.json".into());
+
+    let configs = [
+        Config {
+            name: "binary-n1",
+            variant: Variant::Binary,
+            n: 1,
+        },
+        Config {
+            name: "static-n8",
+            variant: Variant::Static,
+            n: 8,
+        },
+    ];
+
+    println!(
+        "== streaming monitor overhead (lossless steady state, {HORIZON} ticks, full fix) ==\n"
+    );
+    println!(
+        "{:>10} | {:>14} | {:>14} | {:>9}",
+        "config", "bare beats/s", "monitored", "overhead"
+    );
+    println!("{}", "-".repeat(58));
+
+    let mut rows = Vec::new();
+    for cfg in &configs {
+        let mut bare = Vec::new();
+        let mut tapped = Vec::new();
+        let mut delivered = 0;
+        for _ in 0..ROUNDS {
+            let b = run_once(cfg, false);
+            let t = run_once(cfg, true);
+            delivered = b.delivered;
+            assert_eq!(
+                b.delivered, t.delivered,
+                "{}: the tap must not change the protocol",
+                cfg.name
+            );
+            bare.push(b.throughput);
+            tapped.push(t.throughput);
+        }
+        let overhead = mean(&bare) / mean(&tapped) - 1.0;
+        println!(
+            "{:>10} | {:>14.0} | {:>14.0} | {:>8.1}%",
+            cfg.name,
+            mean(&bare),
+            mean(&tapped),
+            overhead * 100.0
+        );
+        rows.push(format!(
+            "{{\"config\":\"{}\",\"n\":{},\"horizon\":{HORIZON},\"rounds\":{ROUNDS},\
+             \"beats_delivered\":{delivered},\
+             \"bare_beats_per_s\":{:.0},\"bare_sd\":{:.0},\
+             \"monitored_beats_per_s\":{:.0},\"monitored_sd\":{:.0},\
+             \"overhead_pct\":{:.2},\"verdicts_clean\":true}}",
+            cfg.name,
+            cfg.n,
+            mean(&bare),
+            stddev(&bare),
+            mean(&tapped),
+            stddev(&tapped),
+            overhead * 100.0,
+        ));
+    }
+
+    let json = format!(
+        "{{\"record\":\"bench_monitor\",\"horizon\":{HORIZON},\"rounds\":{ROUNDS},\
+         \"configs\":[{}]}}",
+        rows.join(",")
+    );
+    std::fs::write(&out_path, format!("{json}\n")).expect("write BENCH_monitor.json");
+    println!("\nmonitor overhead report -> {out_path}");
+}

@@ -21,7 +21,7 @@ use hb_sim::schema::RunSummary;
 use crate::json::escape;
 use crate::pipeline::burst_model;
 use crate::plan::{FaultPlan, FaultSpec, Link, ProtoSpec, Window};
-use crate::{run_plan, Backend};
+use crate::{run_plan, run_plan_monitored, Backend};
 
 /// The campaign grid and its fixed protocol context.
 #[derive(Clone, Debug)]
@@ -56,6 +56,15 @@ pub struct CampaignSpec {
     pub seeds: Vec<u64>,
     /// Worker threads (clamped to at least 1).
     pub threads: usize,
+    /// Attach a streaming R1–R3 monitor (`hb-monitor`) to every run and
+    /// aggregate its verdicts per cell. Under-corrected cells are
+    /// *expected* to fire R1 (the claimed `2·tmax` bound is wrong — that
+    /// is the paper's point); corrected cells must stay clean. Drifted
+    /// cells run unmonitored: nodes stamp events on their local clocks,
+    /// so a global-deadline monitor would measure the accumulated skew,
+    /// not the protocol — and the simulator does not apply drift at all,
+    /// so the two backends' verdicts would not be comparable.
+    pub monitor: bool,
 }
 
 /// One grid point.
@@ -116,6 +125,25 @@ pub struct CellStats {
     /// Stale (superseded-epoch) beats the coordinator admitted as fresh,
     /// summed over the revive runs.
     pub stale_admitted: u64,
+    /// Runs executed with a streaming monitor attached (0 when the
+    /// campaign ran unmonitored).
+    pub monitor_runs: usize,
+    /// Monitored runs with no violation of any requirement.
+    pub monitor_clean: usize,
+    /// Monitored runs whose R1 monitor fired (a participant silent past
+    /// the cell's inactivation bound while the coordinator stayed
+    /// active).
+    pub monitor_r1: usize,
+    /// Monitored runs whose R2 monitor fired (a participant
+    /// non-voluntarily inactivated in a fault-free run).
+    pub monitor_r2: usize,
+    /// Monitored runs whose R3 monitor fired (the coordinator
+    /// non-voluntarily inactivated in a fault-free run with every
+    /// participant active).
+    pub monitor_r3: usize,
+    /// Earliest first-violation tick across all monitored runs, if any
+    /// monitor fired.
+    pub monitor_first: Option<Time>,
 }
 
 /// A finished campaign.
@@ -284,9 +312,43 @@ fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellStats {
     let mut reconv_sum = 0u128;
     let mut reconv_max = 0;
     let mut stale_admitted = 0u64;
+    let mut monitor_runs = 0usize;
+    let mut monitor_clean = 0usize;
+    let mut monitor_r1 = 0usize;
+    let mut monitor_r2 = 0usize;
+    let mut monitor_r3 = 0usize;
+    let mut monitor_first: Option<Time> = None;
+    // Drifted cells run unmonitored (see `CampaignSpec::monitor`): their
+    // event stamps come from skewed local clocks, which a global-deadline
+    // monitor would misread as requirement breaches.
+    let monitored = spec.monitor && cell.drift == (1, 1);
+    let exec = |plan: &FaultPlan| {
+        if monitored {
+            run_plan_monitored(plan, spec.backend)
+        } else {
+            run_plan(plan, spec.backend)
+        }
+    };
+    let mut tally = |s: &RunSummary| {
+        let Some(v) = &s.monitor else { return };
+        monitor_runs += 1;
+        if v.clean() {
+            monitor_clean += 1;
+        }
+        for (hit, count) in [
+            (v.r1, &mut monitor_r1),
+            (v.r2, &mut monitor_r2),
+            (v.r3, &mut monitor_r3),
+        ] {
+            if let Some(f) = hit {
+                *count += 1;
+                monitor_first = Some(monitor_first.map_or(f.at, |t| t.min(f.at)));
+            }
+        }
+    };
     for &seed in &spec.seeds {
-        let crashed: RunSummary =
-            run_plan(&cell_plan(spec, cell, seed, RunKind::Crash), spec.backend);
+        let crashed: RunSummary = exec(&cell_plan(spec, cell, seed, RunKind::Crash));
+        tally(&crashed);
         match crashed.detection_delay {
             Some(d) => {
                 detected += 1;
@@ -311,18 +373,16 @@ fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellStats {
                 violations_corrected += 1;
             }
         }
-        let revive: RunSummary = run_plan(
-            &cell_plan(spec, cell, seed, RunKind::CrashRevive),
-            spec.backend,
-        );
+        let revive: RunSummary = exec(&cell_plan(spec, cell, seed, RunKind::CrashRevive));
+        tally(&revive);
         if let Some(d) = revive.reconvergence_delay {
             reconverged += 1;
             reconv_sum += u128::from(d);
             reconv_max = reconv_max.max(d);
         }
         stale_admitted += u64::from(revive.stale_beats_admitted);
-        let quiet: RunSummary =
-            run_plan(&cell_plan(spec, cell, seed, RunKind::Quiet), spec.backend);
+        let quiet: RunSummary = exec(&cell_plan(spec, cell, seed, RunKind::Quiet));
+        tally(&quiet);
         false_suspicions += u64::from(quiet.false_inactivations);
         if quiet.duration > 0 {
             rate_sum += quiet.messages_sent as f64 / quiet.duration as f64;
@@ -357,6 +417,12 @@ fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellStats {
         },
         reconv_max,
         stale_admitted,
+        monitor_runs,
+        monitor_clean,
+        monitor_r1,
+        monitor_r2,
+        monitor_r3,
+        monitor_first,
     }
 }
 
@@ -395,6 +461,10 @@ impl CellStats {
     /// This cell as a single-line JSON object.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
+        let monitor_first = match self.monitor_first {
+            Some(t) => t.to_string(),
+            None => "null".to_string(),
+        };
         let _ = write!(
             s,
             "{{\"fix\":\"{}\",\"loss\":{},\"burst\":{},\"drift\":\"{}/{}\",\"partition\":{},\
@@ -404,7 +474,9 @@ impl CellStats {
              \"violations_claimed\":{},\"violations_corrected\":{},\
              \"false_suspicions\":{},\"msg_per_tick\":{:.4},\
              \"reconverged\":{},\"reconv_mean\":{:.3},\"reconv_max\":{},\
-             \"stale_admitted\":{}}}",
+             \"stale_admitted\":{},\
+             \"monitor_runs\":{},\"monitor_clean\":{},\"monitor_r1\":{},\
+             \"monitor_r2\":{},\"monitor_r3\":{},\"monitor_first\":{}}}",
             self.cell.fix.name(),
             self.cell.loss,
             self.cell.burst,
@@ -426,6 +498,12 @@ impl CellStats {
             self.reconv_mean,
             self.reconv_max,
             self.stale_admitted,
+            self.monitor_runs,
+            self.monitor_clean,
+            self.monitor_r1,
+            self.monitor_r2,
+            self.monitor_r3,
+            monitor_first,
         );
         s
     }
@@ -438,7 +516,7 @@ impl CampaignReport {
         format!(
             "{{\"record\":\"campaign\",\"name\":\"{}\",\"backend\":\"{}\",\
              \"variant\":\"{}\",\"tmin\":{},\"tmax\":{},\"n\":{},\"duration\":{},\
-             \"seeds\":{},\"cells\":[{}]}}",
+             \"seeds\":{},\"monitor\":{},\"cells\":[{}]}}",
             escape(&self.spec.name),
             self.spec.backend.name(),
             self.spec.variant.name(),
@@ -447,6 +525,7 @@ impl CampaignReport {
             self.spec.n,
             self.spec.duration,
             self.spec.seeds.len(),
+            self.spec.monitor,
             cells.join(",")
         )
     }
@@ -477,6 +556,7 @@ mod tests {
             partition: vec![0, 8],
             seeds: vec![1, 2],
             threads,
+            monitor: false,
         }
     }
 
@@ -526,6 +606,48 @@ mod tests {
             );
             assert!(cell.msg_per_tick > 0.0);
         }
+    }
+
+    #[test]
+    fn monitored_campaigns_separate_naive_from_corrected_cells() {
+        // Lossless cells only: the monitor story is sharpest there. The
+        // Original-fix watchdog checks the claimed 2·tmax bound, which
+        // the crash runs breach (the real inactivation chain takes up to
+        // 3·tmax − tmin); the Full-fix watchdog checks the corrected
+        // bound, which the model proves unbreachable without faults on
+        // the monitored path.
+        let spec = CampaignSpec {
+            loss: vec![0.0],
+            partition: vec![0],
+            monitor: true,
+            ..small_spec(Backend::Sim, 2)
+        };
+        let report = run_campaign(&spec);
+        for cell in &report.cells {
+            // Every run of every seed was monitored: 3 kinds × 2 seeds.
+            assert_eq!(cell.monitor_runs, 6, "{:?}", cell.cell);
+            assert_eq!(
+                cell.monitor_clean + cell.monitor_r1 + cell.monitor_r2 + cell.monitor_r3,
+                cell.monitor_runs,
+                "verdicts partition the runs (one requirement per run \
+                 here): {:?}",
+                cell.cell
+            );
+            if cell.cell.fix.corrected_bounds() {
+                assert_eq!(cell.monitor_clean, cell.monitor_runs, "{:?}", cell.cell);
+                assert_eq!(cell.monitor_first, None);
+            } else {
+                // Each seed's crash run breaches the claimed R1 bound.
+                assert!(cell.monitor_r1 >= 2, "{:?}: {cell:?}", cell.cell);
+                assert!(cell.monitor_first.is_some());
+            }
+        }
+        // The unmonitored campaign reports zeros.
+        let plain = run_campaign(&CampaignSpec {
+            monitor: false,
+            ..spec
+        });
+        assert!(plain.cells.iter().all(|c| c.monitor_runs == 0));
     }
 
     #[test]

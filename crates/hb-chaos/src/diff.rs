@@ -142,16 +142,19 @@ pub fn diff_reports(left: &str, right: &str, tol: &Tolerances) -> Result<DiffRep
 
     // Report-level context must match exactly — except `backend`, which
     // is the whole point of the comparison, and `name`, which embeds it.
+    // `monitor` is context too: comparing a monitored campaign against an
+    // unmonitored one would vacuously pass every monitor check. (Absent
+    // in pre-monitor reports → both default to false.)
     for field in [
-        "record", "variant", "tmin", "tmax", "n", "duration", "seeds",
+        "record", "variant", "tmin", "tmax", "n", "duration", "seeds", "monitor",
     ] {
-        let (l, r) = (a.field(field)?, b.field(field)?);
+        let (l, r) = (a.opt_field(field)?, b.opt_field(field)?);
         if l != r {
             report.divergences.push(Divergence {
                 cell: "campaign".into(),
                 field: field.into(),
-                left: render(l),
-                right: render(r),
+                left: l.map_or_else(|| "absent".to_string(), render),
+                right: r.map_or_else(|| "absent".to_string(), render),
                 severity: Severity::Hard,
             });
         }
@@ -318,6 +321,65 @@ fn diff_cell(
         };
         push("msg_per_tick", l, r, sev);
     }
+
+    // Streaming monitor verdicts (absent in pre-monitor reports → 0).
+    // The run count is structural; the per-requirement firing counts are
+    // per-run samples; whether a requirement fired *at all* in a cell is
+    // protocol story and follows the qualitative-flag rule.
+    let opt_num = |c: &Value, name: &str| -> Result<f64, JsonError> {
+        match c.opt_field(name)? {
+            Some(v) => v.as_f64(),
+            None => Ok(0.0),
+        }
+    };
+    let (l, r) = (opt_num(ca, "monitor_runs")?, opt_num(cb, "monitor_runs")?);
+    if l != r {
+        push("monitor_runs", l, r, Severity::Hard);
+    }
+    for field in ["monitor_clean", "monitor_r1", "monitor_r2", "monitor_r3"] {
+        let (l, r) = (opt_num(ca, field)?, opt_num(cb, field)?);
+        if l != r {
+            let sev = if (l - r).abs() <= run_tol {
+                Severity::Note
+            } else {
+                Severity::Hard
+            };
+            push(field, l, r, sev);
+        }
+    }
+    for field in ["monitor_r1", "monitor_r2", "monitor_r3"] {
+        let (l, r) = (opt_num(ca, field)?, opt_num(cb, field)?);
+        if (l > 0.0) != (r > 0.0) {
+            let sev = if l.max(r) <= tol.flip_slack as f64 {
+                Severity::Note
+            } else {
+                Severity::Hard
+            };
+            push(&format!("{field} (flag)"), l, r, sev);
+        }
+    }
+    // First-violation tick: a tick-grid quantity, comparable only when
+    // both sides saw a violation at all. On lossy cells it is the
+    // *earliest* firing across all seeds — an extreme order statistic
+    // over two independent loss realizations, so a wide gap there is
+    // sampling, not a determinism break.
+    let lossy = ca.field("loss")?.as_f64()? > 0.0 || cb.field("loss")?.as_f64()? > 0.0;
+    let first = |c: &Value| -> Result<Option<f64>, JsonError> {
+        match c.opt_field("monitor_first")? {
+            Some(v) => Ok(Some(v.as_f64()?)),
+            None => Ok(None),
+        }
+    };
+    if let (Some(l), Some(r)) = (first(ca)?, first(cb)?) {
+        if l != r {
+            let sev = if lossy || (l - r).abs() <= tick_tol {
+                Severity::Note
+            } else {
+                Severity::Hard
+            };
+            push("monitor_first", l, r, sev);
+        }
+    }
     Ok(())
 }
 
@@ -461,6 +523,70 @@ mod tests {
         let fewer = campaign("live", &[]);
         let d = diff_reports(&sim, &fewer, &Tolerances::default()).unwrap();
         assert!(!d.hard().is_empty(), "{}", d.render());
+    }
+
+    #[test]
+    fn monitor_fields_are_optional_and_gate_on_the_story() {
+        // Pre-monitor artifacts (no monitor fields at all) diff clean
+        // against themselves — covered by identical_reports_diff_clean —
+        // and against a monitored report they diverge hard on the
+        // campaign-level flag.
+        let plain = campaign("sim", &[cell(&[])]);
+        let monitored = campaign("live", &[cell(&[])])
+            .replace("\"seeds\":10,", "\"seeds\":10,\"monitor\":true,");
+        let d = diff_reports(&plain, &monitored, &Tolerances::default()).unwrap();
+        assert!(
+            d.hard().iter().any(|x| x.field == "monitor"),
+            "{}",
+            d.render()
+        );
+
+        // Same grid, monitored on both sides: R1 firing on one substrate
+        // only is the protocol story — hard.
+        let mon = |r1: &str, clean: &str, first: &str| {
+            campaign(
+                "sim",
+                &[cell(&[]).replace(
+                    "\"stale_admitted\":0",
+                    &format!(
+                        "\"stale_admitted\":0,\"monitor_runs\":30,\
+                             \"monitor_clean\":{clean},\"monitor_r1\":{r1},\
+                             \"monitor_r2\":0,\"monitor_r3\":0,\
+                             \"monitor_first\":{first}"
+                    ),
+                )],
+            )
+        };
+        let firing = mon("10", "20", "1017");
+        let quiet = mon("0", "30", "null");
+        let d = diff_reports(&firing, &quiet, &Tolerances::default()).unwrap();
+        assert!(
+            d.hard().iter().any(|x| x.field == "monitor_r1 (flag)"),
+            "{}",
+            d.render()
+        );
+        // Both firing, timestamps a few ticks apart: a note.
+        let close = mon("10", "20", "1019");
+        let d = diff_reports(&firing, &close, &Tolerances::default()).unwrap();
+        assert!(d.hard().is_empty(), "{}", d.render());
+        assert!(
+            d.divergences.iter().any(|x| x.field == "monitor_first"),
+            "{}",
+            d.render()
+        );
+        // A wide gap in the earliest firing is still a note on lossy
+        // cells (min over two loss realizations) but hard on lossless
+        // ones, whose runs are deterministic.
+        let far = mon("10", "20", "1100");
+        let d = diff_reports(&firing, &far, &Tolerances::default()).unwrap();
+        assert!(d.hard().is_empty(), "{}", d.render());
+        let lossless = |s: &str| s.replace("\"loss\":0.02", "\"loss\":0");
+        let d = diff_reports(&lossless(&firing), &lossless(&far), &Tolerances::default()).unwrap();
+        assert!(
+            d.hard().iter().any(|x| x.field == "monitor_first"),
+            "{}",
+            d.render()
+        );
     }
 
     #[test]

@@ -43,6 +43,8 @@ pub mod plan;
 pub mod rejoin;
 pub mod sim;
 
+use hb_core::events::SharedTap;
+use hb_monitor::MonitorSet;
 use hb_sim::schema::RunSummary;
 
 pub use campaign::{run_campaign, CampaignReport, CampaignSpec, Cell, CellStats, RunKind};
@@ -51,7 +53,7 @@ pub use live::{run_plan_live, ChaosCluster, ChaosNet, ChaosTransport};
 pub use pipeline::{burst_model, FaultPipeline, PipelineStats};
 pub use plan::{FaultPlan, FaultSpec, Link, PlanError, ProtoSpec, Window};
 pub use rejoin::{rejoin_demo_plan, run_rejoin_demo, RejoinDemo};
-pub use sim::run_plan_sim;
+pub use sim::{run_plan_sim, run_plan_sim_tapped};
 
 /// Which substrate executes a plan.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -88,6 +90,39 @@ pub fn run_plan(plan: &FaultPlan, backend: Backend) -> RunSummary {
         Backend::Sim => sim::run_plan_sim(plan),
         Backend::Live => live::run_plan_live(plan),
     }
+}
+
+/// Run one fault plan on the chosen backend with a streaming
+/// [`MonitorSet`] attached, and record its verdicts in the summary's
+/// `monitor` field.
+///
+/// The monitor taps the run's event stream live (every node sink on the
+/// live backend, the world sink on the simulator, plus the fault
+/// pipeline's synthetic `lose` events), is closed at the run's actual
+/// end tick, and its first-violation verdicts ride along in the shared
+/// schema — so campaign cells, the rejoin demo and CI gates can all ask
+/// the same question: "did any requirement monitor fire?".
+pub fn run_plan_monitored(plan: &FaultPlan, backend: Backend) -> RunSummary {
+    let monitor = MonitorSet::shared(
+        plan.proto.variant,
+        plan.proto.params,
+        plan.proto.fix,
+        plan.proto.n,
+    );
+    let tap: SharedTap = monitor.clone();
+    let mut summary = match backend {
+        Backend::Sim => sim::run_plan_sim_tapped(plan, tap),
+        Backend::Live => {
+            let mut cluster = live::ChaosCluster::new(plan.clone());
+            cluster.attach_monitor(tap);
+            cluster.run_until(plan.proto.duration);
+            cluster.into_summary()
+        }
+    };
+    let mut mon = monitor.lock().expect("monitor poisoned");
+    mon.finish(summary.duration);
+    summary.monitor = Some(mon.verdicts());
+    summary
 }
 
 #[cfg(test)]

@@ -21,7 +21,9 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use hb_core::coordinator::CoordSpec;
+use hb_core::events::SharedTap;
 use hb_core::responder::RespSpec;
+use hb_core::trace::Event;
 use hb_core::{Pid, Status};
 use hb_net::loopback::{Faults, LoopbackEndpoint, LoopbackNet};
 use hb_net::node::NodeRuntime;
@@ -45,7 +47,6 @@ struct Held {
 }
 
 /// Pipeline state shared by every [`ChaosTransport`] of one run.
-#[derive(Debug)]
 pub struct ChaosNet {
     pipeline: FaultPipeline,
     /// True cluster time, set by the harness each tick. `None` outside a
@@ -57,6 +58,26 @@ pub struct ChaosNet {
     sent: u64,
     /// Sends the pipeline dropped.
     lost: u64,
+    /// Optional event tap told about pipeline drops. Live nodes only see
+    /// their own sends and deliveries — the adversary's drop decision is
+    /// invisible to them — so the synthetic `lose` event a streaming
+    /// monitor needs (the R2/R3 fault-free premise) is emitted here, at
+    /// the only place that knows, mirroring the simulator's own `lose`
+    /// records.
+    tap: Option<SharedTap>,
+}
+
+impl std::fmt::Debug for ChaosNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosNet")
+            .field("pipeline", &self.pipeline)
+            .field("true_now", &self.true_now)
+            .field("held", &self.held.len())
+            .field("sent", &self.sent)
+            .field("lost", &self.lost)
+            .field("tap", &self.tap.is_some())
+            .finish()
+    }
 }
 
 impl ChaosNet {
@@ -68,6 +89,7 @@ impl ChaosNet {
             held: Vec::new(),
             sent: 0,
             lost: 0,
+            tap: None,
         }))
     }
 }
@@ -114,6 +136,15 @@ impl<T: Transport> Transport for ChaosTransport<T> {
         match st.pipeline.decide(now, frame.src(), dst) {
             SendFate::Drop => {
                 st.lost += 1;
+                if let Some(tap) = &st.tap {
+                    if let Ok(mut t) = tap.lock() {
+                        t.on_event(&Event::Lose {
+                            at: now,
+                            from: frame.src(),
+                            to: dst,
+                        });
+                    }
+                }
                 Ok(())
             }
             SendFate::Deliver {
@@ -176,6 +207,9 @@ pub struct ChaosCluster {
     pending_reconv: Vec<(Pid, u8, Time)>,
     reconv_delays: Vec<(Pid, Time)>,
     all_inactive_at: Option<Time>,
+    /// Event tap attached to every node (including late joiners) and to
+    /// the pipeline's drop site.
+    tap: Option<SharedTap>,
 }
 
 impl ChaosCluster {
@@ -240,8 +274,22 @@ impl ChaosCluster {
             pending_reconv: Vec::new(),
             reconv_delays: Vec::new(),
             all_inactive_at: None,
+            tap: None,
             plan,
         }
+    }
+
+    /// Attach a live event tap — e.g. a streaming requirement monitor
+    /// (`hb_monitor::MonitorSet::shared`) — to every node's event sink
+    /// (late joiners included) and to the fault pipeline's drop site, so
+    /// the tap sees the same event stream the simulator would emit:
+    /// sends, deliveries, lifecycle transitions, and losses.
+    pub fn attach_monitor(&mut self, tap: SharedTap) {
+        for node in self.nodes.iter_mut().flatten() {
+            node.attach_tap(tap.clone());
+        }
+        self.shared.lock().expect("chaos state poisoned").tap = Some(tap.clone());
+        self.tap = Some(tap);
     }
 
     /// Current true tick.
@@ -278,8 +326,11 @@ impl ChaosCluster {
                 );
                 let transport =
                     ChaosTransport::new(self.net.endpoint(i + 1), Arc::clone(&self.shared));
-                let node = NodeRuntime::participant(i + 1, spec, transport)
+                let mut node = NodeRuntime::participant(i + 1, spec, transport)
                     .started_at(self.local[i + 1].now());
+                if let Some(tap) = &self.tap {
+                    node.attach_tap(tap.clone());
+                }
                 self.nodes[i + 1] = Some(node);
             }
         }
@@ -410,6 +461,7 @@ impl ChaosCluster {
             stale_beats_filtered: stale_filtered,
             detection_delay,
             false_inactivations,
+            monitor: None,
             final_status,
         }
     }

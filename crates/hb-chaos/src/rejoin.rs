@@ -18,7 +18,7 @@ use hb_sim::channel::Time;
 use hb_sim::schema::RunSummary;
 
 use crate::plan::{FaultPlan, FaultSpec, Link, ProtoSpec, Window};
-use crate::{run_plan, Backend};
+use crate::{run_plan_monitored, Backend};
 
 /// The participant that crashes and revives in the demo.
 pub const DEMO_PID: Pid = 1;
@@ -81,11 +81,18 @@ pub struct RejoinDemo {
 }
 
 /// Run the demo twice per fix level on `backend`, checking seeded
-/// replay determinism along the way.
+/// replay determinism along the way. Both runs carry a streaming R1–R3
+/// monitor: the §7 hazard is a *liveness-evidence* corruption, not a
+/// requirement breach (the stale beats only ever keep the coordinator
+/// alive), so the demo's verdicts must be clean at both fix levels —
+/// [`separates`](RejoinDemo::separates) checks that too.
 pub fn run_rejoin_demo(backend: Backend, seed: u64) -> RejoinDemo {
     let run = |fix| {
         let plan = rejoin_demo_plan(fix, seed);
-        (run_plan(&plan, backend), run_plan(&plan, backend))
+        (
+            run_plan_monitored(&plan, backend),
+            run_plan_monitored(&plan, backend),
+        )
     };
     let (naive, naive_again) = run(FixLevel::CorrectedBounds);
     let (epoch, epoch_again) = run(FixLevel::Full);
@@ -110,6 +117,8 @@ impl RejoinDemo {
             && self.epoch.stale_beats_admitted == 0
             && self.epoch.stale_beats_filtered >= 1
             && self.epoch.reconvergence_delay.is_some()
+            && self.naive.monitor.is_some_and(|m| m.clean())
+            && self.epoch.monitor.is_some_and(|m| m.clean())
     }
 
     /// The demo as a single-line JSON artifact (the checked-in

@@ -6,6 +6,7 @@
 //! are meaningless here — the simulator has a single global clock — and
 //! are skipped (the live backend applies them; see [`crate::live`]).
 
+use hb_core::events::SharedTap;
 use hb_sim::metrics::Report;
 use hb_sim::schema::RunSummary;
 use hb_sim::world::{World, WorldConfig};
@@ -20,8 +21,20 @@ pub fn run_plan_sim(plan: &FaultPlan) -> RunSummary {
     RunSummary::from_report(&run_plan_sim_report(plan))
 }
 
+/// Like [`run_plan_sim`], but with a live event tap (e.g. a streaming
+/// requirement monitor) attached to the world's sink. The tap sees every
+/// event whether or not logging is enabled; the summary itself is
+/// unchanged — callers read their verdicts out of the tap.
+pub fn run_plan_sim_tapped(plan: &FaultPlan, tap: SharedTap) -> RunSummary {
+    RunSummary::from_report(&run_report(plan, Some(tap)))
+}
+
 /// Like [`run_plan_sim`], but hands back the full simulator [`Report`].
 pub fn run_plan_sim_report(plan: &FaultPlan) -> Report {
+    run_report(plan, None)
+}
+
+fn run_report(plan: &FaultPlan, tap: Option<SharedTap>) -> Report {
     let cfg = WorldConfig {
         variant: plan.proto.variant,
         params: plan.proto.params,
@@ -31,6 +44,9 @@ pub fn run_plan_sim_report(plan: &FaultPlan) -> Report {
         log_events: false,
     };
     let mut world = World::new(cfg, plan.seed);
+    if let Some(tap) = tap {
+        world.attach_tap(tap);
+    }
     world.set_fault_hook(Box::new(FaultPipeline::new(plan)));
     for fault in &plan.faults {
         match *fault {

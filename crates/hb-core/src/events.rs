@@ -1,0 +1,314 @@
+//! Shared event emission: one JSON-lines schema, one sink, one tap.
+//!
+//! Both substrates — the `hb-sim` discrete-event world and the `hb-net`
+//! live node runtime — drive the same state machines, so they emit the
+//! same [`Event`]s in the same flat JSON schema. This module is the single
+//! home of that schema: [`event_json`] renders a record, [`parse_event_json`]
+//! reads one back (for log tailing), [`EventSink`] routes events to an
+//! in-memory log, a JSON-lines writer, and any number of attached
+//! [`EventTap`]s (e.g. a streaming requirement monitor). No JSON dependency
+//! is available in this environment; the records are tiny and flat, so they
+//! are emitted and parsed by hand.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use crate::msg::Heartbeat;
+use crate::trace::{Event, EventLog};
+
+/// One protocol event as a single-line JSON object (no trailing newline).
+///
+/// Every record carries `t` (discrete time) and `ev` (the event kind);
+/// the remaining fields depend on the kind:
+///
+/// ```text
+/// {"t":10,"ev":"send","from":0,"to":1,"flag":true}
+/// {"t":12,"ev":"deliver","from":0,"to":1,"flag":true}
+/// {"t":12,"ev":"lose","from":0,"to":1}
+/// {"t":10,"ev":"timeout","pid":0}
+/// {"t":12,"ev":"crash","pid":1}
+/// {"t":38,"ev":"nv_inactivate","pid":0}
+/// {"t":600,"ev":"leave","pid":1}
+/// {"t":700,"ev":"revive","pid":1}
+/// ```
+///
+/// `send`/`deliver` records also carry `"epoch"` when the heartbeat is
+/// from a restarted incarnation (epoch > 0), keeping pre-rejoin logs
+/// byte-stable.
+pub fn event_json(e: &Event) -> String {
+    let epoch_field = |hb: Heartbeat| {
+        if hb.epoch > 0 {
+            format!(",\"epoch\":{}", hb.epoch)
+        } else {
+            String::new()
+        }
+    };
+    match *e {
+        Event::Send { at, from, to, hb } => {
+            format!(
+                "{{\"t\":{at},\"ev\":\"send\",\"from\":{from},\"to\":{to},\"flag\":{}{}}}",
+                hb.flag,
+                epoch_field(hb)
+            )
+        }
+        Event::Deliver { at, from, to, hb } => {
+            format!(
+                "{{\"t\":{at},\"ev\":\"deliver\",\"from\":{from},\"to\":{to},\"flag\":{}{}}}",
+                hb.flag,
+                epoch_field(hb)
+            )
+        }
+        Event::Lose { at, from, to } => {
+            format!("{{\"t\":{at},\"ev\":\"lose\",\"from\":{from},\"to\":{to}}}")
+        }
+        Event::Timeout { at, pid } => {
+            format!("{{\"t\":{at},\"ev\":\"timeout\",\"pid\":{pid}}}")
+        }
+        Event::Crash { at, pid } => {
+            format!("{{\"t\":{at},\"ev\":\"crash\",\"pid\":{pid}}}")
+        }
+        Event::NvInactivate { at, pid } => {
+            format!("{{\"t\":{at},\"ev\":\"nv_inactivate\",\"pid\":{pid}}}")
+        }
+        Event::Leave { at, pid } => {
+            format!("{{\"t\":{at},\"ev\":\"leave\",\"pid\":{pid}}}")
+        }
+        Event::Revive { at, pid } => {
+            format!("{{\"t\":{at},\"ev\":\"revive\",\"pid\":{pid}}}")
+        }
+    }
+}
+
+/// Extract the raw text of `"key":<value>` from a flat one-line JSON
+/// object. Good enough for the schema above: values never contain `,`
+/// or `}`.
+fn raw_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(&rest[..end])
+}
+
+/// Parse one line in the [`event_json`] schema back into an [`Event`].
+///
+/// Returns `None` on anything malformed — callers tailing a log decide
+/// whether to skip or abort. Round-trips every record `event_json` emits.
+pub fn parse_event_json(line: &str) -> Option<Event> {
+    let line = line.trim();
+    let at: u64 = raw_field(line, "t")?.parse().ok()?;
+    let ev = raw_field(line, "ev")?.trim_matches('"');
+    let pid = |key: &str| raw_field(line, key).and_then(|v| v.parse::<usize>().ok());
+    let hb = || -> Option<Heartbeat> {
+        let flag: bool = raw_field(line, "flag")?.parse().ok()?;
+        let epoch = raw_field(line, "epoch")
+            .map(|v| v.parse::<u8>())
+            .transpose()
+            .ok()?
+            .unwrap_or(0);
+        let hb = if flag {
+            Heartbeat::plain()
+        } else {
+            Heartbeat::leave()
+        };
+        Some(hb.with_epoch(epoch))
+    };
+    Some(match ev {
+        "send" => Event::Send {
+            at,
+            from: pid("from")?,
+            to: pid("to")?,
+            hb: hb()?,
+        },
+        "deliver" => Event::Deliver {
+            at,
+            from: pid("from")?,
+            to: pid("to")?,
+            hb: hb()?,
+        },
+        "lose" => Event::Lose {
+            at,
+            from: pid("from")?,
+            to: pid("to")?,
+        },
+        "timeout" => Event::Timeout {
+            at,
+            pid: pid("pid")?,
+        },
+        "crash" => Event::Crash {
+            at,
+            pid: pid("pid")?,
+        },
+        "nv_inactivate" => Event::NvInactivate {
+            at,
+            pid: pid("pid")?,
+        },
+        "leave" => Event::Leave {
+            at,
+            pid: pid("pid")?,
+        },
+        "revive" => Event::Revive {
+            at,
+            pid: pid("pid")?,
+        },
+        _ => return None,
+    })
+}
+
+/// An online consumer of the event stream (e.g. a streaming requirement
+/// monitor). Taps are attached to an [`EventSink`] and see every event in
+/// emission order, independent of whether the sink also logs or writes.
+pub trait EventTap {
+    /// Observe one event as it happens.
+    fn on_event(&mut self, e: &Event);
+}
+
+/// A shareable tap handle: the runtime feeds events through it while the
+/// harness keeps a clone to read verdicts out afterwards.
+pub type SharedTap = Arc<Mutex<dyn EventTap + Send>>;
+
+/// Where a process's events go: an in-memory [`EventLog`], a JSON-lines
+/// writer, any number of live [`EventTap`]s — in any combination, or
+/// nowhere.
+#[derive(Default)]
+pub struct EventSink {
+    log: Option<EventLog>,
+    writer: Option<Box<dyn Write + Send>>,
+    taps: Vec<SharedTap>,
+}
+
+impl fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventSink")
+            .field("log", &self.log.as_ref().map(EventLog::len))
+            .field("writer", &self.writer.is_some())
+            .field("taps", &self.taps.len())
+            .finish()
+    }
+}
+
+impl EventSink {
+    /// Discard all events (taps, if attached later, still run).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Keep events in memory for post-run inspection.
+    pub fn memory() -> Self {
+        EventSink {
+            log: Some(EventLog::new()),
+            ..Self::default()
+        }
+    }
+
+    /// Also stream each event as one JSON line to `w` (best-effort: write
+    /// errors are ignored rather than taking the protocol down).
+    pub fn with_writer(mut self, w: Box<dyn Write + Send>) -> Self {
+        self.writer = Some(w);
+        self
+    }
+
+    /// Attach a live tap; every subsequent [`EventSink::emit`] forwards
+    /// the event to it. A poisoned tap mutex is skipped, not fatal.
+    pub fn attach_tap(&mut self, tap: SharedTap) {
+        self.taps.push(tap);
+    }
+
+    /// Record one event.
+    pub fn emit(&mut self, e: &Event) {
+        if let Some(log) = &mut self.log {
+            log.push(*e);
+        }
+        if let Some(w) = &mut self.writer {
+            let _ = writeln!(w, "{}", event_json(e));
+        }
+        for tap in &self.taps {
+            if let Ok(mut t) = tap.lock() {
+                t.on_event(e);
+            }
+        }
+    }
+
+    /// The in-memory log, if recording.
+    pub fn log(&self) -> Option<&EventLog> {
+        self.log.as_ref()
+    }
+
+    /// Take the in-memory log out of the sink (empty if not recording).
+    pub fn take_log(&mut self) -> EventLog {
+        self.log.take().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_record_kind_round_trips() {
+        let events = [
+            Event::Send {
+                at: 10,
+                from: 0,
+                to: 1,
+                hb: Heartbeat::plain(),
+            },
+            Event::Deliver {
+                at: 12,
+                from: 1,
+                to: 0,
+                hb: Heartbeat::plain().with_epoch(3),
+            },
+            Event::Deliver {
+                at: 13,
+                from: 1,
+                to: 0,
+                hb: Heartbeat::leave(),
+            },
+            Event::Lose {
+                at: 12,
+                from: 0,
+                to: 1,
+            },
+            Event::Timeout { at: 10, pid: 0 },
+            Event::Crash { at: 12, pid: 1 },
+            Event::NvInactivate { at: 38, pid: 0 },
+            Event::Leave { at: 600, pid: 1 },
+            Event::Revive { at: 700, pid: 1 },
+        ];
+        for e in events {
+            let line = event_json(&e);
+            assert_eq!(parse_event_json(&line), Some(e), "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_parse_to_none() {
+        for bad in [
+            "",
+            "{}",
+            "{\"t\":1}",
+            "{\"t\":1,\"ev\":\"warp\",\"pid\":0}",
+            "not json",
+        ] {
+            assert_eq!(parse_event_json(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn taps_see_every_emitted_event() {
+        struct Counter(usize);
+        impl EventTap for Counter {
+            fn on_event(&mut self, _e: &Event) {
+                self.0 += 1;
+            }
+        }
+        let tap = Arc::new(Mutex::new(Counter(0)));
+        let mut sink = EventSink::disabled();
+        sink.attach_tap(tap.clone());
+        sink.emit(&Event::Timeout { at: 1, pid: 0 });
+        sink.emit(&Event::Crash { at: 2, pid: 1 });
+        assert_eq!(tap.lock().unwrap().0, 2);
+    }
+}

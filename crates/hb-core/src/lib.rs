@@ -58,6 +58,7 @@
 
 pub mod coordinator;
 pub mod describe;
+pub mod events;
 pub mod fixes;
 pub mod msg;
 pub mod params;

@@ -1,0 +1,464 @@
+//! `hb-monitor` — streaming runtime verification of the R1–R3 heartbeat
+//! requirements over live and simulated event streams.
+//!
+//! The model checker in `hb-verify` proves the requirements over *every*
+//! behaviour of a small, bounded model; this crate checks them over *one*
+//! behaviour of an arbitrarily large, arbitrarily long run — a simulated
+//! `World`, a loopback `VirtualCluster`, or a live UDP cluster. The two
+//! layers share a single source of truth: [`MonitorSet::new`] compiles the
+//! declarative [`monitor_defs`](hb_verify::monitor::monitor_defs) (bound,
+//! arming discipline, reset guard, fault premise) into incremental
+//! checkers, so the runtime monitors cannot drift from what the model
+//! checker verifies.
+//!
+//! # Compilation: automaton → streaming checker
+//!
+//! The model's R1 ghost monitor is a per-participant counter `since[i]`
+//! that advances every tick — fine for a checker that owns time, hopeless
+//! for a tap that only sees *events*. The streaming compilation replaces
+//! the counter with **deadline arithmetic**: an admitted heartbeat at tick
+//! `r` arms `deadline[i] = r + bound + 1` (the first tick at which the
+//! model's counter would exceed the bound), and every observed timestamp
+//! `t` first *fires* any armed deadline `≤ t` — inclusive, and before the
+//! event at `t` is processed, matching the model's rule that a `Tick` may
+//! precede same-instant deliveries (a rescue beat, or the coordinator's
+//! own death, arriving exactly on the deadline tick does not suppress the
+//! violation). [`MonitorSet::finish`] fires deadlines up to the run's
+//! horizon after the last event.
+//!
+//! Whether a beat is *admitted* is decided by a coordinator **mirror**: a
+//! plain [`CoordState`] replayed through [`CoordSpec::on_heartbeat`] on
+//! every delivery to `p[0]`, giving the monitor the spec's own `left`
+//! latches and per-slot epoch bars without re-implementing them. The
+//! monitor ignores a beat iff the slot is latched *or* the epoch is
+//! behind the bar — at every fix level (see `hb_verify::monitor` for why
+//! this deliberately out-judges a naive coordinator on stale beats).
+//!
+//! R2/R3 are latches with a trace-global premise: the first candidate
+//! inactivation is recorded online, and [`MonitorSet::verdicts`] discards
+//! it if any fault (crash or loss) occurred *anywhere* in the run.
+//!
+//! Memory is O(participants): two `Vec`s of deadlines/flags, the mirror's
+//! per-slot state, and per-participant status bits. No event is buffered.
+//!
+//! # Example
+//!
+//! ```
+//! use hb_core::{FixLevel, Params, Variant};
+//! use hb_core::trace::Event;
+//! use hb_core::Heartbeat;
+//! use hb_monitor::MonitorSet;
+//!
+//! let params = Params::new(2, 8).unwrap();
+//! let mut mon = MonitorSet::new(Variant::Binary, params, FixLevel::Original, 1);
+//! mon.observe(&Event::Deliver { at: 5, from: 1, to: 0, hb: Heartbeat::plain() });
+//! mon.finish(200); // silence past the claimed bound: R1 fires
+//! let v = mon.verdicts();
+//! assert_eq!(v.r1.unwrap().at, 5 + 16 + 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::{Arc, Mutex};
+
+use hb_core::coordinator::{CoordSpec, CoordState};
+use hb_core::events::EventTap;
+use hb_core::serial::serial_lt;
+use hb_core::trace::Event;
+use hb_core::{FixLevel, Params, Variant};
+use hb_sim::{FirstViolation, MonitorVerdicts};
+use hb_verify::monitor::monitor_defs;
+use hb_verify::Requirement;
+
+/// A compiled set of streaming R1–R3 checkers for one protocol cell.
+///
+/// Feed it events via [`observe`](Self::observe) (or attach it to a sink
+/// as an [`EventTap`]), close the run with [`finish`](Self::finish), and
+/// read [`verdicts`](Self::verdicts). Events must arrive with
+/// non-decreasing timestamps per source; slight cross-node skew in merged
+/// live streams is tolerated (the deadline clock only moves forward).
+#[derive(Clone, Debug)]
+pub struct MonitorSet {
+    spec: CoordSpec,
+    mirror: CoordState,
+    n: usize,
+    bound: u32,
+    armed: Vec<bool>,
+    deadline: Vec<u64>,
+    coord_active: bool,
+    resp_active: Vec<bool>,
+    any_fault: bool,
+    r2_premise: bool,
+    r3_premise: bool,
+    r1: Option<FirstViolation>,
+    r2: Option<FirstViolation>,
+    r3: Option<FirstViolation>,
+}
+
+impl MonitorSet {
+    /// Compile the requirement monitors for one `(variant, params, fix)`
+    /// cell with `n` participants.
+    pub fn new(variant: Variant, params: Params, fix: FixLevel, n: usize) -> Self {
+        let defs = monitor_defs(variant, params, fix);
+        let r1_def = defs
+            .iter()
+            .find(|d| d.requirement == Requirement::R1)
+            .expect("R1 def");
+        let premise = |r: Requirement| {
+            defs.iter()
+                .find(|d| d.requirement == r)
+                .map(|d| d.fault_premise)
+                .unwrap_or(true)
+        };
+        let bound = r1_def.bound.expect("R1 is timed");
+        let armed = vec![r1_def.arm_at_start; n];
+        let deadline = vec![u64::from(bound) + 1; n];
+        MonitorSet {
+            spec: CoordSpec::new(variant, params, n, fix),
+            mirror: CoordSpec::new(variant, params, n, fix).init_state(),
+            n,
+            bound,
+            armed,
+            deadline,
+            coord_active: true,
+            resp_active: vec![true; n],
+            any_fault: false,
+            r2_premise: premise(Requirement::R2),
+            r3_premise: premise(Requirement::R3),
+            r1: None,
+            r2: None,
+            r3: None,
+        }
+    }
+
+    /// The R1 inactivation bound this set enforces.
+    pub fn bound(&self) -> u32 {
+        self.bound
+    }
+
+    /// Fire any armed R1 deadline `<= t` (the coordinator must still be
+    /// active — deadlines are checked *before* the event at `t` applies,
+    /// so a death event on the deadline tick does not suppress it).
+    fn check_deadlines(&mut self, t: u64) {
+        if !self.coord_active || self.r1.is_some() {
+            return;
+        }
+        let due = (0..self.n)
+            .filter(|&i| self.armed[i] && self.deadline[i] <= t)
+            .min_by_key(|&i| (self.deadline[i], i));
+        if let Some(i) = due {
+            self.r1 = Some(FirstViolation {
+                pid: i + 1,
+                at: self.deadline[i],
+                bound: self.bound,
+            });
+        }
+    }
+
+    /// Feed one event into the checkers.
+    pub fn observe(&mut self, e: &Event) {
+        self.check_deadlines(e.at());
+        match *e {
+            Event::Deliver {
+                at,
+                from,
+                to: 0,
+                hb,
+            } if (1..=self.n).contains(&from) => {
+                let i = from - 1;
+                let ignored = self.mirror.left[i] || serial_lt(hb.epoch, self.mirror.min_epoch[i]);
+                if !hb.flag {
+                    self.armed[i] = false;
+                } else if !ignored {
+                    self.armed[i] = true;
+                    self.deadline[i] = at + u64::from(self.bound) + 1;
+                }
+                self.spec.on_heartbeat(&mut self.mirror, from, hb);
+            }
+            Event::Crash { pid: 0, .. } => {
+                self.coord_active = false;
+                self.any_fault = true;
+            }
+            Event::Crash { pid, .. } => {
+                self.any_fault = true;
+                self.resp_active[pid - 1] = false;
+            }
+            Event::NvInactivate { pid: 0, at } => {
+                if self.coord_active && self.r3.is_none() && self.resp_active.iter().all(|&a| a) {
+                    self.r3 = Some(FirstViolation {
+                        pid: 0,
+                        at,
+                        bound: 0,
+                    });
+                }
+                self.coord_active = false;
+            }
+            Event::NvInactivate { pid, at } => {
+                if self.r2.is_none() {
+                    self.r2 = Some(FirstViolation { pid, at, bound: 0 });
+                }
+                self.resp_active[pid - 1] = false;
+            }
+            Event::Revive { pid, .. } if pid >= 1 => self.resp_active[pid - 1] = true,
+            Event::Lose { .. } => self.any_fault = true,
+            _ => {}
+        }
+    }
+
+    /// Close the run: fire any deadline up to and including `horizon`
+    /// (the run's last tick). Idempotent; further calls with a larger
+    /// horizon extend the silence check.
+    pub fn finish(&mut self, horizon: u64) {
+        self.check_deadlines(horizon);
+    }
+
+    /// The verdicts so far. The R2/R3 fault-free premise is evaluated
+    /// over everything observed up to this point — call after
+    /// [`finish`](Self::finish) for the run's final verdict, or poll
+    /// mid-run for provisional verdicts.
+    pub fn verdicts(&self) -> MonitorVerdicts {
+        let gate = |premise: bool, v: Option<FirstViolation>| {
+            if premise && self.any_fault {
+                None
+            } else {
+                v
+            }
+        };
+        MonitorVerdicts {
+            r1: self.r1,
+            r2: gate(self.r2_premise, self.r2),
+            r3: gate(self.r3_premise, self.r3),
+        }
+    }
+
+    /// A shareable, thread-safe monitor ready to be attached to event
+    /// sinks via `EventSink::attach_tap` (both runtimes accept the same
+    /// `SharedTap` type).
+    pub fn shared(
+        variant: Variant,
+        params: Params,
+        fix: FixLevel,
+        n: usize,
+    ) -> Arc<Mutex<MonitorSet>> {
+        Arc::new(Mutex::new(MonitorSet::new(variant, params, fix, n)))
+    }
+}
+
+impl EventTap for MonitorSet {
+    fn on_event(&mut self, e: &Event) {
+        self.observe(e);
+    }
+}
+
+/// Replay a recorded event log (sorted by timestamp) through a fresh
+/// [`MonitorSet`] and return the final verdicts.
+pub fn replay(
+    variant: Variant,
+    params: Params,
+    fix: FixLevel,
+    n: usize,
+    events: &[Event],
+    horizon: u64,
+) -> MonitorVerdicts {
+    let mut set = MonitorSet::new(variant, params, fix, n);
+    for e in events {
+        set.observe(e);
+    }
+    set.finish(horizon);
+    set.verdicts()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_core::Heartbeat;
+    use hb_verify::monitor::reference_verdicts;
+
+    fn params() -> Params {
+        Params::new(2, 8).unwrap()
+    }
+
+    fn beat(at: u64, from: usize) -> Event {
+        Event::Deliver {
+            at,
+            from,
+            to: 0,
+            hb: Heartbeat::plain(),
+        }
+    }
+
+    #[test]
+    fn silence_fires_at_the_deadline_tick() {
+        let mut mon = MonitorSet::new(Variant::Binary, params(), FixLevel::Original, 1);
+        mon.observe(&beat(5, 1));
+        mon.finish(200);
+        let v = mon.verdicts();
+        let r1 = v.r1.expect("silence past the bound");
+        assert_eq!((r1.pid, r1.at, r1.bound), (1, 5 + 16 + 1, 16));
+    }
+
+    #[test]
+    fn a_rescue_beat_on_the_deadline_tick_is_too_late() {
+        // Tick-before-delivery: the deadline fires even though a beat
+        // arrives at exactly deadline time.
+        let v = replay(
+            Variant::Binary,
+            params(),
+            FixLevel::Original,
+            1,
+            &[beat(5, 1), beat(22, 1)],
+            200,
+        );
+        assert_eq!(v.r1.expect("deadline tick").at, 22);
+        // One tick earlier the beat rescues (until the next deadline).
+        let v = replay(
+            Variant::Binary,
+            params(),
+            FixLevel::Original,
+            1,
+            &[beat(5, 1), beat(21, 1)],
+            21,
+        );
+        assert!(v.clean());
+    }
+
+    #[test]
+    fn coordinator_death_on_the_deadline_tick_does_not_suppress() {
+        // The deadline check runs before the death event is processed —
+        // the model reaches the error on the tick-first interleaving.
+        let v = replay(
+            Variant::Binary,
+            params(),
+            FixLevel::Original,
+            1,
+            &[beat(5, 1), Event::NvInactivate { at: 22, pid: 0 }],
+            200,
+        );
+        assert_eq!(v.r1.expect("tick-first").at, 22);
+        // Death strictly before the deadline stops the clock.
+        let v = replay(
+            Variant::Binary,
+            params(),
+            FixLevel::Original,
+            1,
+            &[beat(5, 1), Event::NvInactivate { at: 21, pid: 0 }],
+            200,
+        );
+        assert!(v.r1.is_none());
+    }
+
+    #[test]
+    fn corrected_bound_cells_get_the_wider_deadline() {
+        let mon = MonitorSet::new(Variant::Binary, params(), FixLevel::Full, 1);
+        assert_eq!(mon.bound(), params().p0_bound_corrected(Variant::Binary));
+        let naive = MonitorSet::new(Variant::Binary, params(), FixLevel::Original, 1);
+        assert_eq!(naive.bound(), params().p0_bound_claimed());
+    }
+
+    #[test]
+    fn join_variants_arm_on_the_first_admitted_beat() {
+        // No beats at all: an Expanding participant never arms, so no R1.
+        let v = replay(Variant::Expanding, params(), FixLevel::Full, 2, &[], 500);
+        assert!(v.clean());
+        // After its first beat the watchdog is live.
+        let v = replay(
+            Variant::Expanding,
+            params(),
+            FixLevel::Full,
+            2,
+            &[beat(10, 2)],
+            500,
+        );
+        assert_eq!(v.r1.expect("armed by the beat").pid, 2);
+    }
+
+    #[test]
+    fn leave_beats_disarm_the_watchdog() {
+        let leave = Event::Deliver {
+            at: 10, // before the deadline the beat at 5 armed
+            from: 1,
+            to: 0,
+            hb: Heartbeat::leave(),
+        };
+        let v = replay(
+            Variant::Dynamic,
+            params(),
+            FixLevel::Original,
+            1,
+            &[beat(5, 1), leave],
+            500,
+        );
+        assert!(v.r1.is_none(), "left participants are not watched");
+    }
+
+    #[test]
+    fn r2_r3_premise_is_trace_global() {
+        let nv = Event::NvInactivate { at: 50, pid: 1 };
+        let v = replay(Variant::Binary, params(), FixLevel::Original, 1, &[nv], 50);
+        assert_eq!(v.r2.expect("fault-free inactivation").pid, 1);
+        // A loss *after* the inactivation still voids the premise.
+        let lose = Event::Lose {
+            at: 60,
+            from: 0,
+            to: 1,
+        };
+        let v = replay(
+            Variant::Binary,
+            params(),
+            FixLevel::Original,
+            1,
+            &[nv, lose],
+            60,
+        );
+        assert!(v.r2.is_none());
+    }
+
+    #[test]
+    fn streaming_and_reference_agree_on_a_mixed_trace() {
+        let events = [
+            beat(3, 1),
+            beat(4, 2),
+            Event::Lose {
+                at: 9,
+                from: 1,
+                to: 0,
+            },
+            beat(11, 1),
+            Event::Crash { at: 15, pid: 2 },
+            Event::NvInactivate { at: 40, pid: 2 },
+            Event::NvInactivate { at: 55, pid: 0 },
+        ];
+        for fix in [FixLevel::Original, FixLevel::Full] {
+            let s = replay(Variant::Static, params(), fix, 2, &events, 120);
+            let r = reference_verdicts(Variant::Static, params(), fix, 2, &events, 120);
+            assert_eq!(s.r1.map(|v| (v.pid, v.at)), r.r1.map(|v| (v.pid, v.at)));
+            assert_eq!(s.r2.map(|v| (v.pid, v.at)), r.r2.map(|v| (v.pid, v.at)));
+            assert_eq!(s.r3.map(|v| (v.pid, v.at)), r.r3.map(|v| (v.pid, v.at)));
+        }
+    }
+
+    #[test]
+    fn stale_beats_do_not_extend_the_deadline() {
+        // Fresh epoch-1 beat arms the watchdog; an epoch-0 leftover must
+        // not re-arm it, even though a naive coordinator admits it.
+        let fresh = Event::Deliver {
+            at: 5,
+            from: 1,
+            to: 0,
+            hb: Heartbeat::plain().with_epoch(1),
+        };
+        let stale = Event::Deliver {
+            at: 9,
+            from: 1,
+            to: 0,
+            hb: Heartbeat::plain(),
+        };
+        for fix in [FixLevel::Original, FixLevel::Full] {
+            let bound = u64::from(MonitorSet::new(Variant::Binary, params(), fix, 1).bound());
+            let v = replay(Variant::Binary, params(), fix, 1, &[fresh, stale], 200);
+            let at = v.r1.expect("stale beat is no rescue").at;
+            assert_eq!(at, 5 + bound + 1, "{fix:?}");
+        }
+    }
+}

@@ -13,7 +13,7 @@ use hb_core::responder::RespSpec;
 use hb_core::{FixLevel, Params, Pid, Status, Variant};
 use hb_sim::schema::RunSummary;
 
-use crate::events::EventSink;
+use crate::events::{EventSink, SharedTap};
 use crate::loopback::{Faults, LoopbackEndpoint, LoopbackNet};
 use crate::node::{NodeReport, NodeRuntime};
 use crate::time::Time;
@@ -70,6 +70,9 @@ pub struct VirtualCluster {
     pending_reconv: Vec<(Pid, u8, Time)>,
     reconv_delays: Vec<(Pid, Time)>,
     all_inactive_at: Option<Time>,
+    /// A live event tap (e.g. a streaming monitor) attached to every
+    /// node, including late joiners.
+    tap: Option<SharedTap>,
 }
 
 impl VirtualCluster {
@@ -100,8 +103,20 @@ impl VirtualCluster {
             pending_reconv: Vec::new(),
             reconv_delays: Vec::new(),
             all_inactive_at: None,
+            tap: None,
             cfg,
         }
+    }
+
+    /// Attach a live [`EventTap`](crate::events::EventTap) — e.g. a
+    /// streaming requirement monitor — to every node in the cluster,
+    /// including participants that start later. Each node feeds the tap
+    /// its own events; taps see the merged stream in polling order.
+    pub fn attach_tap(&mut self, tap: SharedTap) {
+        for node in self.nodes.iter_mut().flatten() {
+            node.attach_tap(tap.clone());
+        }
+        self.tap = Some(tap);
     }
 
     /// Crash `pid` at tick `t` (delivered as a control frame).
@@ -172,6 +187,9 @@ impl VirtualCluster {
                     NodeRuntime::participant(i + 1, spec, self.net.endpoint(i + 1)).started_at(now);
                 if self.cfg.record_events {
                     node = node.with_sink(EventSink::memory());
+                }
+                if let Some(tap) = &self.tap {
+                    node.attach_tap(tap.clone());
                 }
                 self.nodes[i + 1] = Some(node);
             }
@@ -293,6 +311,7 @@ impl VirtualCluster {
             stale_beats_filtered: stale_filtered,
             detection_delay,
             false_inactivations,
+            monitor: None,
             final_status,
         };
         let nodes = self

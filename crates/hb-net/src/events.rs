@@ -1,14 +1,12 @@
 //! Per-node observability: counters and an event sink.
 //!
-//! The live runtime records the same [`Event`]s as the simulator and can
-//! stream them as JSON lines in the shared schema
-//! ([`hb_sim::schema::event_json`]), so a live run and a simulated run are
-//! directly diffable.
+//! The live runtime records the same [`Event`](hb_core::trace::Event)s as
+//! the simulator, in the shared JSON-lines schema of
+//! [`hb_core::events`], so a live run and a simulated run are directly
+//! diffable — and both can feed the same streaming requirement monitors
+//! through an attached [`EventTap`].
 
-use std::io::Write;
-
-use hb_core::trace::{Event, EventLog};
-use hb_sim::schema::event_json;
+pub use hb_core::events::{event_json, parse_event_json, EventSink, EventTap, SharedTap};
 
 /// Cheap always-on counters for one node.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -37,59 +35,11 @@ pub struct Counters {
     pub revives: u64,
 }
 
-/// Where a node's events go: an in-memory [`EventLog`], a JSON-lines
-/// writer, both, or nowhere.
-#[derive(Default)]
-pub struct EventSink {
-    log: Option<EventLog>,
-    writer: Option<Box<dyn Write + Send>>,
-}
-
-impl EventSink {
-    /// Discard all events (counters still run).
-    pub fn disabled() -> Self {
-        Self::default()
-    }
-
-    /// Keep events in memory for post-run inspection.
-    pub fn memory() -> Self {
-        EventSink {
-            log: Some(EventLog::new()),
-            writer: None,
-        }
-    }
-
-    /// Also stream each event as one JSON line to `w` (best-effort: write
-    /// errors are ignored rather than taking the protocol down).
-    pub fn with_writer(mut self, w: Box<dyn Write + Send>) -> Self {
-        self.writer = Some(w);
-        self
-    }
-
-    /// Record one event.
-    pub fn emit(&mut self, e: &Event) {
-        if let Some(log) = &mut self.log {
-            log.push(*e);
-        }
-        if let Some(w) = &mut self.writer {
-            let _ = writeln!(w, "{}", event_json(e));
-        }
-    }
-
-    /// The in-memory log, if recording.
-    pub fn log(&self) -> Option<&EventLog> {
-        self.log.as_ref()
-    }
-
-    /// Take the in-memory log out of the sink (empty if not recording).
-    pub fn take_log(&mut self) -> EventLog {
-        self.log.take().unwrap_or_default()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hb_core::trace::Event;
+    use std::io::Write;
     use std::sync::{Arc, Mutex};
 
     /// A Write sink into shared memory for asserting on JSON output.

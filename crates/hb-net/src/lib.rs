@@ -40,7 +40,7 @@ pub mod udp;
 pub mod wire;
 
 pub use cluster::{ClusterConfig, LiveReport, VirtualCluster};
-pub use events::{Counters, EventSink};
+pub use events::{Counters, EventSink, EventTap, SharedTap};
 pub use loopback::{Faults, LoopbackEndpoint, LoopbackNet, NetStats};
 pub use node::{NodeReport, NodeRuntime};
 pub use time::{SkewedClock, Time, TimeSource, VirtualClock, WallClock};

@@ -135,6 +135,13 @@ impl<T: Transport> NodeRuntime<T> {
         self
     }
 
+    /// Attach a live [`EventTap`](crate::events::EventTap) — e.g. a
+    /// streaming requirement monitor — to this node's sink. Composes
+    /// with [`with_sink`](Self::with_sink) and works on a disabled sink.
+    pub fn attach_tap(&mut self, tap: crate::events::SharedTap) {
+        self.sink.attach_tap(tap);
+    }
+
     /// Start the node's clocks at tick `t` instead of 0 (late joiners).
     pub fn started_at(mut self, t: Time) -> Self {
         self.local_now = t;

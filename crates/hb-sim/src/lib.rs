@@ -51,5 +51,5 @@ pub use baseline::{NaiveConfig, NaiveWorld};
 pub use channel::{FaultHook, LossModel, SendFate};
 pub use metrics::Report;
 pub use scenario::{run_scenario, Scenario};
-pub use schema::RunSummary;
+pub use schema::{FirstViolation, MonitorVerdicts, RunSummary};
 pub use world::World;

@@ -2,17 +2,20 @@
 //! runtime (`hb-net`).
 //!
 //! Both substrates drive the same `hb-core` state machines, so they emit
-//! the same record shapes: one flat JSON object per protocol [`Event`] and
-//! one [`RunSummary`] object per run. Keeping the schema in one place lets
-//! a live run and a simulated run of the same scenario be diffed
-//! line-by-line. No JSON dependency is available in this environment; the
-//! records are tiny and flat, so they are emitted by hand.
+//! the same record shapes: one flat JSON object per protocol [`Event`]
+//! (see [`event_json`], re-exported from [`hb_core::events`] — the single
+//! home of the event schema) and one [`RunSummary`] object per run.
+//! Keeping the schema in one place lets a live run and a simulated run of
+//! the same scenario be diffed line-by-line. No JSON dependency is
+//! available in this environment; the records are tiny and flat, so they
+//! are emitted by hand.
 
-use hb_core::trace::Event;
 use hb_core::{Pid, Status};
 
 use crate::channel::Time;
 use crate::metrics::Report;
+
+pub use hb_core::events::{event_json, parse_event_json};
 
 /// Format a list of `(pid, time)` pairs as a JSON array of two-element
 /// arrays, e.g. `[[1,40],[3,900]]`.
@@ -21,66 +24,64 @@ fn pairs_json(pairs: &[(Pid, Time)]) -> String {
     format!("[{}]", items.join(","))
 }
 
-/// One protocol event as a single-line JSON object (no trailing newline).
-///
-/// Every record carries `t` (discrete time) and `ev` (the event kind);
-/// the remaining fields depend on the kind:
-///
-/// ```text
-/// {"t":10,"ev":"send","from":0,"to":1,"flag":true}
-/// {"t":12,"ev":"deliver","from":0,"to":1,"flag":true}
-/// {"t":12,"ev":"lose","from":0,"to":1}
-/// {"t":10,"ev":"timeout","pid":0}
-/// {"t":12,"ev":"crash","pid":1}
-/// {"t":38,"ev":"nv_inactivate","pid":0}
-/// {"t":600,"ev":"leave","pid":1}
-/// {"t":700,"ev":"revive","pid":1}
-/// ```
-///
-/// `send`/`deliver` records also carry `"epoch"` when the heartbeat is
-/// from a restarted incarnation (epoch > 0), keeping pre-rejoin logs
-/// byte-stable.
-pub fn event_json(e: &Event) -> String {
-    let epoch_field = |hb: hb_core::Heartbeat| {
-        if hb.epoch > 0 {
-            format!(",\"epoch\":{}", hb.epoch)
-        } else {
-            String::new()
-        }
-    };
-    match *e {
-        Event::Send { at, from, to, hb } => {
-            format!(
-                "{{\"t\":{at},\"ev\":\"send\",\"from\":{from},\"to\":{to},\"flag\":{}{}}}",
-                hb.flag,
-                epoch_field(hb)
-            )
-        }
-        Event::Deliver { at, from, to, hb } => {
-            format!(
-                "{{\"t\":{at},\"ev\":\"deliver\",\"from\":{from},\"to\":{to},\"flag\":{}{}}}",
-                hb.flag,
-                epoch_field(hb)
-            )
-        }
-        Event::Lose { at, from, to } => {
-            format!("{{\"t\":{at},\"ev\":\"lose\",\"from\":{from},\"to\":{to}}}")
-        }
-        Event::Timeout { at, pid } => {
-            format!("{{\"t\":{at},\"ev\":\"timeout\",\"pid\":{pid}}}")
-        }
-        Event::Crash { at, pid } => {
-            format!("{{\"t\":{at},\"ev\":\"crash\",\"pid\":{pid}}}")
-        }
-        Event::NvInactivate { at, pid } => {
-            format!("{{\"t\":{at},\"ev\":\"nv_inactivate\",\"pid\":{pid}}}")
-        }
-        Event::Leave { at, pid } => {
-            format!("{{\"t\":{at},\"ev\":\"leave\",\"pid\":{pid}}}")
-        }
-        Event::Revive { at, pid } => {
-            format!("{{\"t\":{at},\"ev\":\"revive\",\"pid\":{pid}}}")
-        }
+/// The first violation of one requirement, as judged by a streaming
+/// monitor: which process broke it, when, and against which bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FirstViolation {
+    /// The process the violation is attributed to (the silent participant
+    /// for R1, the inactivated process for R2/R3).
+    pub pid: Pid,
+    /// The tick at which the requirement first failed.
+    pub at: Time,
+    /// The offending bound (the R1 inactivation bound; 0 for the
+    /// untimed requirements R2/R3).
+    pub bound: u32,
+}
+
+impl FirstViolation {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"pid\":{},\"at\":{},\"bound\":{}}}",
+            self.pid, self.at, self.bound
+        )
+    }
+}
+
+/// Monitor verdicts for one run: whether any requirement monitor fired,
+/// and the first violation per requirement.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MonitorVerdicts {
+    /// First R1 violation (a participant silent past the inactivation
+    /// bound while the coordinator stayed active), if any.
+    pub r1: Option<FirstViolation>,
+    /// First R2 violation (a participant non-voluntarily inactivated in a
+    /// fault-free run), if any.
+    pub r2: Option<FirstViolation>,
+    /// First R3 violation (the coordinator non-voluntarily inactivated in
+    /// a fault-free run with every participant active), if any.
+    pub r3: Option<FirstViolation>,
+}
+
+impl MonitorVerdicts {
+    /// Whether no monitor fired.
+    pub fn clean(&self) -> bool {
+        self.r1.is_none() && self.r2.is_none() && self.r3.is_none()
+    }
+
+    /// The verdicts as a JSON object (the `"monitor"` field of a
+    /// [`RunSummary`] record).
+    pub fn to_json(&self) -> String {
+        let opt = |v: Option<FirstViolation>| match v {
+            Some(v) => v.to_json(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"clean\":{},\"r1\":{},\"r2\":{},\"r3\":{}}}",
+            self.clean(),
+            opt(self.r1),
+            opt(self.r2),
+            opt(self.r3)
+        )
     }
 }
 
@@ -117,6 +118,11 @@ pub struct RunSummary {
     pub detection_delay: Option<Time>,
     /// Non-voluntary inactivations with no crash injected.
     pub false_inactivations: u32,
+    /// Streaming R1–R3 monitor verdicts, when a [`MonitorSet`] was
+    /// attached to the run (`None` = run was not monitored).
+    ///
+    /// [`MonitorSet`]: https://docs.rs/hb-monitor
+    pub monitor: Option<MonitorVerdicts>,
     /// Final status per process (index 0 = coordinator).
     pub final_status: Vec<Status>,
 }
@@ -139,6 +145,7 @@ impl RunSummary {
             stale_beats_filtered: r.stale_beats_filtered,
             detection_delay: r.detection_delay,
             false_inactivations: r.false_inactivations,
+            monitor: None,
             final_status: r.final_status.clone(),
         }
     }
@@ -158,13 +165,18 @@ impl RunSummary {
             Some(d) => d.to_string(),
             None => "null".to_string(),
         };
+        let monitor = match &self.monitor {
+            Some(m) => m.to_json(),
+            None => "null".to_string(),
+        };
         format!(
             "{{\"record\":\"run_summary\",\"source\":\"{}\",\"duration\":{},\
              \"messages_sent\":{},\"messages_delivered\":{},\"messages_lost\":{},\
              \"crashes\":{},\"nv_inactivations\":{},\"leaves\":{},\"revives\":{},\
              \"reconvergence_delay\":{},\"stale_beats_admitted\":{},\
              \"stale_beats_filtered\":{},\
-             \"detection_delay\":{},\"false_inactivations\":{},\"final_status\":[{}]}}",
+             \"detection_delay\":{},\"false_inactivations\":{},\"monitor\":{},\
+             \"final_status\":[{}]}}",
             self.source,
             self.duration,
             self.messages_sent,
@@ -179,6 +191,7 @@ impl RunSummary {
             self.stale_beats_filtered,
             detection,
             self.false_inactivations,
+            monitor,
             statuses.join(",")
         )
     }
@@ -187,7 +200,7 @@ impl RunSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hb_core::trace::EventLog;
+    use hb_core::trace::{Event, EventLog};
     use hb_core::Heartbeat;
 
     #[test]
@@ -231,12 +244,14 @@ mod tests {
         let s = RunSummary::from_report(&r);
         assert_eq!(s.source, "sim");
         assert_eq!(s.detection_delay, Some(20));
+        assert_eq!(s.monitor, None);
         let json = s.to_json();
         assert!(json.contains("\"crashes\":[[1,40]]"), "{json}");
         assert!(json.contains("\"detection_delay\":20"), "{json}");
         assert!(json.contains("\"revives\":[[1,55]]"), "{json}");
         assert!(json.contains("\"reconvergence_delay\":6"), "{json}");
         assert!(json.contains("\"stale_beats_admitted\":2"), "{json}");
+        assert!(json.contains("\"monitor\":null"), "{json}");
         assert!(json.contains("\"final_status\":[\"nv-inactive\",\"crashed\"]"));
     }
 
@@ -257,10 +272,35 @@ mod tests {
             stale_beats_filtered: 0,
             detection_delay: None,
             false_inactivations: 0,
+            monitor: None,
             final_status: vec![],
         };
         assert!(s.to_json().contains("\"detection_delay\":null"));
         assert!(s.to_json().contains("\"reconvergence_delay\":null"));
+    }
+
+    #[test]
+    fn monitor_verdicts_render_as_a_nested_object() {
+        let clean = MonitorVerdicts::default();
+        assert!(clean.clean());
+        assert_eq!(
+            clean.to_json(),
+            "{\"clean\":true,\"r1\":null,\"r2\":null,\"r3\":null}"
+        );
+        let fired = MonitorVerdicts {
+            r1: Some(FirstViolation {
+                pid: 1,
+                at: 1022,
+                bound: 16,
+            }),
+            ..MonitorVerdicts::default()
+        };
+        assert!(!fired.clean());
+        assert_eq!(
+            fired.to_json(),
+            "{\"clean\":false,\"r1\":{\"pid\":1,\"at\":1022,\"bound\":16},\
+             \"r2\":null,\"r3\":null}"
+        );
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! clock advances by one.
 
 use hb_core::coordinator::{CoordReaction, CoordSpec, CoordState, TimeoutOutcome};
+use hb_core::events::{EventSink, SharedTap};
 use hb_core::responder::{LeaveDecision, RespSpec, RespState};
-use hb_core::trace::{Event, EventLog};
+use hb_core::trace::Event;
 use hb_core::{FixLevel, Params, Pid, Status, Variant};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -62,7 +63,7 @@ pub struct World {
     leaves: Vec<(Pid, Time)>,
     revives: Vec<(Pid, Time)>,
     all_inactive_at: Option<Time>,
-    log: EventLog,
+    sink: EventSink,
 }
 
 /// A due event within the current tick.
@@ -97,7 +98,11 @@ impl World {
             leaves: Vec::new(),
             revives: Vec::new(),
             all_inactive_at: None,
-            log: EventLog::new(),
+            sink: if cfg.log_events {
+                EventSink::memory()
+            } else {
+                EventSink::disabled()
+            },
             cfg,
             coord_spec,
             resp_spec,
@@ -199,10 +204,15 @@ impl World {
                 .all(|r| r.status.is_inactive() || r.left)
     }
 
+    /// Attach a live [`EventTap`](hb_core::events::EventTap) — e.g. a
+    /// streaming requirement monitor — that sees every event the world
+    /// emits, whether or not the in-memory log is enabled.
+    pub fn attach_tap(&mut self, tap: SharedTap) {
+        self.sink.attach_tap(tap);
+    }
+
     fn log_event(&mut self, e: Event) {
-        if self.cfg.log_events {
-            self.log.push(e);
-        }
+        self.sink.emit(&e);
     }
 
     fn send(&mut self, src: Pid, dst: Pid, hb: hb_core::Heartbeat, budget: u32) {
@@ -464,7 +474,8 @@ impl World {
     }
 
     /// Finish the run and produce the metrics report.
-    pub fn into_report(self) -> Report {
+    pub fn into_report(mut self) -> Report {
+        let log = self.sink.take_log();
         let first_crash = self.crashes.iter().map(|&(_, t)| t).min();
         let detection_delay = match (first_crash, self.all_inactive_at) {
             (Some(c), Some(d)) => Some(d.saturating_sub(c)),
@@ -496,7 +507,7 @@ impl World {
             detection_delay,
             false_inactivations,
             final_status,
-            log: self.log,
+            log,
         }
     }
 }

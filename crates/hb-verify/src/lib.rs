@@ -45,6 +45,7 @@
 pub mod figures;
 pub mod liveness;
 pub mod model;
+pub mod monitor;
 pub mod por;
 pub mod rejoin_model;
 pub mod render;
@@ -54,6 +55,7 @@ pub mod symmetry;
 pub mod tables;
 
 pub use model::{HbAction, HbModel, HbState, Msg};
+pub use monitor::{monitor_defs, reference_verdicts, MonitorDef, ReferenceVerdicts, Violation};
 pub use por::{verify_with_n_por, HbAmpleOracle};
 pub use requirements::{verify, verify_with_n, Requirement, Verdict};
 pub use tables::{table1, table2, table_fixed, TableReport};

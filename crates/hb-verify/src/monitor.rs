@@ -1,0 +1,431 @@
+//! The R1–R3 requirement monitors as *data*, plus a reference replay.
+//!
+//! The model checker evaluates the requirements as ghost monitors woven
+//! into [`HbModel`](crate::model::HbModel): R1 is a per-participant
+//! watchdog (armed on an admitted heartbeat, error when the silence
+//! exceeds the inactivation bound while the coordinator is still active),
+//! R2/R3 are reachability properties under a fault-free premise. This
+//! module exposes those monitors declaratively — [`MonitorDef`] describes
+//! each requirement automaton in terms of the PR 4 `describe` IR
+//! vocabulary ([`Trigger`]/[`Atom`] guards), so a runtime-verification
+//! layer (`hb-monitor`) can *compile* them into streaming checkers instead
+//! of hand-fusing requirement logic into the runtimes.
+//!
+//! [`reference_verdicts`] is the executable semantics of the definitions:
+//! a tick-stepped replay over a recorded event stream that mirrors the
+//! model's ghost monitors action for action (ghost counters advance on the
+//! tick *before* the tick's events are processed, exactly like the model's
+//! `Tick` interleaving). The streaming checkers in `hb-monitor` implement
+//! the same semantics with deadline arithmetic instead of per-tick
+//! counters; `tests/monitor_agreement.rs` proves the two agree on random
+//! fault traces.
+//!
+//! One deliberate strengthening relative to the *naive* coordinator: the
+//! monitor ignores a heartbeat iff the participant's slot is latched
+//! (`left`) **or** the beat's epoch is behind the registered bar — at
+//! every fix level. At `FixLevel::Full` this coincides with the model's
+//! epoch rule (the latch is never set under rejoin), and on epoch-free
+//! traces it coincides with the latch rule; on epoch-tagged traces under a
+//! naive fix it is strictly stronger than what the naive coordinator
+//! implements, which is the point — the monitor judges the implementation
+//! against the *spec*, making the stale-beat-admit R1 hazard visible as a
+//! violation instead of silently extending the deadline.
+
+use hb_core::coordinator::{CoordSpec, CoordState};
+use hb_core::describe::{satisfiable, Atom, Trigger};
+use hb_core::serial::serial_lt;
+use hb_core::trace::Event;
+use hb_core::{FixLevel, Params, Pid, Variant};
+
+use crate::requirements::{r1_bound, Requirement};
+
+/// One requirement monitor, described declaratively.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MonitorDef {
+    /// The requirement this monitor checks.
+    pub requirement: Requirement,
+    /// The timing bound the monitor enforces (`None` for the untimed
+    /// requirements R2/R3). For R1 this is the claimed `2·tmax` bound
+    /// below `FixLevel::CorrectedBounds` and the corrected per-variant
+    /// bound at or above it — the same [`r1_bound`] the model checks.
+    pub bound: Option<u32>,
+    /// Whether the per-participant watchdog starts armed (non-join
+    /// variants: every participant is expected to beat from t = 0).
+    pub arm_at_start: bool,
+    /// Whether the verdict is gated on a fault-free trace (R2/R3: the
+    /// premise "no crashes and no loss" is over the *whole* run).
+    pub fault_premise: bool,
+    /// What feeds the automaton, in the `describe` IR vocabulary.
+    pub trigger: Trigger,
+    /// Guard (IR atoms) under which the triggering event *resets* the
+    /// monitor rather than advancing it towards a violation.
+    pub reset_guard: Vec<Atom>,
+}
+
+impl MonitorDef {
+    /// One-line human-readable description of the automaton.
+    pub fn describe(&self) -> String {
+        match self.requirement {
+            Requirement::R1 => format!(
+                "watchdog per participant: armed on an admitted heartbeat \
+                 (guard {:?}), violation when silence exceeds {} ticks while \
+                 p[0] is active; O(n) counters",
+                self.reset_guard,
+                self.bound.unwrap_or(0),
+            ),
+            Requirement::R2 => "latch: a participant nv-inactivation in a fault-free run \
+                 is a violation; O(n) status bits"
+                .to_string(),
+            Requirement::R3 => "latch: a coordinator nv-inactivation in a fault-free run \
+                 with every participant active is a violation; O(n) status bits"
+                .to_string(),
+        }
+    }
+}
+
+/// The three requirement monitors for one protocol cell, as data.
+///
+/// This is the compilation *source* for the streaming checkers: the R1
+/// bound, arming discipline and reset guard all come from here, so the
+/// runtime monitors cannot drift from what the model checker verifies.
+pub fn monitor_defs(variant: Variant, params: Params, fix: FixLevel) -> Vec<MonitorDef> {
+    let reset_guard = vec![Atom::Active, Atom::MessageFlag(true), Atom::EpochFresh];
+    debug_assert!(satisfiable(&reset_guard));
+    vec![
+        MonitorDef {
+            requirement: Requirement::R1,
+            bound: Some(r1_bound(variant, params, fix)),
+            arm_at_start: !variant.has_join_phase(),
+            fault_premise: false,
+            trigger: Trigger::Receive,
+            reset_guard,
+        },
+        MonitorDef {
+            requirement: Requirement::R2,
+            bound: None,
+            arm_at_start: true,
+            fault_premise: true,
+            trigger: Trigger::Internal,
+            reset_guard: vec![],
+        },
+        MonitorDef {
+            requirement: Requirement::R3,
+            bound: None,
+            arm_at_start: true,
+            fault_premise: true,
+            trigger: Trigger::Internal,
+            reset_guard: vec![],
+        },
+    ]
+}
+
+/// The first violation of one requirement: which process broke it, when,
+/// and against which bound (0 for the untimed R2/R3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated requirement.
+    pub requirement: Requirement,
+    /// The process the violation is attributed to: the silent participant
+    /// for R1, the inactivated process for R2/R3.
+    pub pid: Pid,
+    /// The tick at which the requirement first failed.
+    pub at: u64,
+    /// The offending bound (R1 only; 0 otherwise).
+    pub bound: u32,
+}
+
+/// Verdicts of the reference replay: first violation per requirement.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReferenceVerdicts {
+    /// First R1 violation, if any.
+    pub r1: Option<Violation>,
+    /// First R2 violation, if any.
+    pub r2: Option<Violation>,
+    /// First R3 violation, if any.
+    pub r3: Option<Violation>,
+}
+
+impl ReferenceVerdicts {
+    /// Whether no monitor fired.
+    pub fn clean(&self) -> bool {
+        self.r1.is_none() && self.r2.is_none() && self.r3.is_none()
+    }
+}
+
+/// Replay a recorded event stream through the model-side ghost monitors.
+///
+/// `events` must be sorted by timestamp (any single-source log already
+/// is; merge per-node live logs first). Ticks `0..=horizon` are stepped
+/// explicitly: at each tick the armed R1 counters advance and are checked
+/// *before* the tick's events apply, matching the model's rule that a
+/// `Tick` action may precede the same-instant deliveries — a violation
+/// whose deadline coincides with a rescuing beat (or with the
+/// coordinator's own inactivation) is still a violation, because the
+/// model reaches the error state on at least one interleaving.
+///
+/// The R2/R3 fault-free premise is evaluated over the whole trace, like
+/// the model's `allow_loss(false).allow_crashes(false)` restriction: a
+/// loss *after* an inactivation still discharges the premise.
+pub fn reference_verdicts(
+    variant: Variant,
+    params: Params,
+    fix: FixLevel,
+    n: usize,
+    events: &[Event],
+    horizon: u64,
+) -> ReferenceVerdicts {
+    let bound = r1_bound(variant, params, fix);
+    let cap = bound + 1;
+    let spec = CoordSpec::new(variant, params, n, fix);
+    let mut mirror: CoordState = spec.init_state();
+    let mut armed = vec![!variant.has_join_phase(); n];
+    let mut since = vec![0u32; n];
+    let mut coord_active = true;
+    let mut resp_active = vec![true; n];
+    let mut any_fault = false;
+    let (mut r1, mut r2, mut r3) = (None, None, None);
+
+    let mut idx = 0;
+    for t in 0..=horizon {
+        if t > 0 {
+            for i in 0..n {
+                if armed[i] {
+                    since[i] = (since[i] + 1).min(cap);
+                }
+            }
+            if coord_active && r1.is_none() {
+                if let Some(i) = (0..n).find(|&i| armed[i] && since[i] > bound) {
+                    r1 = Some(Violation {
+                        requirement: Requirement::R1,
+                        pid: i + 1,
+                        at: t,
+                        bound,
+                    });
+                }
+            }
+        }
+        while idx < events.len() && events[idx].at() == t {
+            match events[idx] {
+                Event::Deliver {
+                    from, to: 0, hb, ..
+                } if (1..=n).contains(&from) => {
+                    let i = from - 1;
+                    let ignored = mirror.left[i] || serial_lt(hb.epoch, mirror.min_epoch[i]);
+                    if !hb.flag {
+                        armed[i] = false;
+                    } else if !ignored {
+                        armed[i] = true;
+                        since[i] = 0;
+                    }
+                    spec.on_heartbeat(&mut mirror, from, hb);
+                }
+                Event::Crash { pid: 0, .. } => {
+                    coord_active = false;
+                    any_fault = true;
+                }
+                Event::Crash { pid, .. } => {
+                    any_fault = true;
+                    resp_active[pid - 1] = false;
+                }
+                Event::NvInactivate { pid: 0, at } => {
+                    if coord_active && r3.is_none() && resp_active.iter().all(|&a| a) {
+                        r3 = Some(Violation {
+                            requirement: Requirement::R3,
+                            pid: 0,
+                            at,
+                            bound: 0,
+                        });
+                    }
+                    coord_active = false;
+                }
+                Event::NvInactivate { pid, at } => {
+                    if r2.is_none() {
+                        r2 = Some(Violation {
+                            requirement: Requirement::R2,
+                            pid,
+                            at,
+                            bound: 0,
+                        });
+                    }
+                    resp_active[pid - 1] = false;
+                }
+                Event::Revive { pid, .. } => resp_active[pid - 1] = true,
+                Event::Lose { .. } => any_fault = true,
+                _ => {}
+            }
+            idx += 1;
+        }
+    }
+    ReferenceVerdicts {
+        r1,
+        r2: if any_fault { None } else { r2 },
+        r3: if any_fault { None } else { r3 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_core::Heartbeat;
+
+    const P: (u32, u32) = (2, 8);
+
+    fn params() -> Params {
+        Params::new(P.0, P.1).unwrap()
+    }
+
+    #[test]
+    fn defs_carry_the_model_checked_bounds() {
+        let naive = monitor_defs(Variant::Binary, params(), FixLevel::Original);
+        assert_eq!(naive[0].bound, Some(params().p0_bound_claimed()));
+        assert!(naive[0].arm_at_start);
+        let fixed = monitor_defs(Variant::Binary, params(), FixLevel::Full);
+        assert_eq!(
+            fixed[0].bound,
+            Some(params().p0_bound_corrected(Variant::Binary))
+        );
+        let join = monitor_defs(Variant::Expanding, params(), FixLevel::Full);
+        assert!(!join[0].arm_at_start, "join variants arm on first beat");
+        for def in &naive {
+            assert!(satisfiable(&def.reset_guard));
+            assert!(!def.describe().is_empty());
+        }
+        assert!(!naive[0].fault_premise && naive[1].fault_premise && naive[2].fault_premise);
+    }
+
+    #[test]
+    fn silence_past_the_bound_fires_r1_at_the_deadline() {
+        // One beat admitted at t = 5, then silence. The counter resets at
+        // 5, so the first tick with since > bound is 5 + bound + 1.
+        let bound = r1_bound(Variant::Binary, params(), FixLevel::Original);
+        let events = [Event::Deliver {
+            at: 5,
+            from: 1,
+            to: 0,
+            hb: Heartbeat::plain(),
+        }];
+        let v = reference_verdicts(
+            Variant::Binary,
+            params(),
+            FixLevel::Original,
+            1,
+            &events,
+            200,
+        );
+        let r1 = v.r1.expect("must fire");
+        assert_eq!(r1.at, 5 + u64::from(bound) + 1);
+        assert_eq!((r1.pid, r1.bound), (1, bound));
+    }
+
+    #[test]
+    fn a_beat_on_the_deadline_tick_does_not_rescue() {
+        // The model may schedule the tick (reaching since = bound + 1)
+        // before the same-instant delivery: still a violation.
+        let bound = u64::from(r1_bound(Variant::Binary, params(), FixLevel::Original));
+        let beat = |at| Event::Deliver {
+            at,
+            from: 1,
+            to: 0,
+            hb: Heartbeat::plain(),
+        };
+        let v = reference_verdicts(
+            Variant::Binary,
+            params(),
+            FixLevel::Original,
+            1,
+            &[beat(5), beat(5 + bound + 1)],
+            200,
+        );
+        assert_eq!(v.r1.expect("tick-first interleaving").at, 5 + bound + 1);
+        // One tick earlier the beat wins: since only reaches the bound.
+        let v = reference_verdicts(
+            Variant::Binary,
+            params(),
+            FixLevel::Original,
+            1,
+            &[beat(5), beat(5 + bound)],
+            5 + bound, // horizon before the next deadline
+        );
+        assert!(v.r1.is_none());
+    }
+
+    #[test]
+    fn coordinator_death_stops_the_r1_clock() {
+        // p0 inactivates *before* the deadline: no violation (R1 only
+        // constrains an active coordinator).
+        let v = reference_verdicts(
+            Variant::Binary,
+            params(),
+            FixLevel::Original,
+            1,
+            &[
+                Event::Deliver {
+                    at: 5,
+                    from: 1,
+                    to: 0,
+                    hb: Heartbeat::plain(),
+                },
+                Event::NvInactivate { at: 10, pid: 0 },
+            ],
+            200,
+        );
+        assert!(v.r1.is_none());
+    }
+
+    #[test]
+    fn r2_r3_need_a_fault_free_trace() {
+        let nv = Event::NvInactivate { at: 50, pid: 1 };
+        let v = reference_verdicts(Variant::Binary, params(), FixLevel::Original, 1, &[nv], 60);
+        assert_eq!(v.r2.expect("fault-free nv is a violation").pid, 1);
+        // A loss anywhere in the trace — even later — voids the premise.
+        let lose = Event::Lose {
+            at: 55,
+            from: 0,
+            to: 1,
+        };
+        let v = reference_verdicts(
+            Variant::Binary,
+            params(),
+            FixLevel::Original,
+            1,
+            &[nv, lose],
+            60,
+        );
+        assert!(v.r2.is_none());
+        // R3: coordinator inactivation with every participant active
+        // (before the R1 deadline, so only R3 fires).
+        let nv0 = Event::NvInactivate { at: 10, pid: 0 };
+        let v = reference_verdicts(Variant::Binary, params(), FixLevel::Original, 1, &[nv0], 60);
+        assert_eq!(v.r3.expect("R3 fires").pid, 0);
+        assert!(v.r1.is_none(), "monitor stops with the coordinator");
+    }
+
+    #[test]
+    fn stale_beats_do_not_reset_the_monitor() {
+        // Register incarnation 1, then replay an epoch-0 leftover: the
+        // monitor must keep counting from the *fresh* beat. Naive fix:
+        // the coordinator itself would admit the leftover.
+        let bound = u64::from(r1_bound(Variant::Binary, params(), FixLevel::Original));
+        let fresh = Event::Deliver {
+            at: 5,
+            from: 1,
+            to: 0,
+            hb: Heartbeat::plain().with_epoch(1),
+        };
+        let stale = Event::Deliver {
+            at: 9,
+            from: 1,
+            to: 0,
+            hb: Heartbeat::plain(), // epoch 0 < bar 1
+        };
+        let v = reference_verdicts(
+            Variant::Binary,
+            params(),
+            FixLevel::Original,
+            1,
+            &[fresh, stale],
+            200,
+        );
+        assert_eq!(v.r1.expect("stale beat must not rescue").at, 5 + bound + 1);
+    }
+}

@@ -6,11 +6,19 @@
 //! cargo run --release --example chaos_campaign                  # full grid, sim
 //! cargo run --release --example chaos_campaign -- --smoke       # CI grid, seed-pinned
 //! cargo run --release --example chaos_campaign -- --backend live
+//! cargo run --release --example chaos_campaign -- --monitor     # streaming R1–R3 verdicts
 //! cargo run --release --example chaos_campaign -- --out artifacts/campaign.json
 //! cargo run --release --example chaos_campaign -- --table       # markdown summary
 //! cargo run --release --example chaos_campaign -- --rejoin artifacts
 //! cargo run --release --example chaos_campaign -- --diff a.json b.json
 //! ```
+//!
+//! `--monitor` attaches a streaming `hb-monitor` requirement checker to
+//! every run and gates the result: cells running under-corrected fixes
+//! (the claimed `2·tmax` bound) must reproduce at least one R1 violation
+//! per cell — the paper's bound error, caught online — while cells with
+//! corrected bounds must come back monitor-clean. Any other outcome
+//! exits non-zero.
 //!
 //! `--rejoin DIR` skips the grid and instead emits the §7 rejoin
 //! demonstration artifacts (`rejoin_sim.json` / `rejoin_live.json`):
@@ -49,13 +57,18 @@ fn smoke_spec(threads: usize) -> CampaignSpec {
         params: Params::new(2, 8).unwrap(),
         n: 1,
         duration: 600,
-        fixes: vec![FixLevel::Original, FixLevel::ReceivePriority],
+        fixes: vec![
+            FixLevel::Original,
+            FixLevel::ReceivePriority,
+            FixLevel::Full,
+        ],
         loss: vec![0.0, 0.05],
         burst: vec![2.0],
         drift: vec![(1, 1)],
         partition: vec![0, 8],
         seeds: vec![1, 2, 3],
         threads,
+        monitor: false,
     }
 }
 
@@ -80,7 +93,47 @@ fn full_spec(backend: Backend, threads: usize) -> CampaignSpec {
         partition: vec![0, 8],
         seeds: (1..=10).collect(),
         threads,
+        monitor: false,
     }
+}
+
+/// The `--monitor` gate: under-corrected cells must reproduce the R1
+/// bound breach (that is the paper's finding, observed online); cells
+/// with corrected bounds must be monitor-clean. Drifted cells carry no
+/// verdicts (`monitor_runs == 0` — local-clock stamps would alias skew
+/// as breaches) and are exempt. Returns the offending cells.
+fn monitor_gate(report: &CampaignReport) -> Vec<String> {
+    let mut bad = Vec::new();
+    for c in &report.cells {
+        if c.monitor_runs == 0 {
+            continue;
+        }
+        let label = format!(
+            "{}/loss{}x{}/drift{}-{}/part{}",
+            c.cell.fix.name(),
+            c.cell.loss,
+            c.cell.burst,
+            c.cell.drift.0,
+            c.cell.drift.1,
+            c.cell.partition
+        );
+        if c.cell.fix.corrected_bounds() {
+            if c.monitor_clean != c.monitor_runs {
+                bad.push(format!(
+                    "{label}: corrected-bounds cell not clean \
+                     ({}/{} clean, r1={} r2={} r3={})",
+                    c.monitor_clean, c.monitor_runs, c.monitor_r1, c.monitor_r2, c.monitor_r3
+                ));
+            }
+        } else if c.monitor_r1 == 0 {
+            bad.push(format!(
+                "{label}: under-corrected cell failed to reproduce the \
+                 claimed-bound R1 breach ({} monitored runs)",
+                c.monitor_runs
+            ));
+        }
+    }
+    bad
 }
 
 /// Render the report as a markdown table (the EXPERIMENTS.md format).
@@ -89,13 +142,27 @@ fn markdown_table(report: &CampaignReport) -> String {
     out.push_str(
         "| fix | loss | drift | partition | detected | down first | mean delay | max | \
          claimed | corrected | >claimed | >corrected | false susp. | reconv | reconv mean | \
-         reconv max | stale adm. |\n",
+         reconv max | stale adm. | mon clean | mon R1 | mon first |\n",
     );
-    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
+    out.push_str(
+        "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n",
+    );
     for c in &report.cells {
+        // Unmonitored (drifted) cells show "-" in every monitor column.
+        let (mon_clean, mon_r1) = if c.monitor_runs == 0 {
+            ("-".to_string(), "-".to_string())
+        } else {
+            (
+                format!("{}/{}", c.monitor_clean, c.monitor_runs),
+                c.monitor_r1.to_string(),
+            )
+        };
+        let mon_first = c
+            .monitor_first
+            .map_or_else(|| "-".to_string(), |t| t.to_string());
         out.push_str(&format!(
             "| {} | {} | {}/{} | {} | {}/{} | {} | {:.1} | {} | {} | {} | {} | {} | {} | \
-             {}/{} | {:.1} | {} | {} |\n",
+             {}/{} | {:.1} | {} | {} | {} | {} | {} |\n",
             c.cell.fix.name(),
             c.cell.loss,
             c.cell.drift.0,
@@ -116,6 +183,9 @@ fn markdown_table(report: &CampaignReport) -> String {
             c.reconv_mean,
             c.reconv_max,
             c.stale_admitted,
+            mon_clean,
+            mon_r1,
+            mon_first,
         ));
     }
     out
@@ -186,14 +256,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(dir) = arg_value(&args, "--rejoin") {
         return emit_rejoin_artifacts(&dir);
     }
-    let spec = if args.iter().any(|a| a == "--smoke") {
+    let mut spec = if args.iter().any(|a| a == "--smoke") {
         smoke_spec(threads)
     } else {
         full_spec(backend, threads)
     };
+    spec.monitor = args.iter().any(|a| a == "--monitor");
 
     let report = run_campaign(&spec);
     let json = report.to_json();
+
+    if spec.monitor {
+        let bad = monitor_gate(&report);
+        for b in &bad {
+            eprintln!("monitor gate: {b}");
+        }
+        if !bad.is_empty() {
+            return Err(format!("monitor gate failed on {} cell(s)", bad.len()).into());
+        }
+        let gated = report.cells.iter().filter(|c| c.monitor_runs > 0).count();
+        eprintln!(
+            "monitor gate: {gated} cells ok (corrected-bounds cells clean, \
+             under-corrected cells reproduce the R1 breach; {} drifted \
+             cells unmonitored)",
+            report.cells.len() - gated
+        );
+    }
 
     if let Some(path) = arg_value(&args, "--out") {
         let mut file = std::fs::File::create(&path)?;

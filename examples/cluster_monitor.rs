@@ -23,14 +23,16 @@ use std::thread;
 use std::time::Duration;
 
 use accelerated_heartbeat::core::coordinator::CoordSpec;
+use accelerated_heartbeat::core::events::SharedTap;
 use accelerated_heartbeat::core::responder::RespSpec;
 use accelerated_heartbeat::core::trace::Event;
 use accelerated_heartbeat::core::{FixLevel, Params, Variant};
+use accelerated_heartbeat::monitor::MonitorSet;
 use accelerated_heartbeat::net::wire::{Command, Frame};
 use accelerated_heartbeat::net::{
     EventSink, NodeReport, NodeRuntime, TimeSource, Transport, UdpTransport, WallClock,
 };
-use accelerated_heartbeat::sim::schema::RunSummary;
+use accelerated_heartbeat::sim::schema::{MonitorVerdicts, RunSummary};
 
 const WORKERS: usize = 3;
 const START_TICKS: [u64; WORKERS] = [0, 120, 300];
@@ -64,6 +66,11 @@ fn run_live(tick: Duration) -> Result<(), Box<dyn std::error::Error>> {
     let stop = Arc::new(AtomicBool::new(false));
     let done = Arc::new(AtomicBool::new(false));
 
+    // One shared streaming requirement monitor taps every node's event
+    // sink: it judges the run against R1–R3 while it happens.
+    let monitor = MonitorSet::shared(Variant::Dynamic, params, FixLevel::Full, WORKERS);
+    let tap: SharedTap = monitor.clone();
+
     // Sockets first, so the fault injector knows every address up front.
     // Workers are told where the coordinator lives; the coordinator learns
     // worker addresses from their join beats.
@@ -80,6 +87,7 @@ fn run_live(tick: Duration) -> Result<(), Box<dyn std::error::Error>> {
 
     let spec = CoordSpec::new(Variant::Dynamic, params, WORKERS, FixLevel::Full);
     let mut coord = NodeRuntime::coordinator(spec, coord_transport).with_sink(EventSink::memory());
+    coord.attach_tap(tap.clone());
     let coord_thread = {
         let (clock, stop, done) = (clock, Arc::clone(&stop), Arc::clone(&done));
         thread::spawn(move || -> std::io::Result<NodeReport> {
@@ -93,7 +101,7 @@ fn run_live(tick: Duration) -> Result<(), Box<dyn std::error::Error>> {
         .into_iter()
         .enumerate()
         .map(|(i, transport)| {
-            let (clock, stop) = (clock, Arc::clone(&stop));
+            let (clock, stop, tap) = (clock, Arc::clone(&stop), tap.clone());
             thread::spawn(move || -> std::io::Result<NodeReport> {
                 // Late joiners sleep until their start tick, exactly like
                 // the simulated scenario's `starts`.
@@ -102,6 +110,7 @@ fn run_live(tick: Duration) -> Result<(), Box<dyn std::error::Error>> {
                 let mut worker = NodeRuntime::participant(i + 1, spec, transport)
                     .started_at(clock.now())
                     .with_sink(EventSink::memory());
+                worker.attach_tap(tap);
                 worker.run(&clock, &stop)?;
                 Ok(worker.finish())
             })
@@ -159,12 +168,17 @@ fn run_live(tick: Duration) -> Result<(), Box<dyn std::error::Error>> {
     for t in worker_threads {
         reports.push(t.join().expect("worker panicked")?);
     }
-    report_live(&reports, bound);
+    let verdicts = {
+        let mut mon = monitor.lock().expect("monitor poisoned");
+        mon.finish(reports.iter().map(|r| r.now).max().unwrap_or(0));
+        mon.verdicts()
+    };
+    report_live(&reports, bound, verdicts);
     Ok(())
 }
 
 /// Digest and summary over the per-node reports, in the shared schema.
-fn report_live(reports: &[NodeReport], bound: u64) {
+fn report_live(reports: &[NodeReport], bound: u64, verdicts: MonitorVerdicts) {
     // Each node is the authority on its own lifecycle events.
     let mut lifecycle: Vec<Event> = Vec::new();
     for r in reports {
@@ -227,11 +241,22 @@ fn report_live(reports: &[NodeReport], bound: u64) {
         stale_beats_filtered: 0,
         detection_delay: detection,
         false_inactivations: 0,
+        monitor: Some(verdicts),
         final_status: reports.iter().map(|r| r.status).collect(),
     };
 
     println!("\nrun summary (shared sim/live schema):");
     println!("  {}", summary.to_json());
+
+    if verdicts.clean() {
+        println!("\nall R1–R3 requirement monitors stayed clean.");
+    } else {
+        // A wall-clock stall longer than the watchdog bound is a real
+        // crash as far as the protocol (and the monitor) can tell.
+        println!("\na requirement monitor fired: {}", verdicts.to_json());
+        println!("with the full fix that means the host stalled a node thread past");
+        println!("the watchdog bound — re-run, or raise --tick-ms.");
+    }
 
     if summary.crashes.is_empty() {
         // The cluster fell over before the injected crash: the host stalled
@@ -308,8 +333,27 @@ fn run_sim() -> Result<(), Box<dyn std::error::Error>> {
         Some(d) => println!("  crash-to-shutdown   : {d} units"),
         None => println!("  network still partially up at the horizon"),
     }
+
+    // The recorded log replays through the streaming requirement monitor:
+    // same verdicts as a live tap would have produced during the run.
+    let verdicts = accelerated_heartbeat::monitor::replay(
+        Variant::Dynamic,
+        params,
+        FixLevel::Full,
+        WORKERS,
+        report.log.events(),
+        report.duration,
+    );
+    let mut summary = RunSummary::from_report(&report);
+    summary.monitor = Some(verdicts);
     println!("\nrun summary (shared sim/live schema):");
-    println!("  {}", RunSummary::from_report(&report).to_json());
+    println!("  {}", summary.to_json());
+    assert!(
+        verdicts.clean(),
+        "the fully-fixed simulated run must be monitor-clean: {}",
+        verdicts.to_json()
+    );
+    println!("\nall R1–R3 requirement monitors stayed clean on replay.");
 
     // The punchline of the dynamic protocol: a graceful leave disturbs
     // nobody, a crash brings the network down.

@@ -11,7 +11,11 @@ cd "$(dirname "$0")/.."
 echo "==> cargo bench (paper tables and figures)"
 cargo bench -p bench
 
+echo "==> monitor overhead (streaming checker tap vs bare simulator)"
+# cargo bench runs with the package as cwd, so hand it an absolute path.
+cargo bench -p bench --bench monitor_overhead -- "$PWD/BENCH_monitor.json"
+
 echo "==> chaos campaign (sim backend)"
 cargo run --release --example chaos_campaign -- --out BENCH_chaos.json --table
 
-echo "benchmarks done; campaign report in BENCH_chaos.json"
+echo "benchmarks done; campaign report in BENCH_chaos.json, monitor overhead in BENCH_monitor.json"

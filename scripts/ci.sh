@@ -26,6 +26,12 @@ cargo run --release --example chaos_campaign -- --rejoin "$tmpdir/rejoin_b" >/de
 diff -r "$tmpdir/rejoin_a" "$tmpdir/rejoin_b" \
   || { echo "crash/revive rejoin demo is not deterministic" >&2; exit 1; }
 
+echo "==> monitor gate (streaming R1–R3 verdicts on the smoke grid)"
+# With --monitor every cell carries online verdicts; the gate inside the
+# example fails unless corrected-bounds cells are clean and under-corrected
+# cells reproduce the R1 breach.
+cargo run --release --example chaos_campaign -- --smoke --monitor >/dev/null
+
 echo "==> static analyzer gate (fixed machines must be clean)"
 cargo run --release --example hb_analyze -- --machines fixed --deny-findings
 

@@ -20,6 +20,11 @@
 //! * [`net`] (`hb-net`) — a live runtime: wire codec, loopback and UDP
 //!   transports, wall/virtual time sources, and a deadline-driven node
 //!   event loop running the unmodified machines in real time.
+//! * [`monitor`] (`hb-monitor`) — streaming runtime verification: the
+//!   R1–R3 requirement automata compiled from `hb-verify`'s declarative
+//!   monitor definitions into O(participants) incremental checkers that
+//!   tap the shared event stream of both runtimes and timestamp the
+//!   first violation.
 //! * [`chaos`] (`hb-chaos`) — deterministic fault injection: declarative
 //!   JSON fault plans (burst loss, partitions, duplication, reordering,
 //!   delay spikes, clock drift, crash/churn schedules) executed on both
@@ -62,6 +67,7 @@
 pub use hb_analyze as analyze;
 pub use hb_chaos as chaos;
 pub use hb_core as core;
+pub use hb_monitor as monitor;
 pub use hb_net as net;
 pub use hb_sim as sim;
 pub use hb_verify as verify;
