@@ -4,11 +4,13 @@ use hb_core::describe::{
     satisfiable, Atom, DescribeMachine, MachineIr, Transition, Trigger, VarKind,
 };
 use hb_core::{CoordSpec, FixLevel, Params, RespSpec, Variant};
+use hb_member::MemberSpec;
 
 use crate::findings::{Finding, Lint};
 
-/// Every protocol machine: both roles × all six variants × all four fix
-/// levels (48 IRs). The IR is parameter-free, so a single representative
+/// Every protocol machine: the two plain roles plus the `hb-member`
+/// view-change machine × all six variants × all four fix levels
+/// (72 IRs). The IR is parameter-free, so a single representative
 /// `Params` is used for construction.
 pub fn all_machines() -> Vec<MachineIr> {
     let p = Params::new(1, 10).expect("valid params");
@@ -17,6 +19,7 @@ pub fn all_machines() -> Vec<MachineIr> {
         for fix in FixLevel::ALL {
             out.push(CoordSpec::new(v, p, 1, fix).describe());
             out.push(RespSpec::new(v, p, fix).describe());
+            out.push(MemberSpec::new(v, p, fix).describe());
         }
     }
     out
@@ -265,7 +268,7 @@ mod tests {
     }
 
     #[test]
-    fn enumerates_all_48_machines() {
-        assert_eq!(all_machines().len(), 48);
+    fn enumerates_all_72_machines() {
+        assert_eq!(all_machines().len(), 72);
     }
 }

@@ -115,13 +115,21 @@ pub struct CellStats {
     /// Mean messages per tick over the quiet runs (steady-state
     /// overhead).
     pub msg_per_tick: f64,
-    /// Revive runs in which the revived participant re-registered at the
-    /// coordinator before the horizon.
+    /// Revive runs in which the revived participant's fresh epoch was
+    /// re-registered at the coordinator before the horizon (detection
+    /// side of re-convergence).
     pub reconverged: usize,
-    /// Mean revive-to-re-registration delay over re-converged runs.
-    pub reconv_mean: f64,
-    /// Worst re-convergence delay.
-    pub reconv_max: Time,
+    /// Mean revive-to-detection delay over re-converged runs.
+    pub reconv_detect_mean: f64,
+    /// Worst revive-to-detection delay.
+    pub reconv_detect_max: Time,
+    /// Revive runs in which the revived participant additionally became
+    /// active and joined again (stability side of re-convergence).
+    pub stabilised: usize,
+    /// Mean revive-to-stability delay over stabilised runs.
+    pub reconv_stable_mean: f64,
+    /// Worst revive-to-stability delay.
+    pub reconv_stable_max: Time,
     /// Stale (superseded-epoch) beats the coordinator admitted as fresh,
     /// summed over the revive runs.
     pub stale_admitted: u64,
@@ -236,6 +244,7 @@ pub fn cell_plan(spec: &CampaignSpec, cell: &Cell, seed: u64, kind: RunKind) -> 
         fix: cell.fix,
         n: spec.n,
         duration: spec.duration,
+        membership: false,
     };
     let mut plan = FaultPlan::new(
         format!(
@@ -309,8 +318,11 @@ fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellStats {
     let mut false_suspicions = 0u64;
     let mut rate_sum = 0.0f64;
     let mut reconverged = 0usize;
-    let mut reconv_sum = 0u128;
-    let mut reconv_max = 0;
+    let mut detect_delay_sum = 0u128;
+    let mut reconv_detect_max = 0;
+    let mut stabilised = 0usize;
+    let mut stable_delay_sum = 0u128;
+    let mut reconv_stable_max = 0;
     let mut stale_admitted = 0u64;
     let mut monitor_runs = 0usize;
     let mut monitor_clean = 0usize;
@@ -375,10 +387,15 @@ fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellStats {
         }
         let revive: RunSummary = exec(&cell_plan(spec, cell, seed, RunKind::CrashRevive));
         tally(&revive);
-        if let Some(d) = revive.reconvergence_delay {
+        if let Some(d) = revive.reconv_detect {
             reconverged += 1;
-            reconv_sum += u128::from(d);
-            reconv_max = reconv_max.max(d);
+            detect_delay_sum += u128::from(d);
+            reconv_detect_max = reconv_detect_max.max(d);
+        }
+        if let Some(d) = revive.reconv_stable {
+            stabilised += 1;
+            stable_delay_sum += u128::from(d);
+            reconv_stable_max = reconv_stable_max.max(d);
         }
         stale_admitted += u64::from(revive.stale_beats_admitted);
         let quiet: RunSummary = exec(&cell_plan(spec, cell, seed, RunKind::Quiet));
@@ -410,12 +427,19 @@ fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellStats {
             rate_sum / spec.seeds.len() as f64
         },
         reconverged,
-        reconv_mean: if reconverged > 0 {
-            reconv_sum as f64 / reconverged as f64
+        reconv_detect_mean: if reconverged > 0 {
+            detect_delay_sum as f64 / reconverged as f64
         } else {
             0.0
         },
-        reconv_max,
+        reconv_detect_max,
+        stabilised,
+        reconv_stable_mean: if stabilised > 0 {
+            stable_delay_sum as f64 / stabilised as f64
+        } else {
+            0.0
+        },
+        reconv_stable_max,
         stale_admitted,
         monitor_runs,
         monitor_clean,
@@ -473,7 +497,8 @@ impl CellStats {
              \"claimed_bound\":{},\"corrected_bound\":{},\
              \"violations_claimed\":{},\"violations_corrected\":{},\
              \"false_suspicions\":{},\"msg_per_tick\":{:.4},\
-             \"reconverged\":{},\"reconv_mean\":{:.3},\"reconv_max\":{},\
+             \"reconverged\":{},\"reconv_detect_mean\":{:.3},\"reconv_detect_max\":{},\
+             \"stabilised\":{},\"reconv_stable_mean\":{:.3},\"reconv_stable_max\":{},\
              \"stale_admitted\":{},\
              \"monitor_runs\":{},\"monitor_clean\":{},\"monitor_r1\":{},\
              \"monitor_r2\":{},\"monitor_r3\":{},\"monitor_first\":{}}}",
@@ -495,8 +520,11 @@ impl CellStats {
             self.false_suspicions,
             self.msg_per_tick,
             self.reconverged,
-            self.reconv_mean,
-            self.reconv_max,
+            self.reconv_detect_mean,
+            self.reconv_detect_max,
+            self.stabilised,
+            self.reconv_stable_mean,
+            self.reconv_stable_max,
             self.stale_admitted,
             self.monitor_runs,
             self.monitor_clean,
@@ -593,9 +621,15 @@ mod tests {
             if cell.cell.loss == 0.0 && cell.cell.partition == 0 {
                 assert_eq!(cell.detected, 2, "clean cells always detect");
                 assert_eq!(cell.reconverged, 2, "clean revives re-register");
+                assert_eq!(cell.stabilised, 2, "clean revives stabilise");
                 assert!(
-                    cell.reconv_max <= cell.corrected_bound,
+                    cell.reconv_detect_max <= cell.corrected_bound,
                     "re-convergence within the corrected bound: {:?}",
+                    cell.cell
+                );
+                assert!(
+                    cell.reconv_stable_mean >= cell.reconv_detect_mean,
+                    "stability never precedes detection: {:?}",
                     cell.cell
                 );
             }
@@ -664,6 +698,8 @@ mod tests {
         assert!(json.contains("\"backend\":\"sim\""), "{json}");
         assert!(json.contains("\"fix\":\"full-fix\""), "{json}");
         assert!(json.contains("\"reconverged\":"), "{json}");
+        assert!(json.contains("\"reconv_detect_mean\":"), "{json}");
+        assert!(json.contains("\"reconv_stable_max\":"), "{json}");
         assert_eq!(report.total_runs(), 3);
     }
 

@@ -103,8 +103,8 @@ impl DiffReport {
 #[derive(Clone, Copy, Debug)]
 pub struct Tolerances {
     /// Fraction of `runs` two per-run counters (`detected`,
-    /// `reconverged`, `down_before_crash`, `violations_*`) may differ
-    /// by.
+    /// `reconverged`, `stabilised`, `down_before_crash`,
+    /// `violations_*`) may differ by.
     pub run_frac: f64,
     /// Fraction of `runs` two event counters (`false_suspicions`,
     /// `stale_admitted` — several events can land in one run) may
@@ -225,6 +225,7 @@ fn diff_cell(
         "detected",
         "down_before_crash",
         "reconverged",
+        "stabilised",
         "violations_claimed",
         "violations_corrected",
     ] {
@@ -262,6 +263,7 @@ fn diff_cell(
     for field in [
         "detected",
         "reconverged",
+        "stabilised",
         "down_before_crash",
         "violations_claimed",
         "violations_corrected",
@@ -286,8 +288,10 @@ fn diff_cell(
     let pairs = [
         ("detect_mean", "detected"),
         ("detect_max", "detected"),
-        ("reconv_mean", "reconverged"),
-        ("reconv_max", "reconverged"),
+        ("reconv_detect_mean", "reconverged"),
+        ("reconv_detect_max", "reconverged"),
+        ("reconv_stable_mean", "stabilised"),
+        ("reconv_stable_max", "stabilised"),
     ];
     for (field, population) in pairs {
         let (pl, pr) = (
@@ -435,8 +439,11 @@ mod tests {
             ("false_suspicions", "0"),
             ("msg_per_tick", "0.2490"),
             ("reconverged", "10"),
-            ("reconv_mean", "5.200"),
-            ("reconv_max", "6"),
+            ("reconv_detect_mean", "5.200"),
+            ("reconv_detect_max", "6"),
+            ("stabilised", "10"),
+            ("reconv_stable_mean", "7.100"),
+            ("reconv_stable_max", "9"),
             ("stale_admitted", "0"),
         ]
         .iter()

@@ -237,6 +237,14 @@ impl Value {
         }
     }
 
+    /// This value as a boolean.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => err(format!("expected boolean, found {other:?}")),
+        }
+    }
+
     /// This value as a float.
     pub fn as_f64(&self) -> Result<f64, JsonError> {
         match self {

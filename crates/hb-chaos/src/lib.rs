@@ -38,6 +38,7 @@ pub mod campaign;
 pub mod diff;
 pub mod json;
 pub mod live;
+pub mod member;
 pub mod pipeline;
 pub mod plan;
 pub mod rejoin;
@@ -50,6 +51,10 @@ use hb_sim::schema::RunSummary;
 pub use campaign::{run_campaign, CampaignReport, CampaignSpec, Cell, CellStats, RunKind};
 pub use diff::{diff_reports, DiffReport, Divergence, Severity, Tolerances};
 pub use live::{run_plan_live, ChaosCluster, ChaosNet, ChaosTransport};
+pub use member::{
+    failover_plan, member_config, run_failover_campaign, run_plan_member,
+    run_plan_member_monitored, FailoverCell, FailoverReport, MemberRun, SharedPipeline,
+};
 pub use pipeline::{burst_model, FaultPipeline, PipelineStats};
 pub use plan::{FaultPlan, FaultSpec, Link, PlanError, ProtoSpec, Window};
 pub use rejoin::{rejoin_demo_plan, run_rejoin_demo, RejoinDemo};
@@ -84,8 +89,13 @@ impl Backend {
     }
 }
 
-/// Run one fault plan on the chosen backend.
+/// Run one fault plan on the chosen backend. Membership plans
+/// ([`ProtoSpec::membership`]) execute on the `hb-member` group layer;
+/// everything else runs the plain detector runtimes.
 pub fn run_plan(plan: &FaultPlan, backend: Backend) -> RunSummary {
+    if plan.proto.membership {
+        return member::run_plan_member(plan, backend).summary;
+    }
     match backend {
         Backend::Sim => sim::run_plan_sim(plan),
         Backend::Live => live::run_plan_live(plan),
@@ -103,6 +113,9 @@ pub fn run_plan(plan: &FaultPlan, backend: Backend) -> RunSummary {
 /// schema — so campaign cells, the rejoin demo and CI gates can all ask
 /// the same question: "did any requirement monitor fire?".
 pub fn run_plan_monitored(plan: &FaultPlan, backend: Backend) -> RunSummary {
+    if plan.proto.membership {
+        return member::run_plan_member_monitored(plan, backend).summary;
+    }
     let monitor = MonitorSet::shared(
         plan.proto.variant,
         plan.proto.params,
@@ -149,6 +162,7 @@ mod tests {
                 fix: FixLevel::Full,
                 n: 1,
                 duration: 500,
+                membership: false,
             },
         )
         .with(FaultSpec::Crash { pid: 1, at: 200 });

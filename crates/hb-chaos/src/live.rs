@@ -202,10 +202,11 @@ pub struct ChaosCluster {
     nv_inactivations: Vec<(Pid, Time)>,
     leaves: Vec<(Pid, Time)>,
     revives: Vec<(Pid, Time)>,
-    /// Revived participants the coordinator has not yet re-registered:
-    /// `(pid, epoch, revived_at)`.
-    pending_reconv: Vec<(Pid, u8, Time)>,
-    reconv_delays: Vec<(Pid, Time)>,
+    /// Revived participants not yet fully re-converged:
+    /// `(pid, epoch, revived_at, detected_at)`.
+    pending_reconv: Vec<(Pid, u8, Time, Option<Time>)>,
+    reconv_detects: Vec<(Pid, Time)>,
+    reconv_stables: Vec<(Pid, Time)>,
     all_inactive_at: Option<Time>,
     /// Event tap attached to every node (including late joiners) and to
     /// the pipeline's drop site.
@@ -272,7 +273,8 @@ impl ChaosCluster {
             leaves: Vec::new(),
             revives: Vec::new(),
             pending_reconv: Vec::new(),
-            reconv_delays: Vec::new(),
+            reconv_detects: Vec::new(),
+            reconv_stables: Vec::new(),
             all_inactive_at: None,
             tap: None,
             plan,
@@ -386,7 +388,7 @@ impl ChaosCluster {
                         // Crashed -> Active is only reachable via revive.
                         if prev.map(|(s, _)| s) == Some(Status::Crashed) {
                             self.revives.push((pid, now));
-                            self.pending_reconv.push((pid, node.epoch(), now));
+                            self.pending_reconv.push((pid, node.epoch(), now, None));
                             self.all_inactive_at = None;
                         }
                     }
@@ -397,17 +399,30 @@ impl ChaosCluster {
             }
             self.statuses[pid] = Some(cur);
         }
-        if let Some(coord) = self.nodes[0].as_ref() {
-            let resolved: Vec<(Pid, u8, Time)> = self
-                .pending_reconv
-                .iter()
-                .copied()
-                .filter(|&(pid, epoch, _)| coord.registered_epoch(pid) >= Some(epoch))
-                .collect();
-            for (pid, epoch, t0) in resolved {
-                self.pending_reconv
-                    .retain(|&(p, e, _)| (p, e) != (pid, epoch));
-                self.reconv_delays.push((pid, now - t0));
+        let mut i = 0;
+        while i < self.pending_reconv.len() {
+            let (pid, epoch, t0, detected) = self.pending_reconv[i];
+            let mut detected = detected;
+            if detected.is_none()
+                && self.nodes[0].as_ref().is_some_and(|coord| {
+                    coord
+                        .registered_epoch(pid)
+                        .is_some_and(|bar| hb_core::serial::serial_ge(bar, epoch))
+                })
+            {
+                detected = Some(now);
+                self.reconv_detects.push((pid, now - t0));
+            }
+            let stable = detected.is_some()
+                && self.nodes[pid].as_ref().is_some_and(|n| {
+                    n.status() == Status::Active && n.joined() && n.epoch() == epoch
+                });
+            if stable {
+                self.reconv_stables.push((pid, now - t0));
+                self.pending_reconv.remove(i);
+            } else {
+                self.pending_reconv[i].3 = detected;
+                i += 1;
             }
         }
     }
@@ -456,7 +471,8 @@ impl ChaosCluster {
             nv_inactivations: self.nv_inactivations,
             leaves: self.leaves,
             revives: self.revives,
-            reconvergence_delay: self.reconv_delays.iter().map(|&(_, d)| d).max(),
+            reconv_detect: self.reconv_detects.iter().map(|&(_, d)| d).max(),
+            reconv_stable: self.reconv_stables.iter().map(|&(_, d)| d).max(),
             stale_beats_admitted: stale_admitted,
             stale_beats_filtered: stale_filtered,
             detection_delay,
@@ -490,6 +506,7 @@ mod tests {
             fix,
             n: 1,
             duration: 2_000,
+            membership: false,
         }
     }
 

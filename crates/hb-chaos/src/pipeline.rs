@@ -290,6 +290,7 @@ mod tests {
                 fix: FixLevel::Full,
                 n: 3,
                 duration: 1_000,
+                membership: false,
             },
         )
     }

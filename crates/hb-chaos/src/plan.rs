@@ -203,6 +203,11 @@ pub struct ProtoSpec {
     /// Run length in ticks (the run may end earlier if everything
     /// inactivates).
     pub duration: Time,
+    /// Run the plan on the `hb-member` group-membership layer instead of
+    /// the plain detector. Only membership plans may crash *and revive*
+    /// the coordinator: the survivors fail over to a successor view and
+    /// the revived ex-coordinator is demoted into it.
+    pub membership: bool,
 }
 
 /// A complete, shareable chaos scenario.
@@ -472,25 +477,33 @@ impl FaultSpec {
 impl ProtoSpec {
     fn to_json(self) -> String {
         format!(
-            "{{\"variant\":\"{}\",\"tmin\":{},\"tmax\":{},\"fix\":\"{}\",\"n\":{},\"duration\":{}}}",
+            "{{\"variant\":\"{}\",\"tmin\":{},\"tmax\":{},\"fix\":\"{}\",\"n\":{},\
+             \"duration\":{},\"membership\":{}}}",
             self.variant.name(),
             self.params.tmin(),
             self.params.tmax(),
             self.fix.name(),
             self.n,
-            self.duration
+            self.duration,
+            self.membership
         )
     }
 
     fn from_value(v: &Value) -> Result<ProtoSpec, PlanError> {
         let tmin = v.field("tmin")?.as_u64()? as u32;
         let tmax = v.field("tmax")?.as_u64()? as u32;
+        // Absent in pre-membership plans: default to the plain detector.
+        let membership = match v.opt_field("membership")? {
+            Some(b) => b.as_bool()?,
+            None => false,
+        };
         Ok(ProtoSpec {
             variant: variant_from_name(v.field("variant")?.as_str()?)?,
             params: Params::new(tmin, tmax).map_err(|e| PlanError(e.to_string()))?,
             fix: fix_from_name(v.field("fix")?.as_str()?)?,
             n: v.field("n")?.as_u64()? as usize,
             duration: v.field("duration")?.as_u64()?,
+            membership,
         })
     }
 }
@@ -530,10 +543,13 @@ impl FaultPlan {
     }
 
     /// Validate topology references and per-pid lifecycle ordering: every
-    /// pid a fault names must exist (`0..=n`), start/leave/revive only
-    /// name participants, leave needs the dynamic variant, a pid crashes
-    /// at most once, a revive needs a strictly earlier crash of the same
-    /// pid, and a late start must precede that pid's crash.
+    /// pid a fault names must exist (`0..=n`), start/leave only name
+    /// participants, leave needs the dynamic variant, a pid crashes at
+    /// most once, a revive needs a strictly earlier crash of the same
+    /// pid, and a late start must precede that pid's crash. Reviving the
+    /// coordinator (pid 0) additionally requires a membership plan —
+    /// without the failover layer a revived coordinator has no story —
+    /// and follows the same lifecycle ordering as participant pids.
     pub fn validate(&self) -> Result<(), PlanError> {
         let n = self.proto.n;
         let check = |pid: Pid, what: &str| {
@@ -592,7 +608,13 @@ impl FaultPlan {
                         )));
                     }
                 }
-                FaultSpec::Revive { pid, .. } => check_part(*pid, "revive")?,
+                FaultSpec::Revive { pid, .. } => {
+                    if self.proto.membership {
+                        check(*pid, "revive")?;
+                    } else {
+                        check_part(*pid, "revive")?;
+                    }
+                }
             }
         }
 
@@ -700,6 +722,7 @@ mod tests {
             fix: FixLevel::Full,
             n: 3,
             duration: 5_000,
+            membership: false,
         }
     }
 
@@ -820,7 +843,8 @@ mod tests {
         let msg = bad.validate().unwrap_err().to_string();
         assert!(msg.contains("must precede its crash at 10"), "{msg}");
 
-        // Revive of the coordinator is rejected outright.
+        // Revive of the coordinator is rejected outright on a plain
+        // (non-membership) plan: without failover it has no story.
         let bad = FaultPlan::new("p", 1, proto())
             .with(FaultSpec::Crash { pid: 0, at: 10 })
             .with(FaultSpec::Revive { pid: 0, at: 20 });
@@ -832,6 +856,62 @@ mod tests {
             .with(FaultSpec::Crash { pid: 1, at: 10 })
             .with(FaultSpec::Revive { pid: 1, at: 20 });
         assert_eq!(FaultPlan::from_json(&good.to_json()).unwrap(), good);
+    }
+
+    #[test]
+    fn membership_plans_extend_the_lifecycle_rules_to_the_coordinator() {
+        let member = ProtoSpec {
+            membership: true,
+            ..proto()
+        };
+
+        // With the membership layer the coordinator is revivable — the
+        // survivors fail over and the rejoiner is demoted — so the full
+        // crash/revive lifecycle validates and round-trips through JSON.
+        let good = FaultPlan::new("p", 1, member)
+            .with(FaultSpec::Crash { pid: 0, at: 10 })
+            .with(FaultSpec::Revive { pid: 0, at: 20 });
+        good.validate().expect("coordinator failover plan");
+        let back = FaultPlan::from_json(&good.to_json()).unwrap();
+        assert_eq!(back, good);
+        assert!(back.proto.membership);
+
+        // The ordering rules apply to pid 0 exactly as to participants:
+        // a revive needs a strictly earlier crash...
+        let bad = FaultPlan::new("p", 1, member).with(FaultSpec::Revive { pid: 0, at: 20 });
+        let msg = bad.validate().unwrap_err().to_string();
+        assert!(msg.contains("no matching crash"), "{msg}");
+
+        // ...revive-at-or-before-crash is rejected...
+        let bad = FaultPlan::new("p", 1, member)
+            .with(FaultSpec::Crash { pid: 0, at: 10 })
+            .with(FaultSpec::Revive { pid: 0, at: 10 });
+        let msg = bad.validate().unwrap_err().to_string();
+        assert!(msg.contains("must follow its crash at 10"), "{msg}");
+
+        // ...and the coordinator revives at most once.
+        let bad = FaultPlan::new("p", 1, member)
+            .with(FaultSpec::Crash { pid: 0, at: 10 })
+            .with(FaultSpec::Revive { pid: 0, at: 20 })
+            .with(FaultSpec::Revive { pid: 0, at: 30 });
+        let msg = bad.validate().unwrap_err().to_string();
+        assert!(msg.contains("revives twice"), "{msg}");
+
+        // The same rejections surface at the JSON level, and a plan
+        // merely omitting "membership" stays a plain-detector plan.
+        let base = r#"{"name":"x","seed":1,"proto":{"variant":"binary","tmin":1,"tmax":2,"fix":"full-fix","n":2,"duration":100,"membership":true},"faults":FAULTS}"#;
+        let json = base.replace(
+            "FAULTS",
+            r#"[{"kind":"revive","pid":0,"at":9},{"kind":"crash","pid":0,"at":9}]"#,
+        );
+        let msg = FaultPlan::from_json(&json).unwrap_err().to_string();
+        assert!(msg.contains("must follow its crash"), "{msg}");
+        let json = base.replace(",\"membership\":true", "").replace(
+            "FAULTS",
+            r#"[{"kind":"crash","pid":0,"at":5},{"kind":"revive","pid":0,"at":9}]"#,
+        );
+        let msg = FaultPlan::from_json(&json).unwrap_err().to_string();
+        assert!(msg.contains("revive must name a participant"), "{msg}");
     }
 
     #[test]

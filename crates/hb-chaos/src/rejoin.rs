@@ -41,6 +41,7 @@ pub fn rejoin_demo_plan(fix: FixLevel, seed: u64) -> FaultPlan {
         fix,
         n: 1,
         duration: 400,
+        membership: false,
     };
     FaultPlan::new(format!("rejoin-demo/{}/s{seed}", fix.name()), seed, proto)
         // Hold back the doomed incarnation's final reply: the one beat it
@@ -116,7 +117,8 @@ impl RejoinDemo {
             && self.naive.stale_beats_admitted >= 1
             && self.epoch.stale_beats_admitted == 0
             && self.epoch.stale_beats_filtered >= 1
-            && self.epoch.reconvergence_delay.is_some()
+            && self.epoch.reconv_detect.is_some()
+            && self.epoch.reconv_stable.is_some()
             && self.naive.monitor.is_some_and(|m| m.clean())
             && self.epoch.monitor.is_some_and(|m| m.clean())
     }
@@ -157,11 +159,11 @@ mod tests {
                 sim.separates(),
                 sim.naive.stale_beats_admitted,
                 sim.epoch.stale_beats_filtered,
-                sim.epoch.reconvergence_delay,
+                sim.epoch.reconv_detect,
                 live.separates(),
                 live.naive.stale_beats_admitted,
                 live.epoch.stale_beats_filtered,
-                live.epoch.reconvergence_delay,
+                live.epoch.reconv_detect,
             );
         }
     }
@@ -190,8 +192,10 @@ mod tests {
                 .unwrap()
                 .p0_bound_corrected(Variant::Expanding),
         );
-        let d = demo.epoch.reconvergence_delay.unwrap();
+        let d = demo.epoch.reconv_detect.unwrap();
         assert!(d <= bound, "reconvergence {d} > corrected bound {bound}");
+        let s = demo.epoch.reconv_stable.unwrap();
+        assert!(s >= d, "stability {s} before detection {d}");
     }
 
     #[test]

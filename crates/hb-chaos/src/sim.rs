@@ -75,6 +75,7 @@ mod tests {
             fix,
             n: 1,
             duration: 2_000,
+            membership: false,
         }
     }
 

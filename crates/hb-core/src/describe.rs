@@ -37,6 +37,9 @@ pub enum Role {
     Coordinator,
     /// A participant `p[i]`, `i >= 1`.
     Responder,
+    /// A group-membership node (the `hb-member` view-change machine,
+    /// which subsumes both plain roles and can move between them).
+    Member,
 }
 
 impl Role {
@@ -45,6 +48,7 @@ impl Role {
         match self {
             Role::Coordinator => "coordinator",
             Role::Responder => "responder",
+            Role::Member => "member",
         }
     }
 }

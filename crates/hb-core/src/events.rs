@@ -31,6 +31,8 @@ use crate::trace::{Event, EventLog};
 /// {"t":38,"ev":"nv_inactivate","pid":0}
 /// {"t":600,"ev":"leave","pid":1}
 /// {"t":700,"ev":"revive","pid":1}
+/// {"t":710,"ev":"view_change","pid":1,"view":2,"coord":1}
+/// {"t":715,"ev":"state_transfer","from":1,"to":0,"view":2}
 /// ```
 ///
 /// `send`/`deliver` records also carry `"epoch"` when the heartbeat is
@@ -76,6 +78,24 @@ pub fn event_json(e: &Event) -> String {
         }
         Event::Revive { at, pid } => {
             format!("{{\"t\":{at},\"ev\":\"revive\",\"pid\":{pid}}}")
+        }
+        Event::ViewChange {
+            at,
+            pid,
+            view_no,
+            coordinator,
+        } => {
+            format!(
+                "{{\"t\":{at},\"ev\":\"view_change\",\"pid\":{pid},\"view\":{view_no},\"coord\":{coordinator}}}"
+            )
+        }
+        Event::StateTransfer {
+            at,
+            from,
+            to,
+            view_no,
+        } => {
+            format!("{{\"t\":{at},\"ev\":\"state_transfer\",\"from\":{from},\"to\":{to},\"view\":{view_no}}}")
         }
     }
 }
@@ -151,6 +171,18 @@ pub fn parse_event_json(line: &str) -> Option<Event> {
         "revive" => Event::Revive {
             at,
             pid: pid("pid")?,
+        },
+        "view_change" => Event::ViewChange {
+            at,
+            pid: pid("pid")?,
+            view_no: raw_field(line, "view")?.parse().ok()?,
+            coordinator: pid("coord")?,
+        },
+        "state_transfer" => Event::StateTransfer {
+            at,
+            from: pid("from")?,
+            to: pid("to")?,
+            view_no: raw_field(line, "view")?.parse().ok()?,
         },
         _ => return None,
     })
@@ -276,6 +308,18 @@ mod tests {
             Event::NvInactivate { at: 38, pid: 0 },
             Event::Leave { at: 600, pid: 1 },
             Event::Revive { at: 700, pid: 1 },
+            Event::ViewChange {
+                at: 710,
+                pid: 1,
+                view_no: 2,
+                coordinator: 1,
+            },
+            Event::StateTransfer {
+                at: 715,
+                from: 1,
+                to: 0,
+                view_no: 2,
+            },
         ];
         for e in events {
             let line = event_json(&e);

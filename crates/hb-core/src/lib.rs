@@ -67,6 +67,7 @@ pub mod responder;
 pub mod serial;
 pub mod trace;
 pub mod variant;
+pub mod view;
 
 pub use coordinator::{CoordSpec, CoordState};
 pub use describe::{DescribeMachine, MachineIr};
@@ -75,3 +76,4 @@ pub use msg::{Heartbeat, Pid, Status};
 pub use params::Params;
 pub use responder::{RespSpec, RespState};
 pub use variant::Variant;
+pub use view::{View, MAX_VIEW_MEMBERS};

@@ -79,6 +79,28 @@ pub enum Event {
         /// Revived process.
         pid: Pid,
     },
+    /// `pid` installed a membership view (hb-member layer).
+    ViewChange {
+        /// Time of occurrence.
+        at: u64,
+        /// Process installing the view.
+        pid: Pid,
+        /// Monotone view number.
+        view_no: u32,
+        /// Coordinator of the installed view.
+        coordinator: Pid,
+    },
+    /// Coordinator `from` shipped its current view to `to` (state transfer).
+    StateTransfer {
+        /// Time of occurrence.
+        at: u64,
+        /// The replying coordinator.
+        from: Pid,
+        /// The joiner (or demoted ex-coordinator) receiving the view.
+        to: Pid,
+        /// View number of the transferred view.
+        view_no: u32,
+    },
 }
 
 impl Event {
@@ -92,7 +114,9 @@ impl Event {
             | Event::Crash { at, .. }
             | Event::NvInactivate { at, .. }
             | Event::Leave { at, .. }
-            | Event::Revive { at, .. } => at,
+            | Event::Revive { at, .. }
+            | Event::ViewChange { at, .. }
+            | Event::StateTransfer { at, .. } => at,
         }
     }
 }
@@ -117,6 +141,28 @@ impl fmt::Display for Event {
             Event::Leave { at, pid } => write!(f, "t={at:>4}  p[{pid}] leaves the protocol"),
             Event::Revive { at, pid } => {
                 write!(f, "t={at:>4}  p[{pid}] revives with a fresh epoch")
+            }
+            Event::ViewChange {
+                at,
+                pid,
+                view_no,
+                coordinator,
+            } => {
+                write!(
+                    f,
+                    "t={at:>4}  p[{pid}] installs view {view_no} (coordinator p[{coordinator}])"
+                )
+            }
+            Event::StateTransfer {
+                at,
+                from,
+                to,
+                view_no,
+            } => {
+                write!(
+                    f,
+                    "t={at:>4}  p[{from}] transfers view {view_no} state to p[{to}]"
+                )
             }
         }
     }
@@ -167,7 +213,9 @@ impl EventLog {
                 | Event::Crash { pid: p, .. }
                 | Event::NvInactivate { pid: p, .. }
                 | Event::Leave { pid: p, .. }
-                | Event::Revive { pid: p, .. } => p == pid,
+                | Event::Revive { pid: p, .. }
+                | Event::ViewChange { pid: p, .. } => p == pid,
+                Event::StateTransfer { to, .. } => to == pid,
             })
             .collect()
     }
@@ -213,6 +261,10 @@ impl EventLog {
                 Event::NvInactivate { pid, .. } => mark(&mut cells, pid, "NV-INACTIVE"),
                 Event::Leave { pid, .. } => mark(&mut cells, pid, "leave"),
                 Event::Revive { pid, .. } => mark(&mut cells, pid, "REVIVE"),
+                Event::ViewChange { pid, view_no, .. } => {
+                    mark(&mut cells, pid, &format!("VIEW {view_no}"))
+                }
+                Event::StateTransfer { to, .. } => mark(&mut cells, to, "xfer view"),
             }
             out.push_str(&format!("  {:>4}  ", e.at()));
             for c in cells {
@@ -334,6 +386,31 @@ mod tests {
         let chart = log.render_chart(1);
         assert!(chart.contains("REVIVE"));
         assert!(log.to_string().contains("revives with a fresh epoch"));
+    }
+
+    #[test]
+    fn view_change_and_state_transfer_render() {
+        let mut log = EventLog::new();
+        log.push(Event::ViewChange {
+            at: 40,
+            pid: 1,
+            view_no: 1,
+            coordinator: 1,
+        });
+        log.push(Event::StateTransfer {
+            at: 44,
+            from: 1,
+            to: 0,
+            view_no: 1,
+        });
+        assert_eq!(log.of_process(1).len(), 1);
+        assert_eq!(log.of_process(0).len(), 1); // transfer filed under the receiver
+        let chart = log.render_chart(1);
+        assert!(chart.contains("VIEW 1"));
+        assert!(chart.contains("xfer view"));
+        let text = log.to_string();
+        assert!(text.contains("installs view 1 (coordinator p[1])"));
+        assert!(text.contains("transfers view 1 state to p[0]"));
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Membership views: a monotone view number layered on §7 epochs.
+//!
+//! A [`View`] names the group at an instant: which processes are members,
+//! which one coordinates, and the coordinator's per-member min-epoch bars
+//! (so a successor inherits the §7 stale-beat filter instead of starting
+//! blind). Views are totally ordered by [`View::supersedes`]: a higher
+//! view number wins, and a concurrent tie (two successors racing after a
+//! coordinator death) is broken towards the **lower** coordinator pid —
+//! the same deterministic successor rule that elects it. A process only
+//! ever replaces its view with a superseding one, so two partitions
+//! cannot both believe they "won" the same view number.
+//!
+//! The member list is a fixed-capacity sorted array ([`MAX_VIEW_MEMBERS`])
+//! rather than a `Vec`, keeping `View` — and the wire frames that carry
+//! it — `Copy` and allocation-free on the hot path.
+
+use crate::msg::Pid;
+
+/// Upper bound on the number of members a view (and the wire frame that
+/// carries it) can name. `11 + 3 * 16 = 59` bytes keeps a view frame
+/// under the 64-byte frame cap.
+pub const MAX_VIEW_MEMBERS: usize = 16;
+
+/// One membership view: the group composition at a point in logical time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct View {
+    /// Monotone view number; bumped by every install.
+    pub view_no: u32,
+    /// The coordinating member.
+    pub coordinator: Pid,
+    len: u8,
+    members: [u16; MAX_VIEW_MEMBERS],
+    epoch_bars: [u8; MAX_VIEW_MEMBERS],
+}
+
+impl View {
+    /// Build a view from `(pid, epoch_bar)` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than [`MAX_VIEW_MEMBERS`] entries, if the
+    /// pids are not strictly ascending (the canonical order), if a pid
+    /// exceeds the `u16` wire field, or if the coordinator is not a
+    /// member.
+    pub fn new(view_no: u32, coordinator: Pid, entries: &[(Pid, u8)]) -> Self {
+        assert!(
+            entries.len() <= MAX_VIEW_MEMBERS,
+            "a view holds at most {MAX_VIEW_MEMBERS} members"
+        );
+        assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "view members must be strictly ascending"
+        );
+        let mut members = [0u16; MAX_VIEW_MEMBERS];
+        let mut epoch_bars = [0u8; MAX_VIEW_MEMBERS];
+        for (i, &(pid, bar)) in entries.iter().enumerate() {
+            members[i] = u16::try_from(pid).expect("pid must fit the u16 wire field");
+            epoch_bars[i] = bar;
+        }
+        let v = View {
+            view_no,
+            coordinator,
+            len: entries.len() as u8,
+            members,
+            epoch_bars,
+        };
+        assert!(v.contains(coordinator), "coordinator must be a member");
+        v
+    }
+
+    /// The genesis view: processes `0..=n` with pid 0 coordinating and
+    /// all epoch bars at zero — exactly the static configuration the
+    /// plain protocol assumes.
+    pub fn genesis(n: usize) -> Self {
+        let entries: Vec<(Pid, u8)> = (0..=n).map(|p| (p, 0)).collect();
+        View::new(0, 0, &entries)
+    }
+
+    /// Number of members.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// The member pids, ascending.
+    pub fn members(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.members[..self.len()].iter().map(|&p| Pid::from(p))
+    }
+
+    /// `(pid, epoch_bar)` entries, ascending by pid.
+    pub fn entries(&self) -> impl Iterator<Item = (Pid, u8)> + '_ {
+        (0..self.len()).map(|i| (Pid::from(self.members[i]), self.epoch_bars[i]))
+    }
+
+    /// Whether `pid` is a member.
+    pub fn contains(&self, pid: Pid) -> bool {
+        self.members().any(|p| p == pid)
+    }
+
+    /// The epoch bar recorded for `pid`, if a member.
+    pub fn bar_of(&self, pid: Pid) -> Option<u8> {
+        self.entries().find(|&(p, _)| p == pid).map(|(_, b)| b)
+    }
+
+    /// The deterministic successor rule: the lowest-pid member other
+    /// than the current coordinator, if any.
+    pub fn successor(&self) -> Option<Pid> {
+        self.members().find(|&p| p != self.coordinator)
+    }
+
+    /// A member's rank in the succession order (0 = first successor).
+    pub fn succession_rank(&self, pid: Pid) -> Option<usize> {
+        self.members()
+            .filter(|&p| p != self.coordinator)
+            .position(|p| p == pid)
+    }
+
+    /// Total order on views: a higher view number supersedes; a tie goes
+    /// to the lower coordinator pid (the successor rule's own preference),
+    /// so two racing installs of the same number resolve identically at
+    /// every process.
+    pub fn supersedes(&self, other: &View) -> bool {
+        self.view_no > other.view_no
+            || (self.view_no == other.view_no && self.coordinator < other.coordinator)
+    }
+
+    /// Derive the next view with `dead` removed and `coordinator`
+    /// re-seated (the failover install). Epoch bars carry over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new coordinator is not a surviving member.
+    pub fn evict(&self, dead: Pid, coordinator: Pid) -> View {
+        let entries: Vec<(Pid, u8)> = self.entries().filter(|&(p, _)| p != dead).collect();
+        View::new(self.view_no + 1, coordinator, &entries)
+    }
+
+    /// Derive the next view with `joiner` admitted at `bar` (the join
+    /// install). Re-admitting an existing member just raises its bar.
+    pub fn admit(&self, joiner: Pid, bar: u8) -> View {
+        let mut entries: Vec<(Pid, u8)> = self.entries().filter(|&(p, _)| p != joiner).collect();
+        let at = entries.partition_point(|&(p, _)| p < joiner);
+        entries.insert(at, (joiner, bar));
+        View::new(self.view_no + 1, self.coordinator, &entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genesis_is_the_static_configuration() {
+        let v = View::genesis(3);
+        assert_eq!(v.view_no, 0);
+        assert_eq!(v.coordinator, 0);
+        assert_eq!(v.members().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert!(v.entries().all(|(_, b)| b == 0));
+    }
+
+    #[test]
+    fn supersedes_is_a_total_order_with_low_pid_tiebreak() {
+        let a = View::new(2, 1, &[(1, 0), (2, 0)]);
+        let b = View::new(2, 2, &[(2, 0), (3, 0)]);
+        let c = View::new(3, 2, &[(2, 0), (3, 0)]);
+        assert!(a.supersedes(&b), "same number: lower coordinator wins");
+        assert!(!b.supersedes(&a));
+        assert!(c.supersedes(&a), "higher number beats lower pid");
+        assert!(!a.supersedes(&a), "irreflexive");
+    }
+
+    #[test]
+    fn successor_rule_skips_the_coordinator() {
+        let v = View::genesis(3);
+        assert_eq!(v.successor(), Some(1));
+        assert_eq!(v.succession_rank(1), Some(0));
+        assert_eq!(v.succession_rank(3), Some(2));
+        assert_eq!(v.succession_rank(0), None, "the coordinator has no rank");
+        let failed_over = v.evict(0, 1);
+        assert_eq!(failed_over.view_no, 1);
+        assert_eq!(failed_over.coordinator, 1);
+        assert_eq!(failed_over.members().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn evict_preserves_epoch_bars() {
+        let v = View::new(0, 0, &[(0, 0), (1, 3), (2, 5)]);
+        let next = v.evict(0, 1);
+        assert_eq!(next.bar_of(1), Some(3));
+        assert_eq!(next.bar_of(2), Some(5));
+        assert_eq!(next.bar_of(0), None);
+    }
+
+    #[test]
+    fn admit_inserts_sorted_and_bumps_the_number() {
+        let v = View::new(1, 1, &[(1, 0), (3, 0)]);
+        let joined = v.admit(2, 4);
+        assert_eq!(joined.view_no, 2);
+        assert_eq!(joined.members().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(joined.bar_of(2), Some(4));
+        // Re-admitting a member raises its bar without duplicating it.
+        let readmit = joined.admit(3, 7);
+        assert_eq!(readmit.members().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(readmit.bar_of(3), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinator must be a member")]
+    fn coordinator_must_be_a_member() {
+        View::new(0, 9, &[(0, 0), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn members_must_be_sorted_and_unique() {
+        View::new(0, 1, &[(1, 0), (1, 0)]);
+    }
+}

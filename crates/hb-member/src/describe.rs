@@ -1,0 +1,450 @@
+//! Structural self-description of the view-change machine, for the
+//! `hb-analyze` static analyzer.
+//!
+//! [`MemberSpec::describe`] renders the membership layer as one
+//! [`MachineIr`] over the five [`RoleKind`](crate::RoleKind) control
+//! states. The shape deliberately mirrors the plain machines it
+//! subsumes — and inherits their §6 hazard: every time-triggered
+//! membership action (watchdog fire, takeover, round broadcast, the
+//! eviction view-change) races a receive whose evidence it would
+//! destroy, so below the §6.1 receive-priority fix the machine trips
+//! the timeout-vs-receive overlap lint exactly like the coordinator and
+//! responder do, and at `ReceivePriority`/`Full` the side condition
+//! ([`Atom::NoUrgentMessage`]) makes it clean. Wire-frame dispatch
+//! (beat / view-change / state-request / state-reply) is intended
+//! branching, marked with distinct `input` labels.
+//!
+//! Epoch discipline: under the §7 rejoin fix the machine carries its
+//! own incarnation tag (`epoch`) and the view's per-member bars
+//! (`bars`); every write is serial-order monotone (`RaiseToTag` on
+//! admission and registration, `BumpOnRevive` on restart), which the
+//! `epoch-monotonicity` lint checks.
+
+use hb_core::describe::{
+    Atom, DescribeMachine, EpochEffect, MachineIr, Role, Transition, Trigger, VarDecl, VarKind,
+};
+
+use crate::node::MemberSpec;
+
+impl DescribeMachine for MemberSpec {
+    fn describe(&self) -> MachineIr {
+        let rp = self.fix.receive_priority();
+        let rejoin = self.fix.epoch_rejoin();
+
+        let mut vars = vec![
+            VarDecl {
+                name: "status",
+                kind: VarKind::Local,
+            },
+            VarDecl {
+                name: "view",
+                kind: VarKind::Local,
+            },
+            VarDecl {
+                name: "waiting",
+                kind: VarKind::Timer,
+            },
+            VarDecl {
+                name: "fires",
+                kind: VarKind::Local,
+            },
+            VarDecl {
+                name: "t",
+                kind: VarKind::Local,
+            },
+            VarDecl {
+                name: "elapsed",
+                kind: VarKind::Timer,
+            },
+            VarDecl {
+                name: "rcvd",
+                kind: VarKind::Local,
+            },
+            VarDecl {
+                name: "joined",
+                kind: VarKind::Local,
+            },
+            VarDecl {
+                name: "epoch",
+                kind: VarKind::Epoch,
+            },
+        ];
+        if rejoin {
+            vars.push(VarDecl {
+                name: "bars",
+                kind: VarKind::Epoch,
+            });
+        }
+
+        // The §6.1 receive-priority side condition on timeout actions.
+        let time_guard = |mut g: Vec<Atom>| {
+            if rp {
+                g.push(Atom::NoUrgentMessage);
+            }
+            g
+        };
+
+        // -- participant ------------------------------------------------
+        // A coordinator beat resets the watchdog and the fire ledger.
+        let mut transitions = vec![Transition {
+            name: "deliver-beat",
+            from: "participant",
+            to: "participant",
+            trigger: Trigger::Receive,
+            input: Some("beat"),
+            guard: vec![Atom::Active, Atom::MessagePending, Atom::MessageFlag(true)],
+            reads: vec!["epoch"],
+            writes: vec!["waiting", "fires"],
+            consumes: true,
+            sends: vec!["to-coordinator"],
+            epoch_effect: EpochEffect::None,
+        }];
+        // The R1-style watchdog fires on coordinator silence; each fire
+        // advances the succession ledger.
+        transitions.push(Transition {
+            name: "watchdog-fire",
+            from: "participant",
+            to: "participant",
+            trigger: Trigger::Time,
+            input: None,
+            guard: time_guard(vec![Atom::Active, Atom::TimerAtBound("waiting")]),
+            reads: vec!["waiting", "fires"],
+            writes: vec!["waiting", "fires"],
+            consumes: false,
+            sends: vec![],
+            epoch_effect: EpochEffect::None,
+        });
+        // Enough fires for this rank: claim the seat, install and
+        // broadcast the superseding view.
+        transitions.push(Transition {
+            name: "takeover",
+            from: "participant",
+            to: "coordinator",
+            trigger: Trigger::Time,
+            input: None,
+            guard: time_guard(vec![Atom::Active, Atom::TimerAtBound("waiting")]),
+            reads: vec!["waiting", "fires", "view"],
+            writes: vec!["view", "waiting", "fires", "t", "elapsed", "rcvd"],
+            consumes: false,
+            sends: vec!["to-group"],
+            epoch_effect: EpochEffect::None,
+        });
+        // Same takeover with nobody else live: a singleton view probes
+        // the universe instead of coordinating it.
+        transitions.push(Transition {
+            name: "takeover-solo",
+            from: "participant",
+            to: "solo",
+            trigger: Trigger::Time,
+            input: None,
+            guard: time_guard(vec![Atom::Active, Atom::TimerAtBound("waiting")]),
+            reads: vec!["waiting", "fires", "view"],
+            writes: vec!["view", "elapsed"],
+            consumes: false,
+            sends: vec![],
+            epoch_effect: EpochEffect::None,
+        });
+        // A superseding view-change frame installs the new view.
+        transitions.push(Transition {
+            name: "install-view",
+            from: "participant",
+            to: "participant",
+            trigger: Trigger::Receive,
+            input: Some("view"),
+            guard: vec![Atom::Active, Atom::MessagePending],
+            reads: vec!["view"],
+            writes: vec!["view", "waiting", "fires"],
+            consumes: true,
+            sends: vec![],
+            epoch_effect: EpochEffect::None,
+        });
+
+        // -- coordinator ------------------------------------------------
+        // Round timeout, acceleration branch: halve and rebroadcast.
+        transitions.push(Transition {
+            name: "broadcast",
+            from: "coordinator",
+            to: "coordinator",
+            trigger: Trigger::Time,
+            input: None,
+            guard: time_guard(vec![
+                Atom::Active,
+                Atom::TimerAtBound("elapsed"),
+                Atom::AccelAboveFloor,
+            ]),
+            reads: vec!["t", "elapsed", "rcvd", "view"],
+            writes: vec!["t", "elapsed", "rcvd"],
+            consumes: false,
+            sends: vec!["to-group"],
+            epoch_effect: EpochEffect::None,
+        });
+        // Acceleration floor with a silent member: where the plain
+        // coordinator starves out (NV-inactivation), the membership
+        // coordinator *evicts* — the next view excludes the silent
+        // member and the group lives on.
+        transitions.push(Transition {
+            name: "evict",
+            from: "coordinator",
+            to: "coordinator",
+            trigger: Trigger::Time,
+            input: None,
+            guard: time_guard(vec![
+                Atom::Active,
+                Atom::TimerAtBound("elapsed"),
+                Atom::AccelAtFloor,
+            ]),
+            reads: vec!["t", "elapsed", "rcvd", "view"],
+            writes: vec!["view", "t", "elapsed", "rcvd"],
+            consumes: false,
+            sends: vec!["to-group"],
+            epoch_effect: EpochEffect::None,
+        });
+        // A member's reply registers liveness (behind the epoch bar
+        // under rejoin).
+        {
+            let mut guard = vec![Atom::Active, Atom::MessagePending, Atom::MessageFlag(true)];
+            let mut reads = vec![];
+            let mut writes = vec!["rcvd"];
+            if rejoin {
+                guard.push(Atom::EpochFresh);
+                reads.push("bars");
+                writes.push("bars");
+            }
+            transitions.push(Transition {
+                name: "register-beat",
+                from: "coordinator",
+                to: "coordinator",
+                trigger: Trigger::Receive,
+                input: Some("beat"),
+                guard,
+                reads,
+                writes,
+                consumes: true,
+                sends: vec![],
+                epoch_effect: if rejoin {
+                    EpochEffect::RaiseToTag
+                } else {
+                    EpochEffect::None
+                },
+            });
+        }
+        // A state request admits the joiner: next view includes it (its
+        // epoch as the min-epoch bar) and ships the full view back.
+        {
+            let mut reads = vec!["view"];
+            let mut writes = vec!["view"];
+            if rejoin {
+                reads.push("bars");
+                writes.push("bars");
+            }
+            transitions.push(Transition {
+                name: "admit",
+                from: "coordinator",
+                to: "coordinator",
+                trigger: Trigger::Receive,
+                input: Some("state-request"),
+                guard: vec![Atom::Active, Atom::MessagePending],
+                reads,
+                writes,
+                consumes: true,
+                sends: vec!["to-group"],
+                epoch_effect: if rejoin {
+                    EpochEffect::RaiseToTag
+                } else {
+                    EpochEffect::None
+                },
+            });
+        }
+        // A superseding view demotes the (merely slow, now deposed)
+        // coordinator back to participant — no split.
+        transitions.push(Transition {
+            name: "demote",
+            from: "coordinator",
+            to: "participant",
+            trigger: Trigger::Receive,
+            input: Some("view"),
+            guard: vec![Atom::Active, Atom::MessagePending],
+            reads: vec!["view"],
+            writes: vec!["view", "waiting", "fires"],
+            consumes: true,
+            sends: vec![],
+            epoch_effect: EpochEffect::None,
+        });
+
+        // -- solo -------------------------------------------------------
+        // A singleton view periodically probes the universe for a group
+        // to merge with (anti-entropy).
+        transitions.push(Transition {
+            name: "probe",
+            from: "solo",
+            to: "solo",
+            trigger: Trigger::Time,
+            input: None,
+            guard: time_guard(vec![Atom::Active, Atom::TimerAtBound("elapsed")]),
+            reads: vec!["elapsed", "view"],
+            writes: vec!["elapsed"],
+            consumes: false,
+            sends: vec!["to-group"],
+            epoch_effect: EpochEffect::None,
+        });
+        // A superseding view from anywhere merges the singleton back in.
+        transitions.push(Transition {
+            name: "merge",
+            from: "solo",
+            to: "participant",
+            trigger: Trigger::Receive,
+            input: Some("view"),
+            guard: vec![Atom::Active, Atom::MessagePending],
+            reads: vec!["view"],
+            writes: vec!["view", "waiting", "fires"],
+            consumes: true,
+            sends: vec![],
+            epoch_effect: EpochEffect::None,
+        });
+
+        // -- joiner -----------------------------------------------------
+        // Broadcast a state request every `tmax` until admitted.
+        transitions.push(Transition {
+            name: "request-state",
+            from: "joiner",
+            to: "joiner",
+            trigger: Trigger::Time,
+            input: None,
+            guard: vec![Atom::Active, Atom::NotJoined, Atom::TimerAtBound("elapsed")],
+            reads: vec!["elapsed", "epoch"],
+            writes: vec!["elapsed"],
+            consumes: false,
+            sends: vec!["to-group"],
+            epoch_effect: EpochEffect::None,
+        });
+        // The coordinator's state reply carries the full view; under
+        // rejoin the joiner only adopts a view whose bar matches its own
+        // incarnation.
+        {
+            let mut guard = vec![Atom::Active, Atom::NotJoined, Atom::MessagePending];
+            if rejoin {
+                guard.push(Atom::EpochMatches);
+            }
+            transitions.push(Transition {
+                name: "adopt-view",
+                from: "joiner",
+                to: "participant",
+                trigger: Trigger::Receive,
+                input: Some("state-reply"),
+                guard,
+                reads: vec!["epoch", "view"],
+                writes: vec!["view", "waiting", "fires", "joined"],
+                consumes: true,
+                sends: vec![],
+                epoch_effect: EpochEffect::None,
+            });
+        }
+
+        // -- faults and restart ----------------------------------------
+        for (name, from) in [
+            ("crash-participant", "participant"),
+            ("crash-coordinator", "coordinator"),
+            ("crash-solo", "solo"),
+            ("crash-joiner", "joiner"),
+        ] {
+            transitions.push(Transition {
+                name,
+                from,
+                to: "down",
+                trigger: Trigger::Fault,
+                input: None,
+                guard: vec![Atom::Active],
+                reads: vec![],
+                writes: vec!["status"],
+                consumes: false,
+                sends: vec![],
+                epoch_effect: EpochEffect::None,
+            });
+        }
+        // Restart: the next incarnation rejoins via state transfer.
+        transitions.push(Transition {
+            name: "revive",
+            from: "down",
+            to: "joiner",
+            trigger: Trigger::Internal,
+            input: None,
+            guard: vec![],
+            reads: vec!["epoch"],
+            writes: vec!["status", "view", "waiting", "fires", "joined", "epoch"],
+            consumes: false,
+            sends: vec![],
+            epoch_effect: EpochEffect::BumpOnRevive,
+        });
+
+        MachineIr {
+            role: Role::Member,
+            variant: self.variant,
+            fix: self.fix,
+            states: vec!["participant", "coordinator", "solo", "joiner", "down"],
+            initial: "participant",
+            vars,
+            transitions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_core::describe::satisfiable;
+    use hb_core::{FixLevel, Params, Variant};
+
+    fn ir(fix: FixLevel) -> MachineIr {
+        MemberSpec::new(Variant::Dynamic, Params::new(1, 10).unwrap(), fix).describe()
+    }
+
+    #[test]
+    fn the_member_ir_is_well_formed() {
+        for fix in FixLevel::ALL {
+            let ir = ir(fix);
+            assert_eq!(ir.name(), format!("member/dynamic/{}", fix.name()));
+            assert!(ir.states.contains(&ir.initial));
+            let mut names = std::collections::HashSet::new();
+            for t in &ir.transitions {
+                assert!(ir.states.contains(&t.from), "{}", t.name);
+                assert!(ir.states.contains(&t.to), "{}", t.name);
+                assert!(names.insert(t.name), "dup {}", t.name);
+                assert!(satisfiable(&t.guard), "{}", t.name);
+                for v in t.reads.iter().chain(&t.writes) {
+                    assert!(
+                        v == &"status" || ir.var_kind(v).is_some(),
+                        "{} references undeclared {v}",
+                        t.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timeouts_carry_the_side_condition_exactly_at_receive_priority() {
+        for fix in FixLevel::ALL {
+            let ir = ir(fix);
+            for t in ir
+                .transitions
+                .iter()
+                .filter(|t| t.trigger == Trigger::Time && t.name != "request-state")
+            {
+                assert_eq!(
+                    t.guard.contains(&Atom::NoUrgentMessage),
+                    fix.receive_priority(),
+                    "{}/{}",
+                    ir.name(),
+                    t.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_vars_appear_only_under_rejoin() {
+        use hb_core::describe::VarKind;
+        assert!(ir(FixLevel::Full).var_kind("bars") == Some(VarKind::Epoch));
+        assert!(ir(FixLevel::CorrectedBounds).var_kind("bars").is_none());
+    }
+}

@@ -1,0 +1,435 @@
+//! The substrate-independent membership harness.
+//!
+//! Both the simulated and the live runs of a membership group execute
+//! this one engine; only the [`Mesh`] underneath differs. The engine
+//! owns everything that could diverge between substrates — the order in
+//! which nodes fire, the order in which frames are routed, the
+//! [`Event`] emission for transport observability, the fault schedule,
+//! and the re-convergence bookkeeping — so the sim and the live harness
+//! produce byte-identical event streams by construction (pinned by
+//! `tests/membership_live.rs`).
+//!
+//! Per tick the engine (1) applies due schedule faults, (2) releases
+//! fault-delayed frames, (3) runs delivery and machine firings to a
+//! fixpoint, (4) resolves pending re-convergence samples, and (5) ticks
+//! every node.
+
+use hb_core::events::{EventSink, SharedTap};
+use hb_core::trace::{Event, EventLog};
+use hb_core::{Pid, View};
+use hb_net::loopback::NetStats;
+use hb_net::wire::Frame;
+use hb_sim::channel::{FaultHook, LossModel, SendFate};
+
+use crate::node::{MemberNode, MemberSpec, Outbound, RoleKind};
+
+/// What carries frames between member nodes: the engine's only
+/// substrate-dependent seam.
+///
+/// Implementations must consume fault randomness identically (one loss
+/// draw plus one uniform in-budget delay draw per in-band frame, in send
+/// order) — that is what keeps sim and live event streams byte-equal.
+pub trait Mesh {
+    /// Queue `frame` (whose source is `frame.src()`) for `dst`.
+    fn send(&mut self, now: u64, dst: Pid, frame: &Frame, budget: u32);
+
+    /// Take the earliest frame deliverable to `dst` at `now`, with the
+    /// round-trip budget it has left.
+    fn recv_due(&mut self, now: u64, dst: Pid) -> Option<(Frame, u32)>;
+
+    /// Whether anything is deliverable anywhere at `now`.
+    fn any_due(&self, now: u64) -> bool;
+
+    /// Beat counters so far.
+    fn stats(&self) -> NetStats;
+}
+
+/// A scheduled process fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemberFault {
+    /// Tick at which the fault strikes.
+    pub at: u64,
+    /// What happens.
+    pub kind: FaultKind,
+    /// The afflicted process.
+    pub pid: Pid,
+}
+
+/// The process-fault alphabet of a membership run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The process crashes silently.
+    Crash,
+    /// A crashed process restarts with a fresh §7 epoch and rejoins via
+    /// state transfer.
+    Revive,
+}
+
+/// Everything a membership run needs.
+#[derive(Clone, Debug)]
+pub struct MemberConfig {
+    /// Protocol cell.
+    pub spec: MemberSpec,
+    /// Genesis group size (pids `0..group`, pid 0 coordinating).
+    pub group: usize,
+    /// Seed for the mesh's loss/delay randomness.
+    pub seed: u64,
+    /// Run length in ticks.
+    pub duration: u64,
+    /// The mesh's loss model (ignored by the mesh when a fault hook owns
+    /// the drops — the chaos pipeline case).
+    pub loss: LossModel,
+    /// Process faults, applied in order at their ticks.
+    pub faults: Vec<MemberFault>,
+}
+
+impl MemberConfig {
+    /// A fault-free lossless run.
+    pub fn clean(spec: MemberSpec, group: usize, seed: u64, duration: u64) -> Self {
+        MemberConfig {
+            spec,
+            group,
+            seed,
+            duration,
+            loss: LossModel::Bernoulli(0.0),
+            faults: Vec::new(),
+        }
+    }
+}
+
+/// Two-sided re-convergence measurement for one fault: how long the
+/// group took to *detect* the change and how long until the membership
+/// was *stable* again.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReconvSample {
+    /// The fault measured.
+    pub kind: FaultKind,
+    /// The afflicted process.
+    pub pid: Pid,
+    /// When it struck.
+    pub at: u64,
+    /// Crash: first tick a surviving node installed a view excluding the
+    /// victim. Revive: first tick any node's view registered the new
+    /// incarnation. `None` if never within the run.
+    pub detect: Option<u64>,
+    /// Crash: first tick *every* up node's view excluded the victim.
+    /// Revive: first tick the revived node itself was back in its own
+    /// installed view. `None` if never within the run.
+    pub stable: Option<u64>,
+}
+
+/// A pending sample plus the evidence needed to resolve it.
+struct PendingSample {
+    sample: ReconvSample,
+    /// Crash: each node's view number when the fault struck (detection
+    /// is a *new* view that excludes the victim).
+    view_nos: Vec<u32>,
+    /// Revive: the fresh incarnation's epoch.
+    epoch: u8,
+}
+
+/// The outcome of a membership run.
+#[derive(Debug)]
+pub struct MemberReport {
+    /// The full event stream (sorted by construction: emitted in tick
+    /// order).
+    pub events: EventLog,
+    /// Each process's final view.
+    pub views: Vec<View>,
+    /// Each process's final role.
+    pub roles: Vec<RoleKind>,
+    /// Beat counters from the mesh.
+    pub stats: NetStats,
+    /// One two-sided sample per scheduled fault, in schedule order.
+    pub reconv: Vec<ReconvSample>,
+}
+
+impl MemberReport {
+    /// Whether every up node agrees on one view (same number, same
+    /// coordinator, same members).
+    pub fn agreed(&self) -> bool {
+        let mut up = self
+            .roles
+            .iter()
+            .zip(&self.views)
+            .filter(|(r, _)| **r != RoleKind::Down)
+            .map(|(_, v)| v);
+        match up.next() {
+            Some(first) => up.all(|v| v == first),
+            None => true,
+        }
+    }
+}
+
+/// The engine: nodes + mesh + schedule, stepped tick by tick.
+pub struct Engine<M: Mesh> {
+    cfg: MemberConfig,
+    nodes: Vec<MemberNode>,
+    mesh: M,
+    sink: EventSink,
+    hook: Option<Box<dyn FaultHook>>,
+    /// Frames a fault hook delayed beyond the mesh: `(release_at, dst,
+    /// frame, budget)`, released in push order.
+    holdback: Vec<(u64, Pid, Frame, u32)>,
+    pending: Vec<PendingSample>,
+    next_fault: usize,
+    now: u64,
+}
+
+impl<M: Mesh> Engine<M> {
+    /// An engine over `mesh`. `hook` (the chaos pipeline) decides
+    /// message fates on top of the mesh; `taps` receive every event live
+    /// (hb-monitor's seam).
+    pub fn new(
+        cfg: MemberConfig,
+        mesh: M,
+        hook: Option<Box<dyn FaultHook>>,
+        taps: Vec<SharedTap>,
+    ) -> Self {
+        let nodes = (0..cfg.group)
+            .map(|pid| MemberNode::new(cfg.spec, pid, cfg.group))
+            .collect();
+        let mut sink = EventSink::memory();
+        for tap in taps {
+            sink.attach_tap(tap);
+        }
+        Engine {
+            cfg,
+            nodes,
+            mesh,
+            sink,
+            hook,
+            holdback: Vec::new(),
+            pending: Vec::new(),
+            next_fault: 0,
+            now: 0,
+        }
+    }
+
+    /// Run to the configured duration and report.
+    pub fn run(mut self) -> MemberReport {
+        for node in &mut self.nodes {
+            node.start(&mut self.sink);
+        }
+        while self.now < self.cfg.duration {
+            self.step();
+        }
+        MemberReport {
+            events: self.sink.take_log(),
+            views: self.nodes.iter().map(MemberNode::view).collect(),
+            roles: self.nodes.iter().map(MemberNode::role_kind).collect(),
+            stats: self.mesh.stats(),
+            reconv: self.pending.into_iter().map(|p| p.sample).collect(),
+        }
+    }
+
+    fn step(&mut self) {
+        self.apply_faults();
+        self.release_holdbacks();
+        self.fixpoint();
+        self.resolve_reconv();
+        for node in &mut self.nodes {
+            node.tick();
+        }
+        self.now += 1;
+    }
+
+    /// Apply every scheduled fault due now, in schedule order.
+    fn apply_faults(&mut self) {
+        while self.next_fault < self.cfg.faults.len()
+            && self.cfg.faults[self.next_fault].at <= self.now
+        {
+            let f = self.cfg.faults[self.next_fault];
+            self.next_fault += 1;
+            match f.kind {
+                FaultKind::Crash => {
+                    self.nodes[f.pid].crash(self.now, &mut self.sink);
+                    let view_nos = self.nodes.iter().map(|n| n.view().view_no).collect();
+                    self.pending.push(PendingSample {
+                        sample: ReconvSample {
+                            kind: f.kind,
+                            pid: f.pid,
+                            at: self.now,
+                            detect: None,
+                            stable: None,
+                        },
+                        view_nos,
+                        epoch: 0,
+                    });
+                }
+                FaultKind::Revive => {
+                    let mut out = Vec::new();
+                    self.nodes[f.pid].revive(self.now, &mut self.sink, &mut out);
+                    let epoch = self.nodes[f.pid].epoch();
+                    self.route(out);
+                    self.pending.push(PendingSample {
+                        sample: ReconvSample {
+                            kind: f.kind,
+                            pid: f.pid,
+                            at: self.now,
+                            detect: None,
+                            stable: None,
+                        },
+                        view_nos: Vec::new(),
+                        epoch,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Release hook-delayed frames whose time has come, in push order.
+    fn release_holdbacks(&mut self) {
+        let now = self.now;
+        let mut due = Vec::new();
+        self.holdback.retain(|&(at, dst, frame, budget)| {
+            if at <= now {
+                due.push((dst, frame, budget));
+                false
+            } else {
+                true
+            }
+        });
+        for (dst, frame, budget) in due {
+            self.mesh.send(now, dst, &frame, budget);
+        }
+    }
+
+    /// Deliver and fire until nothing more can happen at this tick.
+    /// Frames to crashed processes are still delivered (and ignored by
+    /// the node) — the paper's crash model loses the process, not the
+    /// channel.
+    fn fixpoint(&mut self) {
+        loop {
+            let mut progress = false;
+            for pid in 0..self.cfg.group {
+                while let Some((frame, budget)) = self.mesh.recv_due(self.now, pid) {
+                    progress = true;
+                    if let Frame::Beat { src, hb } = frame {
+                        self.sink.emit(&Event::Deliver {
+                            at: self.now,
+                            from: src,
+                            to: pid,
+                            hb,
+                        });
+                    }
+                    let mut out = Vec::new();
+                    self.nodes[pid].on_frame(self.now, frame, budget, &mut self.sink, &mut out);
+                    self.route(out);
+                }
+            }
+            for pid in 0..self.cfg.group {
+                while self.nodes[pid].urgent() {
+                    progress = true;
+                    let mut out = Vec::new();
+                    self.nodes[pid].fire(self.now, &mut self.sink, &mut out);
+                    self.route(out);
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    /// Pass outbound frames through the fault hook and into the mesh,
+    /// emitting the transport events for beats.
+    fn route(&mut self, out: Vec<Outbound>) {
+        for (dst, frame, budget) in out {
+            let src = frame.src();
+            if let Frame::Beat { hb, .. } = frame {
+                self.sink.emit(&Event::Send {
+                    at: self.now,
+                    from: src,
+                    to: dst,
+                    hb,
+                });
+            }
+            let fate = match &mut self.hook {
+                Some(h) => h.fate(self.now, src, dst),
+                None => SendFate::clean(),
+            };
+            match fate {
+                SendFate::Drop => {
+                    if matches!(frame, Frame::Beat { .. }) {
+                        self.sink.emit(&Event::Lose {
+                            at: self.now,
+                            from: src,
+                            to: dst,
+                        });
+                    }
+                }
+                SendFate::Deliver {
+                    copies,
+                    extra_delay,
+                } => {
+                    for _ in 0..copies {
+                        if extra_delay == 0 {
+                            self.mesh.send(self.now, dst, &frame, budget);
+                        } else {
+                            self.holdback.push((
+                                self.now + u64::from(extra_delay),
+                                dst,
+                                frame,
+                                budget,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Check every unresolved sample against the nodes' current views.
+    fn resolve_reconv(&mut self) {
+        let now = self.now;
+        let nodes = &self.nodes;
+        for p in &mut self.pending {
+            let victim = p.sample.pid;
+            match p.sample.kind {
+                FaultKind::Crash => {
+                    if p.sample.detect.is_none() {
+                        let detected = nodes.iter().enumerate().any(|(i, n)| {
+                            i != victim
+                                && n.is_up()
+                                && n.view().view_no > p.view_nos[i]
+                                && !n.view().contains(victim)
+                        });
+                        if detected {
+                            p.sample.detect = Some(now);
+                        }
+                    }
+                    if p.sample.detect.is_some() && p.sample.stable.is_none() {
+                        let stable = nodes
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, n)| i != victim && n.is_up())
+                            .all(|(_, n)| !n.view().contains(victim));
+                        if stable {
+                            p.sample.stable = Some(now);
+                        }
+                    }
+                }
+                FaultKind::Revive => {
+                    if p.sample.detect.is_none() {
+                        let detected = nodes.iter().enumerate().any(|(i, n)| {
+                            i != victim && n.is_up() && n.view().bar_of(victim) == Some(p.epoch)
+                        });
+                        if detected {
+                            p.sample.detect = Some(now);
+                        }
+                    }
+                    if p.sample.stable.is_none() {
+                        let me = &nodes[victim];
+                        if me.is_up()
+                            && me.role_kind() != RoleKind::Joiner
+                            && me.view().bar_of(victim) == Some(p.epoch)
+                        {
+                            p.sample.stable = Some(now);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

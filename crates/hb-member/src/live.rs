@@ -1,0 +1,69 @@
+//! The live mesh: the membership engine over the real `hb-net` loopback
+//! transport.
+//!
+//! [`LiveMesh`] adapts a [`LoopbackNet`] and its per-pid endpoints to
+//! the engine's [`Mesh`] seam. The loopback net draws its loss and
+//! delay randomness in the same order [`SimMesh`](crate::sim::SimMesh)
+//! does (it is the reference `SimMesh` replicates), so the same seed
+//! yields byte-identical event streams across the two substrates.
+//!
+//! Unlike the plain live runtime there is no injector endpoint: process
+//! faults are the engine's hand, applied directly to the nodes.
+
+use hb_core::events::SharedTap;
+use hb_core::Pid;
+use hb_net::loopback::{Faults, LoopbackEndpoint, LoopbackNet, NetStats};
+use hb_net::transport::Transport;
+use hb_net::wire::Frame;
+use hb_sim::channel::FaultHook;
+
+use crate::engine::{Engine, MemberConfig, MemberReport, Mesh};
+
+/// The live substrate (see module docs).
+pub struct LiveMesh {
+    net: LoopbackNet,
+    endpoints: Vec<LoopbackEndpoint>,
+}
+
+impl LiveMesh {
+    /// A loopback network for pids `0..group`.
+    pub fn new(group: usize, faults: Faults, seed: u64) -> Self {
+        let net = LoopbackNet::new(group, faults, seed);
+        let endpoints = (0..group).map(|pid| net.endpoint(pid)).collect();
+        LiveMesh { net, endpoints }
+    }
+}
+
+impl Mesh for LiveMesh {
+    fn send(&mut self, now: u64, dst: Pid, frame: &Frame, budget: u32) {
+        let src = frame.src();
+        self.endpoints[src]
+            .send(now, dst, frame, budget)
+            .expect("loopback send to a known endpoint");
+    }
+
+    fn recv_due(&mut self, now: u64, dst: Pid) -> Option<(Frame, u32)> {
+        self.endpoints[dst]
+            .try_recv(now)
+            .expect("loopback recv")
+            .map(|r| (r.frame, r.reply_budget))
+    }
+
+    fn any_due(&self, now: u64) -> bool {
+        self.net.any_deliverable(now)
+    }
+
+    fn stats(&self) -> NetStats {
+        self.net.stats()
+    }
+}
+
+/// Run a membership group on the live loopback substrate.
+pub fn run_live(
+    cfg: MemberConfig,
+    hook: Option<Box<dyn FaultHook>>,
+    taps: Vec<SharedTap>,
+) -> MemberReport {
+    let mesh = LiveMesh::new(cfg.group, Faults { loss: cfg.loss }, cfg.seed);
+    Engine::new(cfg, mesh, hook, taps).run()
+}

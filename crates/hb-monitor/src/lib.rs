@@ -201,6 +201,12 @@ impl MonitorSet {
                 self.resp_active[pid - 1] = false;
             }
             Event::Revive { pid, .. } if pid >= 1 => self.resp_active[pid - 1] = true,
+            // A membership view coordinated by someone other than pid 0
+            // retires R1: the monitored coordinator no longer owes anyone
+            // acceleration, the group has failed over (hb-member layer).
+            Event::ViewChange { coordinator, .. } if coordinator != 0 => {
+                self.coord_active = false;
+            }
             Event::Lose { .. } => self.any_fault = true,
             _ => {}
         }
@@ -321,6 +327,53 @@ mod tests {
             21,
         );
         assert!(v.clean());
+    }
+
+    #[test]
+    fn a_failover_view_change_retires_r1() {
+        // hb-member failover stream: the coordinator crashes, pid 1 takes
+        // over and installs view 1, and the other participants go silent
+        // toward pid 0 forever after. R1 must not fire — nobody owes the
+        // dead coordinator beats once the group has failed over.
+        let v = replay(
+            Variant::Dynamic,
+            params(),
+            FixLevel::Full,
+            3,
+            &[
+                beat(5, 1),
+                beat(5, 2),
+                beat(5, 3),
+                Event::ViewChange {
+                    at: 20,
+                    pid: 1,
+                    view_no: 1,
+                    coordinator: 1,
+                },
+            ],
+            2_000,
+        );
+        assert!(v.clean(), "{v:?}");
+        // A view still coordinated by pid 0 keeps the obligation alive.
+        let v = replay(
+            Variant::Dynamic,
+            params(),
+            FixLevel::Full,
+            3,
+            &[
+                beat(5, 1),
+                beat(5, 2),
+                beat(5, 3),
+                Event::ViewChange {
+                    at: 20,
+                    pid: 0,
+                    view_no: 1,
+                    coordinator: 0,
+                },
+            ],
+            2_000,
+        );
+        assert!(v.r1.is_some(), "pid-0 view keeps R1 armed: {v:?}");
     }
 
     #[test]

@@ -65,10 +65,13 @@ pub struct VirtualCluster {
     nv_inactivations: Vec<(Pid, Time)>,
     leaves: Vec<(Pid, Time)>,
     revives: Vec<(Pid, Time)>,
-    /// Revived participants the coordinator has not yet re-registered:
-    /// `(pid, epoch, revived_at)`.
-    pending_reconv: Vec<(Pid, u8, Time)>,
-    reconv_delays: Vec<(Pid, Time)>,
+    /// Revived participants still re-converging: `(pid, epoch,
+    /// revived_at, detected_at)`. Detection = the coordinator registered
+    /// the fresh epoch; stability = the revived node is an active,
+    /// joined member again.
+    pending_reconv: Vec<(Pid, u8, Time, Option<Time>)>,
+    reconv_detects: Vec<(Pid, Time)>,
+    reconv_stables: Vec<(Pid, Time)>,
     all_inactive_at: Option<Time>,
     /// A live event tap (e.g. a streaming monitor) attached to every
     /// node, including late joiners.
@@ -101,7 +104,8 @@ impl VirtualCluster {
             leaves: Vec::new(),
             revives: Vec::new(),
             pending_reconv: Vec::new(),
-            reconv_delays: Vec::new(),
+            reconv_detects: Vec::new(),
+            reconv_stables: Vec::new(),
             all_inactive_at: None,
             tap: None,
             cfg,
@@ -238,7 +242,7 @@ impl VirtualCluster {
                         // Crashed -> Active is only reachable via revive.
                         if prev.map(|(s, _)| s) == Some(Status::Crashed) {
                             self.revives.push((pid, now));
-                            self.pending_reconv.push((pid, node.epoch(), now));
+                            self.pending_reconv.push((pid, node.epoch(), now, None));
                             self.all_inactive_at = None;
                         }
                     }
@@ -249,21 +253,30 @@ impl VirtualCluster {
             }
             self.statuses[pid] = Some(cur);
         }
-        if let Some(coord) = self.nodes[0].as_ref() {
-            let resolved: Vec<(Pid, u8, Time)> = self
-                .pending_reconv
-                .iter()
-                .copied()
-                .filter(|&(pid, epoch, _)| {
+        let mut i = 0;
+        while i < self.pending_reconv.len() {
+            let (pid, epoch, t0, detected) = self.pending_reconv[i];
+            let mut detected = detected;
+            if detected.is_none()
+                && self.nodes[0].as_ref().is_some_and(|coord| {
                     coord
                         .registered_epoch(pid)
                         .is_some_and(|bar| hb_core::serial::serial_ge(bar, epoch))
                 })
-                .collect();
-            for (pid, epoch, t0) in resolved {
-                self.pending_reconv
-                    .retain(|&(p, e, _)| (p, e) != (pid, epoch));
-                self.reconv_delays.push((pid, now - t0));
+            {
+                detected = Some(now);
+                self.reconv_detects.push((pid, now - t0));
+            }
+            let stable = detected.is_some()
+                && self.nodes[pid].as_ref().is_some_and(|n| {
+                    n.status() == Status::Active && n.joined() && n.epoch() == epoch
+                });
+            if stable {
+                self.reconv_stables.push((pid, now - t0));
+                self.pending_reconv.remove(i);
+            } else {
+                self.pending_reconv[i].3 = detected;
+                i += 1;
             }
         }
     }
@@ -306,7 +319,8 @@ impl VirtualCluster {
             nv_inactivations: self.nv_inactivations,
             leaves: self.leaves,
             revives: self.revives,
-            reconvergence_delay: self.reconv_delays.iter().map(|&(_, d)| d).max(),
+            reconv_detect: self.reconv_detects.iter().map(|&(_, d)| d).max(),
+            reconv_stable: self.reconv_stables.iter().map(|&(_, d)| d).max(),
             stale_beats_admitted: stale_admitted,
             stale_beats_filtered: stale_filtered,
             detection_delay,
@@ -403,9 +417,14 @@ mod tests {
         cl.run_until(2_000);
         let r = cl.into_report();
         assert_eq!(r.summary.revives, vec![(1, 104)]);
-        let reconv = r.summary.reconvergence_delay.expect("must re-register");
+        let detect = r.summary.reconv_detect.expect("must re-register");
         // Re-registration takes at most one join-send period plus delivery.
-        assert!(reconv <= 16, "reconvergence took {reconv}");
+        assert!(detect <= 16, "detection took {detect}");
+        // Expanding has a join phase: the handshake completes (stable)
+        // only when the next beat echoes the fresh epoch back.
+        let stable = r.summary.reconv_stable.expect("must re-join");
+        assert!(stable >= detect, "stable {stable} before detect {detect}");
+        assert!(stable <= detect + 16, "stabilisation took {stable}");
         assert_eq!(r.summary.final_status, vec![Status::Active, Status::Active]);
         assert!(r.summary.nv_inactivations.is_empty());
         assert_eq!(r.nodes[1].counters.revives, 1);

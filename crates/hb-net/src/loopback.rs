@@ -223,6 +223,21 @@ impl Transport for LoopbackEndpoint {
                     budget_left: budget - delay,
                 });
             }
+            Frame::ViewChange { .. } | Frame::StateRequest { .. } | Frame::StateReply { .. } => {
+                // Membership traffic rides the same in-band channel as
+                // beats (delayed, droppable) but stays out of the beat
+                // stats — overhead comparisons against the paper's
+                // message counts must not be skewed by the member layer.
+                if st.drops_now() {
+                    return Ok(());
+                }
+                let delay = st.rng.gen_range(0..=budget);
+                st.queues[dst].push(Stored {
+                    deliver_at: now + Time::from(delay),
+                    frame: *frame,
+                    budget_left: budget.saturating_sub(delay),
+                });
+            }
         }
         drop(st);
         self.inner.arrived.notify_all();

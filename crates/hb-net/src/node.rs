@@ -183,6 +183,15 @@ impl<T: Transport> NodeRuntime<T> {
         }
     }
 
+    /// Whether a participant has (observed that it has) joined the
+    /// round; the coordinator counts as always joined.
+    pub fn joined(&self) -> bool {
+        match &self.role {
+            Role::Coordinator { .. } => true,
+            Role::Participant { state, .. } => state.joined,
+        }
+    }
+
     /// The epoch the coordinator has registered for participant `pid`
     /// (`None` on participants or out-of-range pids).
     pub fn registered_epoch(&self, pid: Pid) -> Option<u8> {
@@ -417,6 +426,11 @@ impl<T: Transport> NodeRuntime<T> {
                     }
                     Command::Shutdown => self.shutdown = true,
                 }
+            }
+            Frame::ViewChange { .. } | Frame::StateRequest { .. } | Frame::StateReply { .. } => {
+                // Membership frames are the hb-member runtime's business;
+                // the plain failure-detector runtime ignores them rather
+                // than erroring, so mixed clusters can coexist.
             }
         }
         Ok(())

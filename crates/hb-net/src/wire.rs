@@ -1,48 +1,73 @@
 //! The length-prefixed wire format for heartbeat frames.
 //!
-//! Every frame is encoded as
+//! Every frame starts with a `len` prefix (u16 LE, counting everything
+//! after the two length bytes), a version byte and a kind byte; the rest
+//! of the body depends on the kind:
 //!
 //! ```text
-//! +--------+---------+------+----------+---------+-------+
+//! beat / control (6 bytes):
+//! +---------+---------+------+----------+---------+-------+
 //! | len u16 | version | kind | src u16  | payload | epoch |
-//! |  (LE)   |  (= 2)  | u8   |  (LE)    |  u8     |  u8   |
-//! +--------+---------+------+----------+---------+-------+
+//! |  (LE)   |  (= 3)  | u8   |  (LE)    |  u8     |  u8   |
+//! +---------+---------+------+----------+---------+-------+
+//!
+//! view / state-reply (11 + 3·count bytes):
+//! +---------+---------+------+---------+-------------+-----------+-------+------------------------+
+//! | len u16 | version | kind | src u16 | view_no u32 | coord u16 | count | (pid u16, bar u8) × n  |
+//! +---------+---------+------+---------+-------------+-----------+-------+------------------------+
+//!
+//! state-request (9 bytes):
+//! +---------+---------+------+---------+-------+-------------+
+//! | len u16 | version | kind | src u16 | epoch | view_no u32 |
+//! +---------+---------+------+---------+-------+-------------+
 //! ```
 //!
-//! where `len` counts everything after the two length bytes. Version 2
-//! appended the epoch byte for the §7 rejoin protocol; version-1 frames
-//! (no epoch) are rejected with [`DecodeError::Version`] rather than
-//! misparsed — the version byte is checked before anything else in the
-//! body. The same
-//! encoding is used for UDP datagrams (exactly one frame per datagram) and
-//! would frame a byte stream unchanged; [`Frame::decode`] returns the
-//! number of bytes consumed for that purpose.
+//! Version 2 appended the epoch byte for the §7 rejoin protocol; version
+//! 3 added the membership kinds (view change, state request, state reply)
+//! for the `hb-member` layer. Version-1 and version-2 frames are rejected
+//! with [`DecodeError::Version`] rather than misparsed — the version byte
+//! is checked before anything else in the body. The same encoding is used
+//! for UDP datagrams (exactly one frame per datagram) and would frame a
+//! byte stream unchanged; [`Frame::decode`] returns the number of bytes
+//! consumed for that purpose.
 //!
 //! Decoding is total: any byte sequence produces either a frame or a
 //! [`DecodeError`] — never a panic and never an out-of-bounds read. Frames
 //! claiming more than [`MAX_FRAME`] bytes are rejected before any
 //! allocation, so a hostile peer cannot make a receiver buffer unbounded
-//! data.
+//! data. View frames are canonical: members strictly ascending, count
+//! within [`MAX_VIEW_MEMBERS`](hb_core::MAX_VIEW_MEMBERS), coordinator a
+//! member — one frame, one byte string.
 
 use std::fmt;
 
+use hb_core::view::{View, MAX_VIEW_MEMBERS};
 use hb_core::{Heartbeat, Pid};
 
 /// Current wire-format version, carried in every frame. Version 2 added
-/// the trailing epoch byte.
-pub const WIRE_VERSION: u8 = 2;
+/// the trailing epoch byte; version 3 the membership kinds.
+pub const WIRE_VERSION: u8 = 3;
 
-/// Upper bound on the `len` field. Real frames are 6 bytes; the cap
-/// leaves room for future kinds while bounding what a decoder will
-/// accept.
+/// Upper bound on the `len` field. Beat frames are 6 bytes and a
+/// full-capacity view frame is `11 + 3·16 = 59`; the cap bounds what a
+/// decoder will accept.
 pub const MAX_FRAME: usize = 64;
 
 const KIND_BEAT: u8 = 0;
 const KIND_CONTROL: u8 = 1;
+const KIND_VIEW: u8 = 2;
+const KIND_STATE_REQ: u8 = 3;
+const KIND_STATE_REPLY: u8 = 4;
 
-/// Byte length of the body (everything after the length prefix) of every
-/// currently defined frame kind.
+/// Byte length of the body (everything after the length prefix) of a
+/// beat or control frame.
 const BODY_LEN: usize = 6;
+/// Body length of a state-request frame.
+const STATE_REQ_LEN: usize = 9;
+/// Body length of a view / state-reply frame naming `count` members.
+const fn view_len(count: usize) -> usize {
+    11 + 3 * count
+}
 
 /// Out-of-band commands for fault injection and lifecycle control.
 ///
@@ -91,6 +116,31 @@ pub enum Frame {
         /// The command.
         cmd: Command,
     },
+    /// A membership view announcement (install or re-assert) from `src`.
+    ViewChange {
+        /// Announcing process (the view's coordinator, normally).
+        src: Pid,
+        /// The view being announced.
+        view: View,
+    },
+    /// A joiner (or demoted ex-coordinator) asking the coordinator for
+    /// the current view.
+    StateRequest {
+        /// Requesting process.
+        src: Pid,
+        /// The requester's incarnation epoch (becomes its bar on admit).
+        epoch: u8,
+        /// The requester's last known view number, so a coordinator can
+        /// tell a cold joiner from a stale straggler.
+        view_no: u32,
+    },
+    /// The coordinator's state-transfer reply carrying the current view.
+    StateReply {
+        /// Replying coordinator.
+        src: Pid,
+        /// The current view.
+        view: View,
+    },
 }
 
 /// Why a byte sequence failed to decode as a frame.
@@ -136,10 +186,33 @@ impl Frame {
         Frame::Control { src, cmd }
     }
 
+    /// A view-change frame.
+    pub fn view_change(src: Pid, view: View) -> Self {
+        Frame::ViewChange { src, view }
+    }
+
+    /// A state-request frame.
+    pub fn state_request(src: Pid, epoch: u8, view_no: u32) -> Self {
+        Frame::StateRequest {
+            src,
+            epoch,
+            view_no,
+        }
+    }
+
+    /// A state-reply frame.
+    pub fn state_reply(src: Pid, view: View) -> Self {
+        Frame::StateReply { src, view }
+    }
+
     /// The sending process.
     pub fn src(&self) -> Pid {
         match *self {
-            Frame::Beat { src, .. } | Frame::Control { src, .. } => src,
+            Frame::Beat { src, .. }
+            | Frame::Control { src, .. }
+            | Frame::ViewChange { src, .. }
+            | Frame::StateRequest { src, .. }
+            | Frame::StateReply { src, .. } => src,
         }
     }
 
@@ -150,28 +223,56 @@ impl Frame {
     /// Panics if `src` does not fit in a `u16` — the wire format caps a
     /// cluster at 65535 participants.
     pub fn encode(&self) -> Vec<u8> {
-        let (kind, src, payload, epoch) = match *self {
-            Frame::Beat { src, hb } => (KIND_BEAT, src, u8::from(hb.flag), hb.epoch),
-            Frame::Control { src, cmd } => (
-                KIND_CONTROL,
-                src,
-                match cmd {
+        let src16 = |src: Pid| {
+            u16::try_from(src)
+                .expect("pid must fit the u16 wire field")
+                .to_le_bytes()
+        };
+        let header = |out: &mut Vec<u8>, body_len: usize, kind: u8, src: Pid| {
+            out.extend_from_slice(&(body_len as u16).to_le_bytes());
+            out.push(WIRE_VERSION);
+            out.push(kind);
+            out.extend_from_slice(&src16(src));
+        };
+        let view_body = |out: &mut Vec<u8>, kind: u8, src: Pid, view: &View| {
+            header(out, view_len(view.len()), kind, src);
+            out.extend_from_slice(&view.view_no.to_le_bytes());
+            out.extend_from_slice(&src16(view.coordinator));
+            out.push(view.len() as u8);
+            for (pid, bar) in view.entries() {
+                out.extend_from_slice(&src16(pid));
+                out.push(bar);
+            }
+        };
+        let mut out = Vec::with_capacity(2 + view_len(MAX_VIEW_MEMBERS));
+        match *self {
+            Frame::Beat { src, hb } => {
+                header(&mut out, BODY_LEN, KIND_BEAT, src);
+                out.push(u8::from(hb.flag));
+                out.push(hb.epoch);
+            }
+            Frame::Control { src, cmd } => {
+                header(&mut out, BODY_LEN, KIND_CONTROL, src);
+                out.push(match cmd {
                     Command::Crash => 0,
                     Command::Leave => 1,
                     Command::Shutdown => 2,
                     Command::Revive => 3,
-                },
-                0,
-            ),
-        };
-        let src = u16::try_from(src).expect("pid must fit the u16 wire field");
-        let mut out = Vec::with_capacity(2 + BODY_LEN);
-        out.extend_from_slice(&(BODY_LEN as u16).to_le_bytes());
-        out.push(WIRE_VERSION);
-        out.push(kind);
-        out.extend_from_slice(&src.to_le_bytes());
-        out.push(payload);
-        out.push(epoch);
+                });
+                out.push(0);
+            }
+            Frame::ViewChange { src, ref view } => view_body(&mut out, KIND_VIEW, src, view),
+            Frame::StateReply { src, ref view } => view_body(&mut out, KIND_STATE_REPLY, src, view),
+            Frame::StateRequest {
+                src,
+                epoch,
+                view_no,
+            } => {
+                header(&mut out, STATE_REQ_LEN, KIND_STATE_REQ, src);
+                out.push(epoch);
+                out.extend_from_slice(&view_no.to_le_bytes());
+            }
+        }
         out
     }
 
@@ -197,40 +298,91 @@ impl Frame {
             Some(&v) if v != WIRE_VERSION => return Err(DecodeError::Version(v)),
             Some(_) => {}
         }
-        if len < BODY_LEN {
+        if len < 4 {
             return Err(DecodeError::Truncated);
         }
         let kind = body[1];
         let src = Pid::from(u16::from_le_bytes([body[2], body[3]]));
-        let payload = body[4];
-        let epoch = body[5];
-        if len > BODY_LEN {
-            return Err(DecodeError::Trailing);
-        }
+        // Body length is per-kind: too few bytes is a truncation, too
+        // many is trailing garbage inside the frame.
+        let fixed = |want: usize| match len {
+            l if l < want => Err(DecodeError::Truncated),
+            l if l > want => Err(DecodeError::Trailing),
+            _ => Ok(()),
+        };
+        let decode_view = || -> Result<View, DecodeError> {
+            if len < view_len(0) {
+                return Err(DecodeError::Truncated);
+            }
+            let view_no = u32::from_le_bytes([body[4], body[5], body[6], body[7]]);
+            let coordinator = Pid::from(u16::from_le_bytes([body[8], body[9]]));
+            let count = usize::from(body[10]);
+            if count > MAX_VIEW_MEMBERS {
+                return Err(DecodeError::Payload);
+            }
+            fixed(view_len(count))?;
+            let mut entries = Vec::with_capacity(count);
+            for i in 0..count {
+                let off = view_len(i);
+                let pid = Pid::from(u16::from_le_bytes([body[off], body[off + 1]]));
+                let bar = body[off + 2];
+                // Canonical encoding: strictly ascending member pids.
+                if let Some(&(prev, _)) = entries.last() {
+                    if pid <= prev {
+                        return Err(DecodeError::Payload);
+                    }
+                }
+                entries.push((pid, bar));
+            }
+            if !entries.iter().any(|&(p, _)| p == coordinator) {
+                return Err(DecodeError::Payload);
+            }
+            Ok(View::new(view_no, coordinator, &entries))
+        };
         let frame = match kind {
-            KIND_BEAT => Frame::Beat {
-                src,
-                hb: match payload {
-                    0 => Heartbeat::leave().with_epoch(epoch),
-                    1 => Heartbeat::plain().with_epoch(epoch),
-                    _ => return Err(DecodeError::Payload),
-                },
-            },
+            KIND_BEAT => {
+                fixed(BODY_LEN)?;
+                Frame::Beat {
+                    src,
+                    hb: match body[4] {
+                        0 => Heartbeat::leave().with_epoch(body[5]),
+                        1 => Heartbeat::plain().with_epoch(body[5]),
+                        _ => return Err(DecodeError::Payload),
+                    },
+                }
+            }
             KIND_CONTROL => {
-                if epoch != 0 {
+                fixed(BODY_LEN)?;
+                if body[5] != 0 {
                     // Control frames carry no epoch; a nonzero byte keeps
                     // the encoding canonical (one frame, one byte string).
                     return Err(DecodeError::Payload);
                 }
                 Frame::Control {
                     src,
-                    cmd: match payload {
+                    cmd: match body[4] {
                         0 => Command::Crash,
                         1 => Command::Leave,
                         2 => Command::Shutdown,
                         3 => Command::Revive,
                         _ => return Err(DecodeError::Payload),
                     },
+                }
+            }
+            KIND_VIEW => Frame::ViewChange {
+                src,
+                view: decode_view()?,
+            },
+            KIND_STATE_REPLY => Frame::StateReply {
+                src,
+                view: decode_view()?,
+            },
+            KIND_STATE_REQ => {
+                fixed(STATE_REQ_LEN)?;
+                Frame::StateRequest {
+                    src,
+                    epoch: body[4],
+                    view_no: u32::from_le_bytes([body[5], body[6], body[7], body[8]]),
                 }
             }
             k => return Err(DecodeError::Kind(k)),
@@ -265,6 +417,10 @@ mod tests {
             Frame::control(0, Command::Leave),
             Frame::control(9, Command::Shutdown),
             Frame::control(9, Command::Revive),
+            Frame::view_change(1, View::genesis(3)),
+            Frame::view_change(2, View::new(7, 2, &[(2, 1), (5, 0), (9, 3)])),
+            Frame::state_request(4, 2, 7),
+            Frame::state_reply(0, View::new(u32::MAX, 0, &[(0, 0)])),
         ];
         for f in frames {
             let bytes = f.encode();
@@ -329,6 +485,37 @@ mod tests {
     }
 
     #[test]
+    fn view_frames_round_trip_at_full_capacity() {
+        let entries: Vec<(Pid, u8)> = (0..MAX_VIEW_MEMBERS).map(|p| (p, p as u8)).collect();
+        let f = Frame::view_change(0, View::new(3, 0, &entries));
+        let bytes = f.encode();
+        assert!(bytes.len() <= 2 + MAX_FRAME, "full view fits the cap");
+        assert_eq!(Frame::decode_datagram(&bytes), Ok(f));
+    }
+
+    #[test]
+    fn non_canonical_view_frames_are_rejected() {
+        let base = Frame::view_change(1, View::new(2, 1, &[(1, 0), (3, 0)])).encode();
+        // Unsorted members: swap the two member pid fields.
+        let mut unsorted = base.clone();
+        unsorted[13..15].copy_from_slice(&3u16.to_le_bytes());
+        unsorted[16..18].copy_from_slice(&1u16.to_le_bytes());
+        assert_eq!(Frame::decode(&unsorted), Err(DecodeError::Payload));
+        // Coordinator outside the member list.
+        let mut orphan = base.clone();
+        orphan[10..12].copy_from_slice(&9u16.to_le_bytes());
+        assert_eq!(Frame::decode(&orphan), Err(DecodeError::Payload));
+        // Member count over the capacity cap.
+        let mut oversize = base.clone();
+        oversize[12] = MAX_VIEW_MEMBERS as u8 + 1;
+        assert_eq!(Frame::decode(&oversize), Err(DecodeError::Payload));
+        // Count that disagrees with the length prefix.
+        let mut short = base;
+        short[12] = 1;
+        assert_eq!(Frame::decode(&short), Err(DecodeError::Trailing));
+    }
+
+    #[test]
     fn version_one_frames_are_rejected_as_version_not_truncated() {
         // A well-formed v1 frame: 5-byte body, no epoch.
         let v1 = [5u8, 0, 1, KIND_BEAT, 1, 0, 1];
@@ -336,6 +523,13 @@ mod tests {
         // Even a v1 *control* frame fails on version before anything else.
         let v1c = [5u8, 0, 1, KIND_CONTROL, 9, 0, 2];
         assert_eq!(Frame::decode(&v1c), Err(DecodeError::Version(1)));
+    }
+
+    #[test]
+    fn version_two_frames_are_rejected_as_version() {
+        // A well-formed pre-membership v2 beat frame (6-byte body).
+        let v2 = [6u8, 0, 2, KIND_BEAT, 1, 0, 1, 0];
+        assert_eq!(Frame::decode(&v2), Err(DecodeError::Version(2)));
     }
 
     #[test]

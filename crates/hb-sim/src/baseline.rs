@@ -233,7 +233,8 @@ impl NaiveWorld {
             nv_inactivations: self.nv_inactivations,
             leaves: Vec::new(),
             revives: Vec::new(),
-            reconvergence_delay: None,
+            reconv_detect: None,
+            reconv_stable: None,
             stale_beats_admitted: 0,
             stale_beats_filtered: 0,
             detection_delay,

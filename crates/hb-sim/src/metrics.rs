@@ -25,10 +25,15 @@ pub struct Report {
     pub leaves: Vec<(Pid, Time)>,
     /// `(pid, time)` of every post-crash revive (§7 rejoin).
     pub revives: Vec<(Pid, Time)>,
-    /// Worst observed re-convergence delay: ticks from a revive until the
-    /// coordinator registered the fresh epoch (`None` if no revive
-    /// re-converged).
-    pub reconvergence_delay: Option<Time>,
+    /// Worst observed re-convergence *detection* delay: ticks from a
+    /// revive until the coordinator registered the fresh epoch (`None`
+    /// if no revive was ever detected).
+    pub reconv_detect: Option<Time>,
+    /// Worst observed re-convergence *stabilisation* delay: ticks from a
+    /// revive until, additionally, the revived participant was an
+    /// active, joined member of the round again (`None` if no revive
+    /// ever stabilised).
+    pub reconv_stable: Option<Time>,
     /// Beats from superseded incarnations the coordinator accepted as if
     /// fresh (naive rejoin only).
     pub stale_beats_admitted: u32,
@@ -95,7 +100,8 @@ mod tests {
             nv_inactivations: vec![(0, 60)],
             leaves: vec![],
             revives: vec![],
-            reconvergence_delay: None,
+            reconv_detect: None,
+            reconv_stable: None,
             stale_beats_admitted: 0,
             stale_beats_filtered: 0,
             detection_delay: Some(20),

@@ -107,9 +107,13 @@ pub struct RunSummary {
     pub leaves: Vec<(Pid, Time)>,
     /// `(pid, time)` of every post-crash revive (§7 rejoin).
     pub revives: Vec<(Pid, Time)>,
-    /// Worst observed revive-to-re-registration delay, if any revive
-    /// re-converged.
-    pub reconvergence_delay: Option<Time>,
+    /// Worst observed revive-to-detection delay (coordinator registered
+    /// the fresh epoch), if any revive was detected.
+    pub reconv_detect: Option<Time>,
+    /// Worst observed revive-to-stability delay (the revived participant
+    /// active and joined again on top of detection), if any revive
+    /// stabilised.
+    pub reconv_stable: Option<Time>,
     /// Stale (superseded-epoch) beats the coordinator admitted as fresh.
     pub stale_beats_admitted: u32,
     /// Stale beats the coordinator filtered behind the epoch bar.
@@ -140,7 +144,8 @@ impl RunSummary {
             nv_inactivations: r.nv_inactivations.clone(),
             leaves: r.leaves.clone(),
             revives: r.revives.clone(),
-            reconvergence_delay: r.reconvergence_delay,
+            reconv_detect: r.reconv_detect,
+            reconv_stable: r.reconv_stable,
             stale_beats_admitted: r.stale_beats_admitted,
             stale_beats_filtered: r.stale_beats_filtered,
             detection_delay: r.detection_delay,
@@ -161,10 +166,12 @@ impl RunSummary {
             Some(d) => d.to_string(),
             None => "null".to_string(),
         };
-        let reconv = match self.reconvergence_delay {
+        let opt_time = |v: Option<Time>| match v {
             Some(d) => d.to_string(),
             None => "null".to_string(),
         };
+        let reconv_detect = opt_time(self.reconv_detect);
+        let reconv_stable = opt_time(self.reconv_stable);
         let monitor = match &self.monitor {
             Some(m) => m.to_json(),
             None => "null".to_string(),
@@ -173,7 +180,7 @@ impl RunSummary {
             "{{\"record\":\"run_summary\",\"source\":\"{}\",\"duration\":{},\
              \"messages_sent\":{},\"messages_delivered\":{},\"messages_lost\":{},\
              \"crashes\":{},\"nv_inactivations\":{},\"leaves\":{},\"revives\":{},\
-             \"reconvergence_delay\":{},\"stale_beats_admitted\":{},\
+             \"reconv_detect\":{},\"reconv_stable\":{},\"stale_beats_admitted\":{},\
              \"stale_beats_filtered\":{},\
              \"detection_delay\":{},\"false_inactivations\":{},\"monitor\":{},\
              \"final_status\":[{}]}}",
@@ -186,7 +193,8 @@ impl RunSummary {
             pairs_json(&self.nv_inactivations),
             pairs_json(&self.leaves),
             pairs_json(&self.revives),
-            reconv,
+            reconv_detect,
+            reconv_stable,
             self.stale_beats_admitted,
             self.stale_beats_filtered,
             detection,
@@ -233,7 +241,8 @@ mod tests {
             nv_inactivations: vec![(0, 60)],
             leaves: vec![],
             revives: vec![(1, 55)],
-            reconvergence_delay: Some(6),
+            reconv_detect: Some(6),
+            reconv_stable: Some(11),
             stale_beats_admitted: 2,
             stale_beats_filtered: 0,
             detection_delay: Some(20),
@@ -249,7 +258,8 @@ mod tests {
         assert!(json.contains("\"crashes\":[[1,40]]"), "{json}");
         assert!(json.contains("\"detection_delay\":20"), "{json}");
         assert!(json.contains("\"revives\":[[1,55]]"), "{json}");
-        assert!(json.contains("\"reconvergence_delay\":6"), "{json}");
+        assert!(json.contains("\"reconv_detect\":6"), "{json}");
+        assert!(json.contains("\"reconv_stable\":11"), "{json}");
         assert!(json.contains("\"stale_beats_admitted\":2"), "{json}");
         assert!(json.contains("\"monitor\":null"), "{json}");
         assert!(json.contains("\"final_status\":[\"nv-inactive\",\"crashed\"]"));
@@ -267,7 +277,8 @@ mod tests {
             nv_inactivations: vec![],
             leaves: vec![],
             revives: vec![],
-            reconvergence_delay: None,
+            reconv_detect: None,
+            reconv_stable: None,
             stale_beats_admitted: 0,
             stale_beats_filtered: 0,
             detection_delay: None,
@@ -276,7 +287,8 @@ mod tests {
             final_status: vec![],
         };
         assert!(s.to_json().contains("\"detection_delay\":null"));
-        assert!(s.to_json().contains("\"reconvergence_delay\":null"));
+        assert!(s.to_json().contains("\"reconv_detect\":null"));
+        assert!(s.to_json().contains("\"reconv_stable\":null"));
     }
 
     #[test]

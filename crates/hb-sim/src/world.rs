@@ -50,10 +50,13 @@ pub struct World {
     leave_after: Vec<Option<Time>>,
     scheduled_crashes: Vec<(Pid, Time)>,
     scheduled_revives: Vec<(Pid, Time)>,
-    /// Revived participants whose fresh epoch the coordinator has not yet
-    /// registered: `(pid, epoch, revived_at)`.
-    pending_reconv: Vec<(Pid, u8, Time)>,
-    reconv_delays: Vec<(Pid, Time)>,
+    /// Revived participants still re-converging: `(pid, epoch,
+    /// revived_at, detected_at)`. Detection = the coordinator registered
+    /// the fresh epoch; the entry is retired once the revived
+    /// participant is an active, joined member again (stability).
+    pending_reconv: Vec<(Pid, u8, Time, Option<Time>)>,
+    reconv_detects: Vec<(Pid, Time)>,
+    reconv_stables: Vec<(Pid, Time)>,
     channel: Channel,
     fault_hook: Option<Box<dyn FaultHook>>,
     rng: StdRng,
@@ -88,7 +91,8 @@ impl World {
             scheduled_crashes: Vec::new(),
             scheduled_revives: Vec::new(),
             pending_reconv: Vec::new(),
-            reconv_delays: Vec::new(),
+            reconv_detects: Vec::new(),
+            reconv_stables: Vec::new(),
             channel: Channel::new(cfg.loss_prob),
             fault_hook: None,
             rng: StdRng::seed_from_u64(seed),
@@ -410,7 +414,7 @@ impl World {
                     let epoch = fresh.epoch;
                     self.resps[pid - 1] = Some(fresh);
                     self.revives.push((pid, self.now));
-                    self.pending_reconv.push((pid, epoch, self.now));
+                    self.pending_reconv.push((pid, epoch, self.now, None));
                     self.all_inactive_at = None;
                     self.log_event(Event::Revive { at: self.now, pid });
                 }
@@ -436,21 +440,34 @@ impl World {
             }
         }
 
-        // Re-convergence: a revived participant counts as re-registered
-        // once the coordinator's epoch bar has caught up with its fresh
-        // incarnation.
-        let coord = &self.coord;
+        // Two-sided re-convergence. Detection: the coordinator's epoch
+        // bar has caught up with the fresh incarnation. Stability: on
+        // top of that, the revived participant is an active, joined
+        // member of the round again (for join variants that is the
+        // completed §5 handshake; variants without a join phase are
+        // joined from the start, so stability coincides with detection).
         let now = self.now;
-        let resolved: Vec<(Pid, u8, Time)> = self
-            .pending_reconv
-            .iter()
-            .copied()
-            .filter(|&(pid, epoch, _)| hb_core::serial::serial_ge(coord.min_epoch[pid - 1], epoch))
-            .collect();
-        for (pid, epoch, t0) in resolved {
-            self.pending_reconv
-                .retain(|&(p, e, _)| (p, e) != (pid, epoch));
-            self.reconv_delays.push((pid, now - t0));
+        let mut i = 0;
+        while i < self.pending_reconv.len() {
+            let (pid, epoch, t0, detected) = self.pending_reconv[i];
+            let mut detected = detected;
+            if detected.is_none()
+                && hb_core::serial::serial_ge(self.coord.min_epoch[pid - 1], epoch)
+            {
+                detected = Some(now);
+                self.reconv_detects.push((pid, now - t0));
+            }
+            let stable = detected.is_some()
+                && self.resps[pid - 1]
+                    .as_ref()
+                    .is_some_and(|r| r.status.is_active() && r.joined && r.epoch == epoch);
+            if stable {
+                self.reconv_stables.push((pid, now - t0));
+                self.pending_reconv.remove(i);
+            } else {
+                self.pending_reconv[i].3 = detected;
+                i += 1;
+            }
         }
 
         if self.all_inactive_at.is_none() && self.all_inactive() {
@@ -501,7 +518,8 @@ impl World {
             nv_inactivations: self.nv_inactivations,
             leaves: self.leaves,
             revives: self.revives,
-            reconvergence_delay: self.reconv_delays.iter().map(|&(_, d)| d).max(),
+            reconv_detect: self.reconv_detects.iter().map(|&(_, d)| d).max(),
+            reconv_stable: self.reconv_stables.iter().map(|&(_, d)| d).max(),
             stale_beats_admitted: self.coord.stale_admitted,
             stale_beats_filtered: self.coord.stale_filtered,
             detection_delay,
@@ -574,8 +592,13 @@ mod tests {
                     .unwrap()
                     .p0_bound_corrected(Variant::Binary),
             );
-            let rc = r.reconvergence_delay.expect("must re-register");
-            assert!(rc <= bound, "seed {seed}: reconvergence {rc} > {bound}");
+            let rc = r.reconv_detect.expect("must re-register");
+            assert!(rc <= bound, "seed {seed}: detection {rc} > {bound}");
+            // Binary has no join phase, so the revived participant is
+            // joined the moment it is back: stability rides detection.
+            let rs = r.reconv_stable.expect("must stabilise");
+            assert!(rs >= rc, "seed {seed}: stable {rs} before detect {rc}");
+            assert!(rs <= bound, "seed {seed}: stability {rs} > {bound}");
             // Nothing stale in a loss-free, in-order run.
             assert_eq!(r.stale_beats_admitted, 0, "seed {seed}");
             assert_eq!(r.stale_beats_filtered, 0, "seed {seed}");
@@ -589,7 +612,8 @@ mod tests {
         w.run_until(1_000);
         let r = w.into_report();
         assert!(r.revives.is_empty(), "no crash, so nothing to revive");
-        assert!(r.reconvergence_delay.is_none());
+        assert!(r.reconv_detect.is_none());
+        assert!(r.reconv_stable.is_none());
         assert_eq!(r.false_inactivations, 0);
     }
 

@@ -10,6 +10,7 @@
 //! cargo run --release --example chaos_campaign -- --out artifacts/campaign.json
 //! cargo run --release --example chaos_campaign -- --table       # markdown summary
 //! cargo run --release --example chaos_campaign -- --rejoin artifacts
+//! cargo run --release --example chaos_campaign -- --failover artifacts
 //! cargo run --release --example chaos_campaign -- --diff a.json b.json
 //! ```
 //!
@@ -25,6 +26,14 @@
 //! one seed-pinned reorder + crash + revive plan per backend, run with
 //! epochs off and on.
 //!
+//! `--failover DIR` emits the coordinator-failover campaign artifacts
+//! (`failover_sim.json` / `failover_live.json`): membership plans that
+//! crash the coordinator mid-run on the `hb-member` group layer, fail
+//! over to the lowest live pid, revive the ex-coordinator demoted, and
+//! record the two-sided re-convergence metric — gated on group
+//! agreement, demotion-not-split, clean R1–R3 monitors, and replay
+//! determinism per cell.
+//!
 //! `--diff A B` compares two campaign reports cell by cell with the
 //! calibrated sim-vs-live tolerances of [`hb_chaos::diff`], prints the
 //! divergence report, and exits non-zero on any hard divergence — the
@@ -38,7 +47,8 @@
 use std::io::Write as _;
 
 use accelerated_heartbeat::chaos::{
-    diff_reports, run_campaign, run_rejoin_demo, Backend, CampaignReport, CampaignSpec, Tolerances,
+    diff_reports, run_campaign, run_failover_campaign, run_rejoin_demo, Backend, CampaignReport,
+    CampaignSpec, Tolerances,
 };
 use accelerated_heartbeat::core::{FixLevel, Params, Variant};
 
@@ -141,11 +151,13 @@ fn markdown_table(report: &CampaignReport) -> String {
     let mut out = String::new();
     out.push_str(
         "| fix | loss | drift | partition | detected | down first | mean delay | max | \
-         claimed | corrected | >claimed | >corrected | false susp. | reconv | reconv mean | \
-         reconv max | stale adm. | mon clean | mon R1 | mon first |\n",
+         claimed | corrected | >claimed | >corrected | false susp. | reconv | detect mean | \
+         detect max | stable | stable mean | stable max | stale adm. | mon clean | mon R1 | \
+         mon first |\n",
     );
     out.push_str(
-        "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n",
+        "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\
+         ---|---|---|\n",
     );
     for c in &report.cells {
         // Unmonitored (drifted) cells show "-" in every monitor column.
@@ -162,7 +174,7 @@ fn markdown_table(report: &CampaignReport) -> String {
             .map_or_else(|| "-".to_string(), |t| t.to_string());
         out.push_str(&format!(
             "| {} | {} | {}/{} | {} | {}/{} | {} | {:.1} | {} | {} | {} | {} | {} | {} | \
-             {}/{} | {:.1} | {} | {} | {} | {} | {} |\n",
+             {}/{} | {:.1} | {} | {}/{} | {:.1} | {} | {} | {} | {} | {} |\n",
             c.cell.fix.name(),
             c.cell.loss,
             c.cell.drift.0,
@@ -180,8 +192,12 @@ fn markdown_table(report: &CampaignReport) -> String {
             c.false_suspicions,
             c.reconverged,
             c.runs,
-            c.reconv_mean,
-            c.reconv_max,
+            c.reconv_detect_mean,
+            c.reconv_detect_max,
+            c.stabilised,
+            c.runs,
+            c.reconv_stable_mean,
+            c.reconv_stable_max,
             c.stale_admitted,
             mon_clean,
             mon_r1,
@@ -205,15 +221,51 @@ fn emit_rejoin_artifacts(dir: &str) -> Result<(), Box<dyn std::error::Error>> {
         writeln!(file, "{}", demo.to_json())?;
         eprintln!(
             "rejoin demo ({}): naive admitted {} stale beat(s), epoch filtered {}, \
-             re-converged in {:?} ticks, replay identical: {} -> {path}",
+             re-detected in {:?} / stabilised in {:?} ticks, replay identical: {} -> {path}",
             backend.name(),
             demo.naive.stale_beats_admitted,
             demo.epoch.stale_beats_filtered,
-            demo.epoch.reconvergence_delay,
+            demo.epoch.reconv_detect,
+            demo.epoch.reconv_stable,
             demo.replay_identical,
         );
         if !demo.separates() {
             return Err(format!("rejoin demo failed to separate on {}", backend.name()).into());
+        }
+    }
+    Ok(())
+}
+
+/// Emit the coordinator-failover campaign artifacts for both backends.
+fn emit_failover_artifacts(dir: &str) -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::create_dir_all(dir)?;
+    for backend in [Backend::Sim, Backend::Live] {
+        let report = run_failover_campaign(backend);
+        let path = format!("{dir}/failover_{}.json", backend.name());
+        let mut file = std::fs::File::create(&path)?;
+        writeln!(file, "{}", report.to_json())?;
+        for c in &report.cells {
+            eprintln!(
+                "failover ({}): loss {:.3} seed {} -> coordinator {} demoted={} agreed={} \
+                 detect {:?} / stable {:?} ticks, healthy={}",
+                backend.name(),
+                c.loss,
+                c.seed,
+                c.coordinator,
+                c.demoted,
+                c.agreed,
+                c.summary.reconv_detect,
+                c.summary.reconv_stable,
+                c.healthy(),
+            );
+        }
+        eprintln!(
+            "failover campaign ({}): {} cells -> {path}",
+            backend.name(),
+            report.cells.len()
+        );
+        if !report.passes() {
+            return Err(format!("failover campaign failed on {}", backend.name()).into());
         }
     }
     Ok(())
@@ -255,6 +307,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(dir) = arg_value(&args, "--rejoin") {
         return emit_rejoin_artifacts(&dir);
+    }
+    if let Some(dir) = arg_value(&args, "--failover") {
+        return emit_failover_artifacts(&dir);
     }
     let mut spec = if args.iter().any(|a| a == "--smoke") {
         smoke_spec(threads)

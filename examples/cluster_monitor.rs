@@ -236,7 +236,8 @@ fn report_live(reports: &[NodeReport], bound: u64, verdicts: MonitorVerdicts) {
         nv_inactivations: nv,
         leaves,
         revives: Vec::new(),
-        reconvergence_delay: None,
+        reconv_detect: None,
+        reconv_stable: None,
         stale_beats_admitted: 0,
         stale_beats_filtered: 0,
         detection_delay: detection,

@@ -27,6 +27,7 @@
 //! ```text
 //! cargo run --example hb_monitor -- --live
 //! cargo run --example hb_monitor -- --live --tick-ms 20
+//! cargo run --example hb_monitor -- --live --member
 //! ```
 //!
 //! The monitor judges the *corrected* §6.2 bound when the cluster runs
@@ -34,6 +35,14 @@
 //! watchdog always gives up before the monitor's deadline. A host that
 //! stalls the node threads past the bound is indistinguishable from a
 //! crash — in that case the monitor fires R1, faithfully.
+//!
+//! Both live flavours attach a watch tap that prints membership
+//! `view-change` / `state-transfer` events the moment they stream by.
+//! The plain UDP cluster never emits them; `--live --member` runs the
+//! `hb-member` group layer on the live loopback runtime instead —
+//! crashing and reviving the coordinator — so the watch shows the
+//! failover views install, the demotion, and the state transfer, with
+//! the same R1–R3 monitor attached (a failover view retires R1).
 //!
 //! [`event_json`]: accelerated_heartbeat::core::events::event_json
 
@@ -44,8 +53,9 @@ use std::thread;
 use std::time::Duration;
 
 use accelerated_heartbeat::core::coordinator::CoordSpec;
-use accelerated_heartbeat::core::events::{parse_event_json, SharedTap};
+use accelerated_heartbeat::core::events::{parse_event_json, EventTap, SharedTap};
 use accelerated_heartbeat::core::responder::RespSpec;
+use accelerated_heartbeat::core::trace::Event;
 use accelerated_heartbeat::core::{FixLevel, Params, Variant};
 use accelerated_heartbeat::monitor::MonitorSet;
 use accelerated_heartbeat::net::wire::{Command, Frame};
@@ -101,6 +111,35 @@ fn announce_new(seen: MonitorVerdicts, now: MonitorVerdicts) -> MonitorVerdicts 
     fresh(seen.r2, now.r2, "R2");
     fresh(seen.r3, now.r3, "R3");
     now
+}
+
+/// A watch tap printing membership view-change and state-transfer
+/// events the moment they stream by (attached in both live flavours).
+struct ViewWatch;
+
+impl EventTap for ViewWatch {
+    fn on_event(&mut self, e: &Event) {
+        match *e {
+            Event::ViewChange {
+                at,
+                pid,
+                view_no,
+                coordinator,
+            } => println!(
+                "[view]      t≈{at:>4}  pid {pid} installed view {view_no} \
+                 (coordinator {coordinator})"
+            ),
+            Event::StateTransfer {
+                at,
+                from,
+                to,
+                view_no,
+            } => {
+                println!("[xfer]      t≈{at:>4}  coordinator {from} shipped view {view_no} to {to}")
+            }
+            _ => {}
+        }
+    }
 }
 
 /// Emit mode: simulate a participant crash under the chosen protocol
@@ -204,6 +243,73 @@ fn run_replay(args: &[String], log: &str) -> Result<(), Box<dyn std::error::Erro
     Ok(())
 }
 
+/// Membership live mode: the `hb-member` group layer on the live
+/// loopback runtime, coordinator crashed and revived, with the monitor
+/// and the view watch tapping the stream as the engine runs.
+fn run_live_member() -> Result<(), Box<dyn std::error::Error>> {
+    use accelerated_heartbeat::member::{
+        run_live, FaultKind, MemberConfig, MemberFault, MemberSpec, RoleKind,
+    };
+
+    const GROUP: usize = 4;
+    const DURATION: u64 = 900;
+    const CRASH_AT: u64 = 300;
+    const REVIVE_AT: u64 = 600;
+
+    let params = Params::new(2, 8)?;
+    let (variant, fix) = (Variant::Dynamic, FixLevel::Full);
+    println!(
+        "== live membership group, {variant}/{fix}, {params}, {GROUP} processes, \
+         coordinator crash at t={CRASH_AT}, revive at t={REVIVE_AT} ==\n"
+    );
+
+    let monitor = MonitorSet::shared(variant, params, fix, GROUP - 1);
+    let watch: SharedTap = Arc::new(std::sync::Mutex::new(ViewWatch));
+    let mut cfg = MemberConfig::clean(MemberSpec::new(variant, params, fix), GROUP, 1, DURATION);
+    cfg.faults.push(MemberFault {
+        at: CRASH_AT,
+        kind: FaultKind::Crash,
+        pid: 0,
+    });
+    cfg.faults.push(MemberFault {
+        at: REVIVE_AT,
+        kind: FaultKind::Revive,
+        pid: 0,
+    });
+    let report = run_live(cfg, None, vec![monitor.clone() as SharedTap, watch]);
+
+    println!(
+        "\n[observe]   final roles {:?}, agreed on one view: {}",
+        report.roles,
+        report.agreed()
+    );
+    for s in &report.reconv {
+        println!(
+            "[reconv]    {:?} pid {} at t={}: detected {:?}, stable {:?}",
+            s.kind, s.pid, s.at, s.detect, s.stable
+        );
+    }
+    let mut mon = monitor.lock().expect("monitor poisoned");
+    mon.finish(DURATION);
+    let verdicts = mon.verdicts();
+    println!("\nfinal verdicts (horizon {DURATION}):");
+    println!("{}", verdicts.to_json());
+    if verdicts.clean()
+        && report.agreed()
+        && report.roles[0] == RoleKind::Participant
+        && report.views[0].coordinator != 0
+    {
+        println!(
+            "\nfailover healthy: the successor's view excluded the dead coordinator, \
+             the revived"
+        );
+        println!("ex-coordinator came back demoted (no split), and every monitor stayed clean.");
+        Ok(())
+    } else {
+        Err("membership failover run unhealthy".into())
+    }
+}
+
 /// Live mode: a static 2-worker UDP cluster with one injected crash,
 /// monitored in near-real time.
 fn run_live(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
@@ -219,6 +325,7 @@ fn run_live(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
     let monitor = MonitorSet::shared(variant, params, fix, WORKERS);
     let tap: SharedTap = monitor.clone();
+    let watch: SharedTap = Arc::new(std::sync::Mutex::new(ViewWatch));
     println!(
         "== live monitored cluster over UDP, {variant}/{fix}, {params}, {WORKERS} workers, \
          1 tick = {tick:?} ==\n"
@@ -245,6 +352,7 @@ fn run_live(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let spec = CoordSpec::new(variant, params, WORKERS, fix);
     let mut coord = NodeRuntime::coordinator(spec, coord_transport).with_sink(EventSink::memory());
     coord.attach_tap(tap.clone());
+    coord.attach_tap(watch.clone());
     let coord_thread = {
         let (clock, stop, done) = (clock, Arc::clone(&stop), Arc::clone(&done));
         thread::spawn(move || -> std::io::Result<NodeReport> {
@@ -262,6 +370,7 @@ fn run_live(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             let mut worker =
                 NodeRuntime::participant(i + 1, spec, transport).with_sink(EventSink::memory());
             worker.attach_tap(tap.clone());
+            worker.attach_tap(watch.clone());
             thread::spawn(move || -> std::io::Result<NodeReport> {
                 worker.run(&clock, &stop)?;
                 Ok(worker.finish())
@@ -347,12 +456,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         return run_replay(&args, &log);
     }
     if args.iter().any(|a| a == "--live") {
+        if args.iter().any(|a| a == "--member") {
+            return run_live_member();
+        }
         return run_live(&args);
     }
     eprintln!(
         "usage: hb_monitor --log FILE|-  [--variant V --tmin N --tmax N --fix F --n N --horizon T]"
     );
     eprintln!("       hb_monitor --emit FILE  [--variant V --tmin N --tmax N --fix F --n N]");
-    eprintln!("       hb_monitor --live [--tick-ms N] [--debug]");
+    eprintln!("       hb_monitor --live [--tick-ms N] [--debug] [--member]");
     Err("no mode selected".into())
 }

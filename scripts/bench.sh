@@ -3,8 +3,9 @@
 # `bench` crate (the paper's tables and figures), then a chaos campaign
 # over the fault grid, leaving its JSON report in BENCH_chaos.json.
 # Each grid cell runs quiet / crash / crash+revive, so the report also
-# carries the §7 re-convergence sweep (reconverged, reconv_mean,
-# reconv_max, stale_admitted per cell).
+# carries the two-sided §7 re-convergence sweep (reconverged,
+# reconv_detect_mean/max, stabilised, reconv_stable_mean/max,
+# stale_admitted per cell).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

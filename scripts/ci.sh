@@ -32,6 +32,21 @@ echo "==> monitor gate (streaming R1–R3 verdicts on the smoke grid)"
 # cells reproduce the R1 breach.
 cargo run --release --example chaos_campaign -- --smoke --monitor >/dev/null
 
+echo "==> membership failover gate (coordinator crash, sim + live, monitors clean)"
+# The emitter fails unless every cell demotes the ex-coordinator, agrees
+# on one view, resolves both sides of the re-convergence samples, keeps
+# the R1–R3 monitors clean, and replays byte-identically in process; the
+# diffs pin determinism across invocations and against the checked-in
+# golden cells.
+cargo run --release --example chaos_campaign -- --failover "$tmpdir/failover_a" >/dev/null
+cargo run --release --example chaos_campaign -- --failover "$tmpdir/failover_b" >/dev/null
+diff -r "$tmpdir/failover_a" "$tmpdir/failover_b" \
+  || { echo "failover campaign is not deterministic" >&2; exit 1; }
+diff "$tmpdir/failover_a/failover_sim.json" artifacts/failover_sim.json \
+  || { echo "failover sim artifact drifted from the checked-in golden" >&2; exit 1; }
+diff "$tmpdir/failover_a/failover_live.json" artifacts/failover_live.json \
+  || { echo "failover live artifact drifted from the checked-in golden" >&2; exit 1; }
+
 echo "==> static analyzer gate (fixed machines must be clean)"
 cargo run --release --example hb_analyze -- --machines fixed --deny-findings
 

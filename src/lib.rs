@@ -67,6 +67,7 @@
 pub use hb_analyze as analyze;
 pub use hb_chaos as chaos;
 pub use hb_core as core;
+pub use hb_member as member;
 pub use hb_monitor as monitor;
 pub use hb_net as net;
 pub use hb_sim as sim;

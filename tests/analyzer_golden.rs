@@ -10,6 +10,7 @@
 use accelerated_heartbeat::analyze::{lint_machine, Lint};
 use accelerated_heartbeat::core::describe::DescribeMachine;
 use accelerated_heartbeat::core::{CoordSpec, FixLevel, Params, RespSpec, Variant};
+use accelerated_heartbeat::member::MemberSpec;
 
 fn machine_irs(
     variant: Variant,
@@ -19,10 +20,11 @@ fn machine_irs(
     vec![
         CoordSpec::new(variant, p, 1, fix).describe(),
         RespSpec::new(variant, p, fix).describe(),
+        MemberSpec::new(variant, p, fix).describe(),
     ]
 }
 
-/// Every naive machine pair (no receive priority) trips the overlap
+/// Every naive machine trio (no receive priority) trips the overlap
 /// lint — the static shadow of the AM09 §6 counterexamples.
 #[test]
 fn every_naive_variant_trips_the_overlap_lint() {
@@ -45,7 +47,7 @@ fn every_naive_variant_trips_the_overlap_lint() {
     }
 }
 
-/// Every fixed machine pair (receive priority on) is clean — not just
+/// Every fixed machine trio (receive priority on) is clean — not just
 /// free of the overlap lint, free of *all* findings.
 #[test]
 fn every_fixed_variant_is_clean() {
@@ -64,6 +66,29 @@ fn every_fixed_variant_is_clean() {
             );
         }
     }
+}
+
+/// The view-change machine inherits the §6 hazard precisely: below
+/// receive priority, its time-triggered membership actions (watchdog
+/// fire, takeover, broadcast, eviction) race the receives whose
+/// evidence they destroy; at receive priority the side condition
+/// defeats every pair.
+#[test]
+fn the_member_machine_inherits_the_overlap_hazard() {
+    let p = Params::new(1, 10).expect("valid params");
+    let naive: Vec<_> =
+        lint_machine(&MemberSpec::new(Variant::Dynamic, p, FixLevel::Original).describe());
+    let racing: Vec<_> = naive
+        .iter()
+        .filter(|f| f.lint == Lint::TimeoutReceiveOverlap)
+        .map(|f| f.items[0].as_str())
+        .collect();
+    for t in ["watchdog-fire", "takeover", "broadcast", "evict"] {
+        assert!(racing.contains(&t), "{t} must race a receive: {racing:?}");
+    }
+    let fixed =
+        lint_machine(&MemberSpec::new(Variant::Dynamic, p, FixLevel::ReceivePriority).describe());
+    assert!(fixed.is_empty(), "expected zero findings, got {fixed:?}");
 }
 
 /// The overlap findings on naive machines survive the JSON round:

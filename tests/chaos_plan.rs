@@ -25,7 +25,7 @@ use hb_chaos::{run_plan, Backend, FaultPlan, FaultSpec};
 use hb_core::FixLevel;
 
 /// The checked-in plan text, exactly as `FaultPlan::to_json` emits it.
-const PLAN_JSON: &str = r#"{"record":"fault_plan","name":"acceptance","seed":1,"proto":{"variant":"binary","tmin":2,"tmax":8,"fix":"original","n":1,"duration":2000},"faults":[{"kind":"loss","from":0,"to":400,"src":null,"dst":null,"model":{"law":"gilbert-elliott","to_bad":0.026315789473684213,"to_good":0.5,"good_loss":0,"bad_loss":1}},{"kind":"partition","from":600,"to":608,"groups":[[0],[1]]},{"kind":"drift","pid":1,"offset":0,"num":101,"den":100},{"kind":"crash","pid":1,"at":1200}]}"#;
+const PLAN_JSON: &str = r#"{"record":"fault_plan","name":"acceptance","seed":1,"proto":{"variant":"binary","tmin":2,"tmax":8,"fix":"original","n":1,"duration":2000,"membership":false},"faults":[{"kind":"loss","from":0,"to":400,"src":null,"dst":null,"model":{"law":"gilbert-elliott","to_bad":0.026315789473684213,"to_good":0.5,"good_loss":0,"bad_loss":1}},{"kind":"partition","from":600,"to":608,"groups":[[0],[1]]},{"kind":"drift","pid":1,"offset":0,"num":101,"den":100},{"kind":"crash","pid":1,"at":1200}]}"#;
 
 fn acceptance_plan(fix: FixLevel) -> FaultPlan {
     let mut plan = FaultPlan::from_json(PLAN_JSON).expect("checked-in plan must parse");
@@ -119,7 +119,7 @@ fn fixed_variant_meets_corrected_bound_where_original_breaks_claimed() {
 /// and restarts five ticks later, inside the coordinator's halving
 /// chain, so the fresh incarnation re-registers instead of being
 /// detected as dead.
-const REVIVE_PLAN_JSON: &str = r#"{"record":"fault_plan","name":"acceptance-revive","seed":1,"proto":{"variant":"binary","tmin":2,"tmax":8,"fix":"full-fix","n":1,"duration":2000},"faults":[{"kind":"crash","pid":1,"at":1200},{"kind":"revive","pid":1,"at":1205}]}"#;
+const REVIVE_PLAN_JSON: &str = r#"{"record":"fault_plan","name":"acceptance-revive","seed":1,"proto":{"variant":"binary","tmin":2,"tmax":8,"fix":"full-fix","n":1,"duration":2000,"membership":false},"faults":[{"kind":"crash","pid":1,"at":1200},{"kind":"revive","pid":1,"at":1205}]}"#;
 
 #[test]
 fn revive_plan_is_canonical_and_replays_identically_on_both_backends() {
@@ -146,11 +146,20 @@ fn revive_plan_is_canonical_and_replays_identically_on_both_backends() {
         // coordinator bound...
         let bound = u64::from(plan.proto.params.p0_bound_corrected(plan.proto.variant));
         let rc = first
-            .reconvergence_delay
+            .reconv_detect
             .unwrap_or_else(|| panic!("{}: revived node never re-registered", backend.name()));
         assert!(
             rc <= bound,
             "{}: re-convergence {rc} exceeds corrected bound {bound}",
+            backend.name()
+        );
+        // ...and stabilises (active + joined again) no earlier than that.
+        let st = first
+            .reconv_stable
+            .unwrap_or_else(|| panic!("{}: revived node never stabilised", backend.name()));
+        assert!(
+            st >= rc,
+            "{}: stability {st} precedes detection {rc}",
             backend.name()
         );
         // ...and under the epoch bar nothing stale slips through.

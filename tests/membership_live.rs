@@ -1,0 +1,165 @@
+//! End-to-end membership scenarios across both substrates.
+//!
+//! Pins the `hb-member` engine's promise (see `crates/hb-member/src/engine.rs`):
+//! the simulated and the live runtime execute the same harness, so a
+//! golden coordinator-crash plan yields *byte-identical* view-change
+//! event streams on both — and the membership semantics (concurrent
+//! rejoins mid-view-change, state transfer to a late joiner) hold on the
+//! live substrate, not just in the simulator.
+
+use accelerated_heartbeat::chaos::{failover_plan, run_plan_member, Backend};
+use accelerated_heartbeat::core::trace::Event;
+use accelerated_heartbeat::core::Params;
+use accelerated_heartbeat::member::{
+    run_live, FaultKind, MemberConfig, MemberFault, MemberReport, MemberSpec, RoleKind,
+};
+
+fn spec() -> MemberSpec {
+    MemberSpec::dynamic_full(Params::new(2, 8).unwrap())
+}
+
+fn fault(at: u64, kind: FaultKind, pid: usize) -> MemberFault {
+    MemberFault { at, kind, pid }
+}
+
+/// Just the membership frames of a run, one line per event.
+fn view_stream(report: &MemberReport) -> String {
+    report
+        .events
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::ViewChange { .. } | Event::StateTransfer { .. }))
+        .map(|e| format!("{e}\n"))
+        .collect()
+}
+
+/// Two crash victims revive while the group is still mid-failover: both
+/// joiners request state concurrently, the new coordinator admits both,
+/// and the group converges on one view containing everybody.
+#[test]
+fn concurrent_joins_during_a_view_change_converge() {
+    let mut cfg = MemberConfig::clean(spec(), 5, 21, 900);
+    cfg.faults = vec![
+        fault(40, FaultKind::Crash, 3),
+        fault(60, FaultKind::Crash, 4),
+        fault(300, FaultKind::Crash, 0),
+        // Revive both victims right as the failover view change runs.
+        fault(320, FaultKind::Revive, 3),
+        fault(324, FaultKind::Revive, 4),
+    ];
+    let report = run_live(cfg, None, Vec::new());
+
+    // Pid 1 took over; the concurrent joiners are plain participants.
+    assert_eq!(report.roles[1], RoleKind::Coordinator);
+    assert_eq!(report.roles[3], RoleKind::Participant);
+    assert_eq!(report.roles[4], RoleKind::Participant);
+    assert!(report.agreed(), "one view, no split: {:?}", report.views);
+    assert!(!report.views[1].contains(0), "the crashed coordinator left");
+    assert!(report.views[1].contains(3) && report.views[1].contains(4));
+
+    // Both concurrent admissions shipped state from the *new* coordinator.
+    for joiner in [3, 4] {
+        assert!(
+            report
+                .events
+                .events()
+                .iter()
+                .any(|e| matches!(e, Event::StateTransfer { from: 1, to, .. } if *to == joiner)),
+            "no state transfer to pid {joiner}"
+        );
+    }
+    // Every fault has a resolved two-sided sample.
+    for s in &report.reconv {
+        assert!(s.detect.is_some() && s.stable.is_some(), "unresolved {s:?}");
+    }
+}
+
+/// A victim that stays down for most of the run still gets the full
+/// current view (with its fresh epoch as the bar) when it finally asks.
+#[test]
+fn state_transfer_reaches_a_late_joiner() {
+    let mut cfg = MemberConfig::clean(spec(), 4, 22, 1000);
+    cfg.faults = vec![
+        fault(50, FaultKind::Crash, 2),
+        fault(700, FaultKind::Revive, 2),
+    ];
+    let report = run_live(cfg, None, Vec::new());
+
+    assert_eq!(report.roles[2], RoleKind::Participant);
+    assert!(report.agreed());
+    assert!(report.views[2].contains(2), "joiner is in its own view");
+    assert_eq!(
+        report.views[2].bar_of(2),
+        Some(1),
+        "the bar is the second incarnation"
+    );
+    // The transfer came from the incumbent coordinator and carried the
+    // view the group actually agrees on.
+    let shipped = report
+        .events
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            Event::StateTransfer {
+                from: 0,
+                to: 2,
+                view_no,
+                ..
+            } => Some(*view_no),
+            _ => None,
+        })
+        .expect("a state transfer to the late joiner");
+    assert_eq!(shipped, report.views[2].view_no);
+}
+
+/// The golden coordinator-crash plan (the `--failover` campaign's lossy
+/// cell) produces byte-identical view-change streams on both substrates.
+#[test]
+fn sim_and_live_view_change_streams_are_byte_identical() {
+    let plan = failover_plan(0.05, 1);
+    let sim = run_plan_member(&plan, Backend::Sim);
+    let live = run_plan_member(&plan, Backend::Live);
+
+    let stream = view_stream(&sim.report);
+    assert_eq!(stream, view_stream(&live.report), "substrates diverged");
+
+    // The stream tells the §I failover story in order: genesis, the
+    // crash-triggered view change to coordinator 1, then the revived
+    // ex-coordinator's state transfer and readmission.
+    let lines: Vec<&str> = stream.lines().collect();
+    assert!(lines.len() >= 4, "too few membership frames: {stream}");
+    let installs: Vec<_> = sim
+        .report
+        .events
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::ViewChange {
+                view_no,
+                coordinator,
+                ..
+            } => Some((*view_no, *coordinator)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        installs.starts_with(&[(0, 0)]),
+        "genesis first: {installs:?}"
+    );
+    assert!(
+        installs.contains(&(1, 1)) || installs.iter().any(|&(v, c)| v >= 1 && c == 1),
+        "failover view coordinated by pid 1: {installs:?}"
+    );
+    assert!(
+        sim.report
+            .events
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::StateTransfer { from: 1, to: 0, .. })),
+        "the demoted ex-coordinator got state from its successor"
+    );
+    // And the summaries agree modulo the substrate label.
+    let mut s = sim.summary.clone();
+    s.source = live.summary.source;
+    assert_eq!(s, live.summary);
+}

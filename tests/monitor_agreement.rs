@@ -103,6 +103,7 @@ fn golden_naive_crash_verdicts_pin_the_r1_breach() {
                 fix,
                 n: 1,
                 duration: 600,
+                membership: false,
             },
         )
         .with(FaultSpec::Crash { pid: 1, at: 300 })
@@ -234,6 +235,7 @@ proptest! {
                 fix,
                 n,
                 duration: 400,
+                membership: false,
             },
         );
         // loss below 1% / crash before t=60 / revive_delta 0 double as

@@ -107,8 +107,12 @@ fn live_loopback_agrees_with_the_model_on_stale_beat_rejection() {
         "live epoch run saw no stale beat to filter: {epoch:?}"
     );
     assert!(
-        epoch.reconvergence_delay.is_some(),
+        epoch.reconv_detect.is_some(),
         "live epoch run never re-registered the revived node: {epoch:?}"
+    );
+    assert!(
+        epoch.reconv_stable.is_some(),
+        "live epoch run never stabilised the revived node: {epoch:?}"
     );
 }
 
@@ -126,9 +130,14 @@ fn live_and_sim_agree_on_the_same_schedule() {
             "substrates disagree at {fix:?}: sim {sim:?} vs live {live:?}"
         );
         assert_eq!(
-            sim.reconvergence_delay.is_some(),
-            live.reconvergence_delay.is_some(),
+            sim.reconv_detect.is_some(),
+            live.reconv_detect.is_some(),
             "re-registration disagrees at {fix:?}"
+        );
+        assert_eq!(
+            sim.reconv_stable.is_some(),
+            live.reconv_stable.is_some(),
+            "stabilisation disagrees at {fix:?}"
         );
     }
 }

@@ -2,7 +2,7 @@
 //! truncated, oversized or corrupted input can make the decoder panic.
 
 use accelerated_heartbeat::core::Heartbeat;
-use accelerated_heartbeat::net::wire::{Command, DecodeError, Frame};
+use accelerated_heartbeat::net::wire::{Command, DecodeError, Frame, WIRE_VERSION};
 use proptest::prelude::*;
 
 /// Any encodable frame: beats with both heartbeat flags over the full
@@ -141,7 +141,7 @@ proptest! {
         version in any::<u8>(),
         body in prop::collection::vec(any::<u8>(), 0..16),
     ) {
-        prop_assume!(version != 2);
+        prop_assume!(version != WIRE_VERSION);
         let len = (body.len() + 1) as u16;
         let mut bytes = len.to_le_bytes().to_vec();
         bytes.push(version);
