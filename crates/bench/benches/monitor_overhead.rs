@@ -13,7 +13,6 @@
 use std::time::Instant;
 
 use bench::{mean, stddev};
-use hb_core::events::SharedTap;
 use hb_core::{FixLevel, Params, Variant};
 use hb_monitor::MonitorSet;
 use hb_sim::world::WorldConfig;
@@ -44,23 +43,26 @@ fn run_once(cfg: &Config, monitored: bool) -> Sample {
         log_events: false,
     };
     let mut world = World::new(world_cfg, 1);
-    let monitor = monitored.then(|| {
-        let m = MonitorSet::shared(
+    if monitored {
+        // Owned tap: the sim is single-threaded, so the monitor rides
+        // lock-free — this is the deployment configuration the bench
+        // should price.
+        let m = MonitorSet::new(
             cfg.variant,
             Params::new(2, 8).expect("valid"),
             FixLevel::Full,
             cfg.n,
         );
-        let tap: SharedTap = m.clone();
-        world.attach_tap(tap);
-        m
-    });
+        world.attach_owned_tap(Box::new(m));
+    }
     let t0 = Instant::now();
     world.run_until(HORIZON);
     let secs = t0.elapsed().as_secs_f64();
+    let taps = world.take_owned_taps();
     let report = world.into_report();
-    if let Some(m) = monitor {
-        let mut m = m.lock().expect("monitor poisoned");
+    if monitored {
+        let tap = taps.into_iter().next().expect("the monitor comes back");
+        let mut m = MonitorSet::from_tap(tap).expect("the tap is the monitor");
         m.finish(report.duration);
         let v = m.verdicts();
         assert!(

@@ -1,0 +1,204 @@
+//! Hot-path throughput: simulator beats/sec bare and monitored, plus
+//! campaign cells/sec — the trajectory the zero-alloc tick work is
+//! measured against.
+//!
+//! Three sections, all on the deterministic sim backend:
+//!
+//! * **bare**: steady-state lossless worlds at n=1 (binary) and n=8
+//!   (static), no tap — the raw tick path.
+//! * **monitored**: the same worlds with an owned (lock-free)
+//!   `MonitorSet` tap, verdicts asserted clean.
+//! * **campaign**: a small fault-grid campaign, reported as cells/sec
+//!   and runs/sec — the end-to-end cost of a grid point.
+//!
+//! Writes `BENCH_throughput.json` (path overridable as the first
+//! non-flag argument). `--smoke` shrinks horizons and rounds to a CI
+//! sanity run: same code paths, no perf meaning, no assertion beyond
+//! the usual determinism and clean-verdict checks.
+
+use std::time::Instant;
+
+use bench::{mean, stddev};
+use hb_chaos::campaign::{run_campaign, CampaignSpec};
+use hb_chaos::Backend;
+use hb_core::{FixLevel, Params, Variant};
+use hb_monitor::MonitorSet;
+use hb_sim::world::WorldConfig;
+use hb_sim::World;
+
+struct Config {
+    name: &'static str,
+    variant: Variant,
+    n: usize,
+}
+
+struct Sample {
+    /// beats delivered per wall second.
+    throughput: f64,
+    delivered: u64,
+}
+
+fn run_once(cfg: &Config, horizon: u64, monitored: bool) -> Sample {
+    let world_cfg = WorldConfig {
+        variant: cfg.variant,
+        params: Params::new(2, 8).expect("valid"),
+        fix: FixLevel::Full,
+        n: cfg.n,
+        loss_prob: 0.0,
+        log_events: false,
+    };
+    let mut world = World::new(world_cfg, 1);
+    if monitored {
+        let m = MonitorSet::new(
+            cfg.variant,
+            Params::new(2, 8).expect("valid"),
+            FixLevel::Full,
+            cfg.n,
+        );
+        world.attach_owned_tap(Box::new(m));
+    }
+    let t0 = Instant::now();
+    world.run_until(horizon);
+    let secs = t0.elapsed().as_secs_f64();
+    let taps = world.take_owned_taps();
+    let report = world.into_report();
+    if monitored {
+        let tap = taps.into_iter().next().expect("the monitor comes back");
+        let mut m = MonitorSet::from_tap(tap).expect("the tap is the monitor");
+        m.finish(report.duration);
+        let v = m.verdicts();
+        assert!(
+            v.clean(),
+            "{}: steady state must be monitor-clean: {}",
+            cfg.name,
+            v.to_json()
+        );
+    }
+    Sample {
+        throughput: report.messages_delivered as f64 / secs,
+        delivered: report.messages_delivered,
+    }
+}
+
+/// A small grid the campaign section times: 2 cells × 2 seeds × 3 run
+/// kinds on the sim backend, single-threaded so the number measures the
+/// engine, not the thread pool.
+fn campaign_spec(duration: u64, seeds: Vec<u64>) -> CampaignSpec {
+    CampaignSpec {
+        name: "throughput".into(),
+        backend: Backend::Sim,
+        variant: Variant::Binary,
+        params: Params::new(2, 8).expect("valid"),
+        n: 1,
+        duration,
+        fixes: vec![FixLevel::Full],
+        loss: vec![0.0, 0.05],
+        burst: vec![2.0],
+        drift: vec![(1, 1)],
+        partition: vec![0],
+        seeds,
+        threads: 1,
+        monitor: false,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_throughput.json".into());
+
+    let (horizon, rounds) = if smoke { (2_000, 1) } else { (100_000, 5) };
+    let (camp_duration, camp_seeds): (u64, Vec<u64>) = if smoke {
+        (200, vec![1])
+    } else {
+        (2_000, vec![1, 2])
+    };
+
+    let configs = [
+        Config {
+            name: "binary-n1",
+            variant: Variant::Binary,
+            n: 1,
+        },
+        Config {
+            name: "static-n8",
+            variant: Variant::Static,
+            n: 8,
+        },
+    ];
+
+    println!("== hot-path throughput ({horizon} ticks, {rounds} rounds, full fix) ==\n");
+    println!(
+        "{:>10} | {:>14} | {:>14} | {:>9}",
+        "config", "bare beats/s", "monitored", "overhead"
+    );
+    println!("{}", "-".repeat(58));
+
+    let mut rows = Vec::new();
+    for cfg in &configs {
+        let mut bare = Vec::new();
+        let mut tapped = Vec::new();
+        let mut delivered = 0;
+        for _ in 0..rounds {
+            let b = run_once(cfg, horizon, false);
+            let t = run_once(cfg, horizon, true);
+            delivered = b.delivered;
+            assert_eq!(
+                b.delivered, t.delivered,
+                "{}: the tap must not change the protocol",
+                cfg.name
+            );
+            bare.push(b.throughput);
+            tapped.push(t.throughput);
+        }
+        let overhead = mean(&bare) / mean(&tapped) - 1.0;
+        println!(
+            "{:>10} | {:>14.0} | {:>14.0} | {:>8.1}%",
+            cfg.name,
+            mean(&bare),
+            mean(&tapped),
+            overhead * 100.0
+        );
+        rows.push(format!(
+            "{{\"config\":\"{}\",\"n\":{},\"horizon\":{horizon},\"rounds\":{rounds},\
+             \"beats_delivered\":{delivered},\
+             \"bare_beats_per_s\":{:.0},\"bare_sd\":{:.0},\
+             \"monitored_beats_per_s\":{:.0},\"monitored_sd\":{:.0},\
+             \"overhead_pct\":{:.2}}}",
+            cfg.name,
+            cfg.n,
+            mean(&bare),
+            stddev(&bare),
+            mean(&tapped),
+            stddev(&tapped),
+            overhead * 100.0,
+        ));
+    }
+
+    let spec = campaign_spec(camp_duration, camp_seeds);
+    let n_cells = spec.cells().len();
+    let t0 = Instant::now();
+    let report = run_campaign(&spec);
+    let secs = t0.elapsed().as_secs_f64();
+    let runs = report.total_runs();
+    let cells_per_s = n_cells as f64 / secs;
+    let runs_per_s = runs as f64 / secs;
+    println!(
+        "\n{:>10} | {:>6} cells, {:>4} runs | {:>8.2} cells/s | {:>8.1} runs/s",
+        "campaign", n_cells, runs, cells_per_s, runs_per_s
+    );
+
+    let json = format!(
+        "{{\"record\":\"bench_throughput\",\"smoke\":{smoke},\
+         \"configs\":[{}],\
+         \"campaign\":{{\"cells\":{n_cells},\"runs\":{runs},\"duration\":{camp_duration},\
+         \"cells_per_s\":{cells_per_s:.2},\"runs_per_s\":{runs_per_s:.1}}}}}",
+        rows.join(",")
+    );
+    std::fs::write(&out_path, format!("{json}\n")).expect("write BENCH_throughput.json");
+    println!("\nthroughput report -> {out_path}");
+}

@@ -116,26 +116,42 @@ pub fn run_plan_monitored(plan: &FaultPlan, backend: Backend) -> RunSummary {
     if plan.proto.membership {
         return member::run_plan_member_monitored(plan, backend).summary;
     }
-    let monitor = MonitorSet::shared(
-        plan.proto.variant,
-        plan.proto.params,
-        plan.proto.fix,
-        plan.proto.n,
-    );
-    let tap: SharedTap = monitor.clone();
-    let mut summary = match backend {
-        Backend::Sim => sim::run_plan_sim_tapped(plan, tap),
+    // The simulator is single-threaded, so the monitor rides as an
+    // *owned* tap — no mutex on the per-event path. The live backend
+    // merges event streams from many node threads and keeps the shared,
+    // locked tap.
+    match backend {
+        Backend::Sim => {
+            let monitor = MonitorSet::new(
+                plan.proto.variant,
+                plan.proto.params,
+                plan.proto.fix,
+                plan.proto.n,
+            );
+            let (mut summary, tap) = sim::run_plan_sim_owned_tap(plan, Box::new(monitor));
+            let mut mon = MonitorSet::from_tap(tap).expect("the tap is the monitor");
+            mon.finish(summary.duration);
+            summary.monitor = Some(mon.verdicts());
+            summary
+        }
         Backend::Live => {
+            let monitor = MonitorSet::shared(
+                plan.proto.variant,
+                plan.proto.params,
+                plan.proto.fix,
+                plan.proto.n,
+            );
+            let tap: SharedTap = monitor.clone();
             let mut cluster = live::ChaosCluster::new(plan.clone());
             cluster.attach_monitor(tap);
             cluster.run_until(plan.proto.duration);
-            cluster.into_summary()
+            let mut summary = cluster.into_summary();
+            let mut mon = monitor.lock().expect("monitor poisoned");
+            mon.finish(summary.duration);
+            summary.monitor = Some(mon.verdicts());
+            summary
         }
-    };
-    let mut mon = monitor.lock().expect("monitor poisoned");
-    mon.finish(summary.duration);
-    summary.monitor = Some(mon.verdicts());
-    summary
+    }
 }
 
 #[cfg(test)]

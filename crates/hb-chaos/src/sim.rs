@@ -6,7 +6,7 @@
 //! are meaningless here — the simulator has a single global clock — and
 //! are skipped (the live backend applies them; see [`crate::live`]).
 
-use hb_core::events::SharedTap;
+use hb_core::events::{OwnedTap, SharedTap};
 use hb_sim::metrics::Report;
 use hb_sim::schema::RunSummary;
 use hb_sim::world::{World, WorldConfig};
@@ -26,7 +26,17 @@ pub fn run_plan_sim(plan: &FaultPlan) -> RunSummary {
 /// event whether or not logging is enabled; the summary itself is
 /// unchanged — callers read their verdicts out of the tap.
 pub fn run_plan_sim_tapped(plan: &FaultPlan, tap: SharedTap) -> RunSummary {
-    RunSummary::from_report(&run_report(plan, Some(tap)))
+    RunSummary::from_report(&run_report(plan, Some(TapKind::Shared(tap))))
+}
+
+/// Like [`run_plan_sim_tapped`], but the world's sink *owns* the tap —
+/// the simulator is single-threaded, so events dispatch without any
+/// mutex. The tap is handed back alongside the summary for the caller
+/// to read its verdicts out of (e.g. via `MonitorSet::from_tap`).
+pub fn run_plan_sim_owned_tap(plan: &FaultPlan, tap: OwnedTap) -> (RunSummary, OwnedTap) {
+    let (report, mut taps) = run_report_taps(plan, Some(TapKind::Owned(tap)));
+    let tap = taps.pop().expect("the attached owned tap comes back");
+    (RunSummary::from_report(&report), tap)
 }
 
 /// Like [`run_plan_sim`], but hands back the full simulator [`Report`].
@@ -34,7 +44,16 @@ pub fn run_plan_sim_report(plan: &FaultPlan) -> Report {
     run_report(plan, None)
 }
 
-fn run_report(plan: &FaultPlan, tap: Option<SharedTap>) -> Report {
+enum TapKind {
+    Shared(SharedTap),
+    Owned(OwnedTap),
+}
+
+fn run_report(plan: &FaultPlan, tap: Option<TapKind>) -> Report {
+    run_report_taps(plan, tap).0
+}
+
+fn run_report_taps(plan: &FaultPlan, tap: Option<TapKind>) -> (Report, Vec<OwnedTap>) {
     let cfg = WorldConfig {
         variant: plan.proto.variant,
         params: plan.proto.params,
@@ -44,8 +63,10 @@ fn run_report(plan: &FaultPlan, tap: Option<SharedTap>) -> Report {
         log_events: false,
     };
     let mut world = World::new(cfg, plan.seed);
-    if let Some(tap) = tap {
-        world.attach_tap(tap);
+    match tap {
+        Some(TapKind::Shared(tap)) => world.attach_tap(tap),
+        Some(TapKind::Owned(tap)) => world.attach_owned_tap(tap),
+        None => {}
     }
     world.set_fault_hook(Box::new(FaultPipeline::new(plan)));
     for fault in &plan.faults {
@@ -58,7 +79,8 @@ fn run_report(plan: &FaultPlan, tap: Option<SharedTap>) -> Report {
         }
     }
     world.run_until(plan.proto.duration);
-    world.into_report()
+    let taps = world.take_owned_taps();
+    (world.into_report(), taps)
 }
 
 #[cfg(test)]

@@ -61,18 +61,17 @@ pub struct CoordState {
 }
 
 /// What a coordinator round timeout produced.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TimeoutOutcome {
     /// The acceleration bottomed out: `p[0]` inactivated itself
     /// non-voluntarily.
     Inactivated,
-    /// `p[0]` broadcast a heartbeat to these participants and started the
-    /// next round.
-    Beat {
-        /// Joined participants the beat was sent to (may be empty in the
-        /// expanding/dynamic variants before anyone joins).
-        recipients: Vec<Pid>,
-    },
+    /// `p[0]` broadcast a heartbeat and started the next round. The
+    /// broadcast goes to every joined participant — iterate them with
+    /// [`CoordSpec::recipients`] (may be empty in the expanding/dynamic
+    /// variants before anyone joins). Carrying no list keeps the round
+    /// path allocation-free.
+    Beat,
 }
 
 /// Reaction of the coordinator to an incoming heartbeat.
@@ -216,44 +215,57 @@ impl CoordSpec {
     /// Debug-panics unless [`timeout_due`](Self::timeout_due).
     pub fn on_timeout(&self, s: &mut CoordState) -> TimeoutOutcome {
         debug_assert!(self.timeout_due(s));
-        // New waiting times for joined participants; also track the
-        // inactivation-deciding minimum, which for the two-phase variant is
-        // the *halved* value even though the stored time jumps to tmin.
+        // First pass (read-only): the inactivation-deciding minimum, which
+        // for the two-phase variant is the *halved* value even though the
+        // stored time jumps to tmin. Deciding before writing keeps the
+        // inactivating timeout from mutating `tm` — exactly what the old
+        // clone-then-discard achieved, without the per-round allocation.
         let mut decide_min = u32::MAX;
-        let mut new_tm = s.tm.clone();
-        for (i, slot) in new_tm.iter_mut().enumerate() {
+        for i in 0..self.n {
             if !s.jnd[i] {
                 continue;
             }
-            if s.rcvd[i] {
-                *slot = self.params.tmax();
-                decide_min = decide_min.min(*slot);
+            decide_min = decide_min.min(if s.rcvd[i] {
+                self.params.tmax()
             } else {
-                let halved = Params::halve(s.tm[i]);
-                decide_min = decide_min.min(halved);
-                *slot = self.silent_step(s.tm[i]);
-            }
+                Params::halve(s.tm[i])
+            });
         }
         if decide_min < self.params.tmin() {
             s.status = Status::NvInactive;
             return TimeoutOutcome::Inactivated;
         }
-        s.tm = new_tm;
-        // Round length: the minimum waiting time over joined participants;
-        // tmax while nobody has joined.
-        s.t = (0..self.n)
-            .filter(|&i| s.jnd[i])
-            .map(|i| s.tm[i])
-            .min()
-            .unwrap_or(self.params.tmax());
-        s.elapsed = 0;
-        let recipients: Vec<Pid> = (0..self.n).filter(|&i| s.jnd[i]).map(|i| i + 1).collect();
+        // Second pass: commit the new waiting times in place and derive
+        // the round length — the minimum waiting time over joined
+        // participants, tmax while nobody has joined (every stored time is
+        // at most tmax, so the tmax seed is exact, not a clamp).
+        let mut round = self.params.tmax();
         for i in 0..self.n {
-            if s.jnd[i] {
-                s.rcvd[i] = false;
+            if !s.jnd[i] {
+                continue;
             }
+            s.tm[i] = if s.rcvd[i] {
+                self.params.tmax()
+            } else {
+                self.silent_step(s.tm[i])
+            };
+            round = round.min(s.tm[i]);
+            s.rcvd[i] = false;
         }
-        TimeoutOutcome::Beat { recipients }
+        s.t = round;
+        s.elapsed = 0;
+        TimeoutOutcome::Beat
+    }
+
+    /// The pids a [`TimeoutOutcome::Beat`] broadcast goes to: the joined
+    /// participants, in ascending pid order. `on_timeout` never changes
+    /// the joined set, so this is valid (and stable) right after it.
+    pub fn recipients<'a>(&self, s: &'a CoordState) -> impl Iterator<Item = Pid> + 'a {
+        s.jnd
+            .iter()
+            .enumerate()
+            .filter(|&(_, &joined)| joined)
+            .map(|(i, _)| i + 1)
     }
 
     /// Handle a heartbeat from participant `from` (1-based pid).
@@ -359,12 +371,8 @@ mod tests {
         let mut s = sp.init_state();
         assert_eq!(sp.next_timeout_in(&s), Some(10));
         let out = run_to_timeout(&sp, &mut s);
-        assert_eq!(
-            out,
-            TimeoutOutcome::Beat {
-                recipients: vec![1]
-            }
-        );
+        assert_eq!(out, TimeoutOutcome::Beat);
+        assert_eq!(sp.recipients(&s).collect::<Vec<_>>(), vec![1]);
         // first round had rcvd=true, so t stays tmax
         assert_eq!(s.t, 10);
         assert!(!s.rcvd[0]);
@@ -384,7 +392,7 @@ mod tests {
         let mut s = sp.init_state();
         run_to_timeout(&sp, &mut s); // t = 10 (rcvd was initially true)
         let mut lengths = vec![];
-        while let TimeoutOutcome::Beat { .. } = run_to_timeout(&sp, &mut s) {
+        while let TimeoutOutcome::Beat = run_to_timeout(&sp, &mut s) {
             lengths.push(s.t);
         }
         assert_eq!(lengths, vec![5, 2, 1]);
@@ -457,13 +465,13 @@ mod tests {
         let sp = spec(Variant::Expanding, 1, 10, 2);
         let mut s = sp.init_state();
         match run_to_timeout(&sp, &mut s) {
-            TimeoutOutcome::Beat { recipients } => assert!(recipients.is_empty()),
+            TimeoutOutcome::Beat => assert_eq!(sp.recipients(&s).count(), 0),
             _ => panic!("no one joined; p0 must not inactivate"),
         }
         sp.on_heartbeat(&mut s, 2, Heartbeat::plain());
         assert!(s.jnd[1]);
         match run_to_timeout(&sp, &mut s) {
-            TimeoutOutcome::Beat { recipients } => assert_eq!(recipients, vec![2]),
+            TimeoutOutcome::Beat => assert_eq!(sp.recipients(&s).collect::<Vec<_>>(), vec![2]),
             _ => panic!(),
         }
     }
@@ -473,10 +481,7 @@ mod tests {
         let sp = spec(Variant::Expanding, 5, 10, 1);
         let mut s = sp.init_state();
         for _ in 0..20 {
-            assert!(matches!(
-                run_to_timeout(&sp, &mut s),
-                TimeoutOutcome::Beat { .. }
-            ));
+            assert!(matches!(run_to_timeout(&sp, &mut s), TimeoutOutcome::Beat));
             assert_eq!(s.t, 10);
         }
     }
@@ -512,7 +517,7 @@ mod tests {
         sp.on_heartbeat(&mut s, 2, Heartbeat::plain());
         for _ in 0..10 {
             match run_to_timeout(&sp, &mut s) {
-                TimeoutOutcome::Beat { recipients } => assert_eq!(recipients, vec![2]),
+                TimeoutOutcome::Beat => assert_eq!(sp.recipients(&s).collect::<Vec<_>>(), vec![2]),
                 _ => panic!("p0 must stay active"),
             }
             sp.on_heartbeat(&mut s, 2, Heartbeat::plain());
@@ -642,7 +647,7 @@ mod tests {
         let mut s = sp.init_state();
         for _ in 0..100 {
             match run_to_timeout(&sp, &mut s) {
-                TimeoutOutcome::Beat { .. } => {}
+                TimeoutOutcome::Beat => {}
                 TimeoutOutcome::Inactivated => panic!("must not inactivate"),
             }
             sp.on_heartbeat(&mut s, 1, Heartbeat::plain());

@@ -188,10 +188,26 @@ pub fn parse_event_json(line: &str) -> Option<Event> {
     })
 }
 
+/// `Any`-conversion support for [`EventTap`] objects, so an owned tap
+/// handed to a sink can be recovered and downcast back to its concrete
+/// type after the run. Blanket-implemented for every `'static` type —
+/// tap implementors never write this themselves.
+pub trait TapAny {
+    /// Convert the boxed tap into a boxed [`Any`](std::any::Any) for
+    /// downcasting.
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+}
+
+impl<T: std::any::Any> TapAny for T {
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
 /// An online consumer of the event stream (e.g. a streaming requirement
 /// monitor). Taps are attached to an [`EventSink`] and see every event in
 /// emission order, independent of whether the sink also logs or writes.
-pub trait EventTap {
+pub trait EventTap: TapAny {
     /// Observe one event as it happens.
     fn on_event(&mut self, e: &Event);
 }
@@ -200,6 +216,20 @@ pub trait EventTap {
 /// harness keeps a clone to read verdicts out afterwards.
 pub type SharedTap = Arc<Mutex<dyn EventTap + Send>>;
 
+/// An exclusively-owned tap: the sink is the only holder, so dispatch is
+/// a plain virtual call with no mutex. Recover it after the run with
+/// [`EventSink::take_owned_taps`] and downcast via [`TapAny::into_any`].
+pub type OwnedTap = Box<dyn EventTap + Send>;
+
+/// One attached tap: either exclusively owned by the sink (lock-free
+/// dispatch — the fast path for single-threaded runs) or shared behind a
+/// mutex (the live runtime, where the harness keeps a handle to read
+/// verdicts mid-run and many node sinks feed one monitor).
+enum TapSlot {
+    Owned(OwnedTap),
+    Shared(SharedTap),
+}
+
 /// Where a process's events go: an in-memory [`EventLog`], a JSON-lines
 /// writer, any number of live [`EventTap`]s — in any combination, or
 /// nowhere.
@@ -207,7 +237,7 @@ pub type SharedTap = Arc<Mutex<dyn EventTap + Send>>;
 pub struct EventSink {
     log: Option<EventLog>,
     writer: Option<Box<dyn Write + Send>>,
-    taps: Vec<SharedTap>,
+    taps: Vec<TapSlot>,
 }
 
 impl fmt::Debug for EventSink {
@@ -244,7 +274,29 @@ impl EventSink {
     /// Attach a live tap; every subsequent [`EventSink::emit`] forwards
     /// the event to it. A poisoned tap mutex is skipped, not fatal.
     pub fn attach_tap(&mut self, tap: SharedTap) {
-        self.taps.push(tap);
+        self.taps.push(TapSlot::Shared(tap));
+    }
+
+    /// Attach a tap the sink owns exclusively. Dispatch is lock-free —
+    /// use this on single-threaded paths (the simulator) where nothing
+    /// else needs a handle during the run; recover the tap afterwards
+    /// with [`take_owned_taps`](Self::take_owned_taps).
+    pub fn attach_owned_tap(&mut self, tap: OwnedTap) {
+        self.taps.push(TapSlot::Owned(tap));
+    }
+
+    /// Detach and return every owned tap (shared taps stay attached), in
+    /// attachment order — so a harness can downcast them back to their
+    /// concrete types and read verdicts out.
+    pub fn take_owned_taps(&mut self) -> Vec<OwnedTap> {
+        let mut owned = Vec::new();
+        for slot in std::mem::take(&mut self.taps) {
+            match slot {
+                TapSlot::Owned(t) => owned.push(t),
+                shared => self.taps.push(shared),
+            }
+        }
+        owned
     }
 
     /// Record one event.
@@ -255,9 +307,14 @@ impl EventSink {
         if let Some(w) = &mut self.writer {
             let _ = writeln!(w, "{}", event_json(e));
         }
-        for tap in &self.taps {
-            if let Ok(mut t) = tap.lock() {
-                t.on_event(e);
+        for tap in &mut self.taps {
+            match tap {
+                TapSlot::Owned(t) => t.on_event(e),
+                TapSlot::Shared(t) => {
+                    if let Ok(mut t) = t.lock() {
+                        t.on_event(e);
+                    }
+                }
             }
         }
     }
@@ -354,5 +411,34 @@ mod tests {
         sink.emit(&Event::Timeout { at: 1, pid: 0 });
         sink.emit(&Event::Crash { at: 2, pid: 1 });
         assert_eq!(tap.lock().unwrap().0, 2);
+    }
+
+    #[test]
+    fn owned_taps_dispatch_without_a_lock_and_come_back() {
+        struct Counter(usize);
+        impl EventTap for Counter {
+            fn on_event(&mut self, _e: &Event) {
+                self.0 += 1;
+            }
+        }
+        let shared = Arc::new(Mutex::new(Counter(0)));
+        let mut sink = EventSink::disabled();
+        sink.attach_owned_tap(Box::new(Counter(0)));
+        sink.attach_tap(shared.clone());
+        sink.attach_owned_tap(Box::new(Counter(0)));
+        sink.emit(&Event::Timeout { at: 1, pid: 0 });
+        sink.emit(&Event::Crash { at: 2, pid: 1 });
+        sink.emit(&Event::Revive { at: 3, pid: 1 });
+        // Both owned taps come back, in attachment order, downcastable.
+        let owned = sink.take_owned_taps();
+        assert_eq!(owned.len(), 2);
+        for tap in owned {
+            let c = tap.into_any().downcast::<Counter>().expect("a Counter");
+            assert_eq!(c.0, 3);
+        }
+        // The shared tap stays attached and keeps seeing events.
+        sink.emit(&Event::Leave { at: 4, pid: 1 });
+        assert_eq!(shared.lock().unwrap().0, 4);
+        assert!(sink.take_owned_taps().is_empty());
     }
 }

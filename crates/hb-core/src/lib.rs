@@ -47,7 +47,9 @@
 //! for _ in 0..4 { spec.tick(&mut p0); }
 //! assert!(spec.timeout_due(&p0));
 //! match spec.on_timeout(&mut p0) {
-//!     TimeoutOutcome::Beat { recipients } => assert_eq!(recipients, vec![1]),
+//!     TimeoutOutcome::Beat => {
+//!         assert_eq!(spec.recipients(&p0).collect::<Vec<_>>(), vec![1]);
+//!     }
 //!     TimeoutOutcome::Inactivated => unreachable!(),
 //! }
 //! # Ok::<(), hb_core::params::ParamsError>(())

@@ -281,8 +281,8 @@ impl MemberNode {
                 if bottomed.is_empty() {
                     sink.emit(&Event::Timeout { at: now, pid });
                     match cspec.on_timeout(cs) {
-                        TimeoutOutcome::Beat { recipients } => {
-                            for r in recipients {
+                        TimeoutOutcome::Beat => {
+                            for r in cspec.recipients(cs) {
                                 let beat = Frame::beat(pid, cspec.beat_for(cs, r));
                                 out.push((slots[r - 1], beat, fresh));
                             }

@@ -63,7 +63,7 @@
 use std::sync::{Arc, Mutex};
 
 use hb_core::coordinator::{CoordSpec, CoordState};
-use hb_core::events::EventTap;
+use hb_core::events::{EventTap, OwnedTap};
 use hb_core::serial::serial_lt;
 use hb_core::trace::Event;
 use hb_core::{FixLevel, Params, Variant};
@@ -86,6 +86,10 @@ pub struct MonitorSet {
     bound: u32,
     armed: Vec<bool>,
     deadline: Vec<u64>,
+    /// Lazy lower bound on the earliest armed deadline. Timestamps below
+    /// it skip the O(n) deadline scan entirely; arming keeps it a lower
+    /// bound, and a scan that fires nothing recomputes it exactly.
+    next_min: u64,
     coord_active: bool,
     resp_active: Vec<bool>,
     any_fault: bool,
@@ -121,6 +125,7 @@ impl MonitorSet {
             bound,
             armed,
             deadline,
+            next_min: u64::from(bound) + 1,
             coord_active: true,
             resp_active: vec![true; n],
             any_fault: false,
@@ -141,7 +146,7 @@ impl MonitorSet {
     /// active — deadlines are checked *before* the event at `t` applies,
     /// so a death event on the deadline tick does not suppress it).
     fn check_deadlines(&mut self, t: u64) {
-        if !self.coord_active || self.r1.is_some() {
+        if !self.coord_active || self.r1.is_some() || t < self.next_min {
             return;
         }
         let due = (0..self.n)
@@ -153,6 +158,14 @@ impl MonitorSet {
                 at: self.deadline[i],
                 bound: self.bound,
             });
+        } else {
+            // Nothing fired: tighten the lower bound to the exact
+            // earliest armed deadline so the fast path resumes.
+            self.next_min = (0..self.n)
+                .filter(|&i| self.armed[i])
+                .map(|i| self.deadline[i])
+                .min()
+                .unwrap_or(u64::MAX);
         }
     }
 
@@ -173,6 +186,7 @@ impl MonitorSet {
                 } else if !ignored {
                     self.armed[i] = true;
                     self.deadline[i] = at + u64::from(self.bound) + 1;
+                    self.next_min = self.next_min.min(self.deadline[i]);
                 }
                 self.spec.on_heartbeat(&mut self.mirror, from, hb);
             }
@@ -236,6 +250,15 @@ impl MonitorSet {
             r2: gate(self.r2_premise, self.r2),
             r3: gate(self.r3_premise, self.r3),
         }
+    }
+
+    /// Recover a `MonitorSet` that was moved into an owned tap
+    /// (`EventSink::attach_owned_tap`) once the run is over — the
+    /// single-threaded counterpart of [`shared`](Self::shared), with no
+    /// mutex on the event path. Returns `None` if the tap holds some
+    /// other type.
+    pub fn from_tap(tap: OwnedTap) -> Option<MonitorSet> {
+        tap.into_any().downcast::<MonitorSet>().ok().map(|b| *b)
     }
 
     /// A shareable, thread-safe monitor ready to be attached to event

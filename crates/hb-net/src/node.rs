@@ -84,6 +84,10 @@ pub struct NodeRuntime<T: Transport> {
     /// Counters (always on).
     pub counters: Counters,
     sink: EventSink,
+    /// Scratch for the per-round outgoing batch; reused across
+    /// `fire_due`/`on_frame` calls so the steady-state loop never
+    /// allocates.
+    out_scratch: Vec<(Pid, Heartbeat, u32)>,
 }
 
 impl<T: Transport> NodeRuntime<T> {
@@ -102,6 +106,7 @@ impl<T: Transport> NodeRuntime<T> {
             shutdown: false,
             counters: Counters::default(),
             sink: EventSink::disabled(),
+            out_scratch: Vec::new(),
         }
     }
 
@@ -126,6 +131,7 @@ impl<T: Transport> NodeRuntime<T> {
             shutdown: false,
             counters: Counters::default(),
             sink: EventSink::disabled(),
+            out_scratch: Vec::new(),
         }
     }
 
@@ -275,7 +281,7 @@ impl<T: Transport> NodeRuntime<T> {
     /// fired.
     fn fire_due(&mut self) -> io::Result<bool> {
         let now = self.local_now;
-        let mut outgoing: Vec<(Pid, Heartbeat, u32)> = Vec::new();
+        let mut outgoing = std::mem::take(&mut self.out_scratch);
         let fresh = self.budget;
         let mut fired = false;
         match &mut self.role {
@@ -290,11 +296,11 @@ impl<T: Transport> NodeRuntime<T> {
                             self.counters.nv_inactivations += 1;
                             self.sink.emit(&Event::NvInactivate { at: now, pid: 0 });
                         }
-                        TimeoutOutcome::Beat { recipients } => {
+                        TimeoutOutcome::Beat => {
                             if state.t < round_before {
                                 self.counters.halvings += 1;
                             }
-                            for dst in recipients {
+                            for dst in spec.recipients(state) {
                                 outgoing.push((dst, spec.beat_for(state, dst), fresh));
                             }
                         }
@@ -318,9 +324,11 @@ impl<T: Transport> NodeRuntime<T> {
                 }
             }
         }
-        for (dst, hb, budget) in outgoing {
+        for &(dst, hb, budget) in &outgoing {
             self.send_beat(dst, hb, budget)?;
         }
+        outgoing.clear();
+        self.out_scratch = outgoing;
         Ok(fired)
     }
 
@@ -336,7 +344,7 @@ impl<T: Transport> NodeRuntime<T> {
                     to: self.pid,
                     hb,
                 });
-                let mut outgoing: Vec<(Pid, Heartbeat, u32)> = Vec::new();
+                let mut outgoing = std::mem::take(&mut self.out_scratch);
                 let fresh = self.budget;
                 match &mut self.role {
                     Role::Coordinator { spec, state } => {
@@ -381,9 +389,11 @@ impl<T: Transport> NodeRuntime<T> {
                         }
                     }
                 }
-                for (dst, reply, budget) in outgoing {
+                for &(dst, reply, budget) in &outgoing {
                     self.send_beat(dst, reply, budget)?;
                 }
+                outgoing.clear();
+                self.out_scratch = outgoing;
             }
             Frame::Control { cmd, .. } => {
                 self.counters.controls_received += 1;

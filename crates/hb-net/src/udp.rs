@@ -11,7 +11,7 @@
 //! and dropped, never propagated as errors — a hostile or confused sender
 //! cannot crash a node.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 use std::time::Duration;
@@ -29,11 +29,20 @@ const MAX_DATAGRAM: usize = 512;
 /// A [`Transport`] over one UDP socket.
 pub struct UdpTransport {
     socket: UdpSocket,
-    peers: HashMap<Pid, SocketAddr>,
+    /// Dense pid-indexed routing table: `peers[pid]` is the address of
+    /// `pid`, growing on demand. Pids are small and contiguous (slot
+    /// numbers), so a flat table beats hashing on the per-beat path.
+    peers: Vec<Option<SocketAddr>>,
     queued: VecDeque<Recv>,
     decode_errors: u64,
     soft_errors: u64,
     buf: [u8; MAX_DATAGRAM],
+    /// Scratch the outgoing frame is encoded into — reused across sends.
+    send_buf: Vec<u8>,
+    /// The frame currently sitting encoded in `send_buf`. A coordinator
+    /// broadcasting one beat to `n` peers hits this cache `n - 1` times
+    /// and encodes once.
+    encoded: Option<Frame>,
 }
 
 /// Whether an I/O error is a transient localhost condition the transport
@@ -59,11 +68,13 @@ impl UdpTransport {
         let socket = UdpSocket::bind(addr)?;
         Ok(UdpTransport {
             socket,
-            peers: HashMap::new(),
+            peers: Vec::new(),
             queued: VecDeque::new(),
             decode_errors: 0,
             soft_errors: 0,
             buf: [0; MAX_DATAGRAM],
+            send_buf: Vec::new(),
+            encoded: None,
         })
     }
 
@@ -74,12 +85,15 @@ impl UdpTransport {
 
     /// Route `pid` to `addr`.
     pub fn add_peer(&mut self, pid: Pid, addr: SocketAddr) {
-        self.peers.insert(pid, addr);
+        if pid >= self.peers.len() {
+            self.peers.resize(pid + 1, None);
+        }
+        self.peers[pid] = Some(addr);
     }
 
     /// The known address of `pid`, if any.
     pub fn peer(&self, pid: Pid) -> Option<SocketAddr> {
-        self.peers.get(&pid).copied()
+        self.peers.get(pid).copied().flatten()
     }
 
     /// Datagrams that failed to decode so far.
@@ -100,8 +114,8 @@ impl UdpTransport {
             Ok(frame) => {
                 // Control frames come from out-of-band injectors; don't
                 // let them overwrite protocol routes.
-                if matches!(frame, Frame::Beat { .. }) {
-                    self.peers.entry(frame.src()).or_insert(from);
+                if matches!(frame, Frame::Beat { .. }) && self.peer(frame.src()).is_none() {
+                    self.add_peer(frame.src(), from);
                 }
                 self.queued.push_back(Recv {
                     frame,
@@ -115,15 +129,18 @@ impl UdpTransport {
 
 impl Transport for UdpTransport {
     fn send(&mut self, _now: Time, dst: Pid, frame: &Frame, _budget: u32) -> io::Result<()> {
-        let Some(addr) = self.peers.get(&dst) else {
+        let Some(addr) = self.peer(dst) else {
             return Err(io::Error::new(
                 io::ErrorKind::NotConnected,
                 format!("no route to pid {dst}"),
             ));
         };
-        let bytes = frame.encode();
+        if self.encoded != Some(*frame) {
+            frame.encode_into(&mut self.send_buf);
+            self.encoded = Some(*frame);
+        }
         loop {
-            match self.socket.send_to(&bytes, addr) {
+            match self.socket.send_to(&self.send_buf, addr) {
                 Ok(_) => return Ok(()),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) if is_transient(&e) => {

@@ -218,11 +218,33 @@ impl Frame {
 
     /// Encode into a fresh buffer (length prefix included).
     ///
+    /// Hot paths should prefer [`encode_into`](Self::encode_into), which
+    /// reuses a caller-owned buffer instead of allocating per frame.
+    ///
     /// # Panics
     ///
     /// Panics if `src` does not fit in a `u16` — the wire format caps a
     /// cluster at 65535 participants.
     pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + view_len(MAX_VIEW_MEMBERS));
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encode into `out`, clearing it first (length prefix included).
+    ///
+    /// The buffer is caller-owned scratch: any previous contents are
+    /// discarded, and after the call `out` holds exactly the encoded
+    /// frame — byte-for-byte what [`encode`](Self::encode) returns. A
+    /// sender broadcasting one frame to many peers encodes once and
+    /// writes the same buffer to each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` does not fit in a `u16` — the wire format caps a
+    /// cluster at 65535 participants.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
         let src16 = |src: Pid| {
             u16::try_from(src)
                 .expect("pid must fit the u16 wire field")
@@ -244,15 +266,14 @@ impl Frame {
                 out.push(bar);
             }
         };
-        let mut out = Vec::with_capacity(2 + view_len(MAX_VIEW_MEMBERS));
         match *self {
             Frame::Beat { src, hb } => {
-                header(&mut out, BODY_LEN, KIND_BEAT, src);
+                header(out, BODY_LEN, KIND_BEAT, src);
                 out.push(u8::from(hb.flag));
                 out.push(hb.epoch);
             }
             Frame::Control { src, cmd } => {
-                header(&mut out, BODY_LEN, KIND_CONTROL, src);
+                header(out, BODY_LEN, KIND_CONTROL, src);
                 out.push(match cmd {
                     Command::Crash => 0,
                     Command::Leave => 1,
@@ -261,19 +282,18 @@ impl Frame {
                 });
                 out.push(0);
             }
-            Frame::ViewChange { src, ref view } => view_body(&mut out, KIND_VIEW, src, view),
-            Frame::StateReply { src, ref view } => view_body(&mut out, KIND_STATE_REPLY, src, view),
+            Frame::ViewChange { src, ref view } => view_body(out, KIND_VIEW, src, view),
+            Frame::StateReply { src, ref view } => view_body(out, KIND_STATE_REPLY, src, view),
             Frame::StateRequest {
                 src,
                 epoch,
                 view_no,
             } => {
-                header(&mut out, STATE_REQ_LEN, KIND_STATE_REQ, src);
+                header(out, STATE_REQ_LEN, KIND_STATE_REQ, src);
                 out.push(epoch);
                 out.extend_from_slice(&view_no.to_le_bytes());
             }
         }
-        out
     }
 
     /// Decode one frame from the front of `buf`; on success also returns

@@ -273,15 +273,24 @@ impl Channel {
     /// Remove and return every message due at `now` (unordered).
     pub fn due(&mut self, now: Time) -> Vec<InFlight> {
         let mut due = Vec::new();
+        self.due_into(now, &mut due);
+        due
+    }
+
+    /// Remove every message due at `now`, appending it to `out` — the
+    /// allocation-free form of [`due`](Self::due) for callers reusing a
+    /// scratch buffer across ticks. Extraction order is identical to
+    /// `due` (the swap-remove sweep), so the two are drop-in equivalent
+    /// for seed-deterministic runs.
+    pub fn due_into(&mut self, now: Time, out: &mut Vec<InFlight>) {
         let mut i = 0;
         while i < self.in_flight.len() {
             if self.in_flight[i].deliver_at <= now {
-                due.push(self.in_flight.swap_remove(i));
+                out.push(self.in_flight.swap_remove(i));
             } else {
                 i += 1;
             }
         }
-        due
     }
 
     /// Messages currently in flight.

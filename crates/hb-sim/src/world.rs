@@ -8,7 +8,7 @@
 //! clock advances by one.
 
 use hb_core::coordinator::{CoordReaction, CoordSpec, CoordState, TimeoutOutcome};
-use hb_core::events::{EventSink, SharedTap};
+use hb_core::events::{EventSink, OwnedTap, SharedTap};
 use hb_core::responder::{LeaveDecision, RespSpec, RespState};
 use hb_core::trace::Event;
 use hb_core::{FixLevel, Params, Pid, Status, Variant};
@@ -67,6 +67,11 @@ pub struct World {
     revives: Vec<(Pid, Time)>,
     all_inactive_at: Option<Time>,
     sink: EventSink,
+    /// Scratch storage for [`gather_due`](Self::gather_due), reused
+    /// across ticks so the hot loop never allocates.
+    due_scratch: Vec<Due>,
+    /// Scratch for draining the channel into, reused the same way.
+    flight_scratch: Vec<InFlight>,
 }
 
 /// A due event within the current tick.
@@ -107,6 +112,8 @@ impl World {
             } else {
                 EventSink::disabled()
             },
+            due_scratch: Vec::new(),
+            flight_scratch: Vec::new(),
             cfg,
             coord_spec,
             resp_spec,
@@ -215,6 +222,19 @@ impl World {
         self.sink.attach_tap(tap);
     }
 
+    /// Attach a tap the world's sink owns exclusively — lock-free
+    /// dispatch on this single-threaded path. Recover it (e.g. to read
+    /// monitor verdicts) with [`take_owned_taps`](Self::take_owned_taps)
+    /// before [`into_report`](Self::into_report).
+    pub fn attach_owned_tap(&mut self, tap: OwnedTap) {
+        self.sink.attach_owned_tap(tap);
+    }
+
+    /// Detach and return every owned tap, in attachment order.
+    pub fn take_owned_taps(&mut self) -> Vec<OwnedTap> {
+        self.sink.take_owned_taps()
+    }
+
     fn log_event(&mut self, e: Event) {
         self.sink.emit(&e);
     }
@@ -243,37 +263,38 @@ impl World {
         }
     }
 
-    fn gather_due(&mut self) -> Vec<Due> {
-        let mut due: Vec<Due> = self
-            .channel
-            .due(self.now)
-            .into_iter()
-            .map(Due::Deliver)
-            .collect();
-        if self.cfg.fix.receive_priority() && !due.is_empty() {
+    /// Collect everything due this tick into `due_scratch` (cleared
+    /// first). The element order fed to the shuffle — deliveries in
+    /// channel-extraction order, then the coordinator timeout, then
+    /// watchdogs/join-sends in pid order — is exactly the order the old
+    /// allocating collector produced, so seeded runs are byte-identical.
+    fn gather_due(&mut self) {
+        self.due_scratch.clear();
+        self.flight_scratch.clear();
+        self.channel.due_into(self.now, &mut self.flight_scratch);
+        self.due_scratch
+            .extend(self.flight_scratch.drain(..).map(Due::Deliver));
+        if self.cfg.fix.receive_priority() && !self.due_scratch.is_empty() {
             // §6.1 receive priority: as long as any delivery is due, only
             // deliveries execute — timeouts wait for the next gather round
             // (which also picks up zero-delay replies produced here).
-            due.shuffle(&mut self.rng);
-            return due;
+            self.due_scratch.shuffle(&mut self.rng);
+            return;
         }
-        let mut urgent = Vec::new();
         if self.coord_spec.timeout_due(&self.coord) {
-            urgent.push(Due::CoordTimeout);
+            self.due_scratch.push(Due::CoordTimeout);
         }
         for (i, r) in self.resps.iter().enumerate() {
             if let Some(r) = r {
                 if self.resp_spec.watchdog_due(r) {
-                    urgent.push(Due::Watchdog(i + 1));
+                    self.due_scratch.push(Due::Watchdog(i + 1));
                 }
                 if self.resp_spec.join_send_due(r) {
-                    urgent.push(Due::JoinSend(i + 1));
+                    self.due_scratch.push(Due::JoinSend(i + 1));
                 }
             }
         }
-        due.extend(urgent);
-        due.shuffle(&mut self.rng);
-        due
+        self.due_scratch.shuffle(&mut self.rng);
     }
 
     /// Execute one gathered event, unless an earlier event of the same
@@ -344,11 +365,14 @@ impl World {
                             pid: 0,
                         });
                     }
-                    TimeoutOutcome::Beat { recipients } => {
+                    TimeoutOutcome::Beat => {
                         let budget = self.cfg.params.tmin();
-                        for pid in recipients {
-                            let hb = self.coord_spec.beat_for(&self.coord, pid);
-                            self.send(0, pid, hb, budget);
+                        for i in 0..self.cfg.n {
+                            if !self.coord.jnd[i] {
+                                continue;
+                            }
+                            let hb = self.coord_spec.beat_for(&self.coord, i + 1);
+                            self.send(0, i + 1, hb, budget);
                         }
                     }
                 }
@@ -431,13 +455,17 @@ impl World {
         // Drain all events due within this tick (replies may become due in
         // the same tick).
         loop {
-            let due = self.gather_due();
-            if due.is_empty() {
+            self.gather_due();
+            if self.due_scratch.is_empty() {
                 break;
             }
-            for d in due {
+            // Take the batch out so `execute` may borrow the world; the
+            // swap hands the allocation straight back for the next round.
+            let batch = std::mem::take(&mut self.due_scratch);
+            for &d in &batch {
                 self.execute(d);
             }
+            self.due_scratch = batch;
         }
 
         // Two-sided re-convergence. Detection: the coordinator's epoch

@@ -348,8 +348,10 @@ impl Model for HbModel {
                 }
                 match self.coord.on_timeout(&mut next.coord) {
                     TimeoutOutcome::Inactivated => {}
-                    TimeoutOutcome::Beat { recipients } => {
-                        for pid in recipients {
+                    TimeoutOutcome::Beat => {
+                        // `on_timeout` never changes `jnd`, so reading the
+                        // recipients off the post-state is exact.
+                        for pid in self.coord.recipients(&next.coord) {
                             Self::push_msg(
                                 &mut next.channel,
                                 Msg {

@@ -16,7 +16,10 @@ echo "==> monitor overhead (streaming checker tap vs bare simulator)"
 # cargo bench runs with the package as cwd, so hand it an absolute path.
 cargo bench -p bench --bench monitor_overhead -- "$PWD/BENCH_monitor.json"
 
+echo "==> hot-path throughput (bare vs monitored beats/sec, campaign cells/sec)"
+cargo bench -p bench --bench throughput -- "$PWD/BENCH_throughput.json"
+
 echo "==> chaos campaign (sim backend)"
 cargo run --release --example chaos_campaign -- --out BENCH_chaos.json --table
 
-echo "benchmarks done; campaign report in BENCH_chaos.json, monitor overhead in BENCH_monitor.json"
+echo "benchmarks done; campaign report in BENCH_chaos.json, monitor overhead in BENCH_monitor.json, throughput in BENCH_throughput.json"

@@ -47,6 +47,9 @@ diff "$tmpdir/failover_a/failover_sim.json" artifacts/failover_sim.json \
 diff "$tmpdir/failover_a/failover_live.json" artifacts/failover_live.json \
   || { echo "failover live artifact drifted from the checked-in golden" >&2; exit 1; }
 
+echo "==> bench smoke (throughput harness runs end to end; no perf assertion)"
+cargo bench -p bench --bench throughput -- --smoke "$tmpdir/throughput_smoke.json" >/dev/null
+
 echo "==> static analyzer gate (fixed machines must be clean)"
 cargo run --release --example hb_analyze -- --machines fixed --deny-findings
 

@@ -1,6 +1,7 @@
 //! Wire-codec properties: every frame round-trips byte-exactly, and no
 //! truncated, oversized or corrupted input can make the decoder panic.
 
+use accelerated_heartbeat::core::view::{View, MAX_VIEW_MEMBERS};
 use accelerated_heartbeat::core::Heartbeat;
 use accelerated_heartbeat::net::wire::{Command, DecodeError, Frame, WIRE_VERSION};
 use proptest::prelude::*;
@@ -27,6 +28,40 @@ fn any_frame() -> impl Strategy<Value = Frame> {
             };
             Frame::control(src, cmd)
         }),
+    ]
+}
+
+/// Any canonical view: 1..=MAX_VIEW_MEMBERS strictly ascending member
+/// pids with per-member bars, coordinated by one of the members.
+fn any_view() -> impl Strategy<Value = View> {
+    (
+        prop::collection::vec(
+            (0usize..=u16::MAX as usize, any::<u8>()),
+            1..MAX_VIEW_MEMBERS + 1,
+        ),
+        any::<u32>(),
+        any::<u16>(),
+    )
+        .prop_map(|(raw, view_no, coord_pick)| {
+            let mut entries = raw;
+            entries.sort_by_key(|e| e.0);
+            entries.dedup_by_key(|e| e.0);
+            let coordinator = entries[usize::from(coord_pick) % entries.len()].0;
+            View::new(view_no, coordinator, &entries)
+        })
+}
+
+/// Every frame kind of the wire format, including the membership frames
+/// [`any_frame`] leaves out.
+fn any_frame_any_kind() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        any_frame(),
+        (0usize..=u16::MAX as usize, any_view())
+            .prop_map(|(src, view)| Frame::view_change(src, view)),
+        (0usize..=u16::MAX as usize, any_view())
+            .prop_map(|(src, view)| Frame::state_reply(src, view)),
+        (0usize..=u16::MAX as usize, any::<u8>(), any::<u32>())
+            .prop_map(|(src, epoch, view_no)| Frame::state_request(src, epoch, view_no)),
     ]
 }
 
@@ -265,6 +300,32 @@ proptest! {
         }
         prop_assert_eq!(reencoded.len() + rest.len(), stream.len());
         prop_assert_eq!(&stream[..reencoded.len()], &reencoded[..]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `encode_into` is the hot-path encoder: for every frame kind it
+    /// must produce byte-for-byte what `encode` returns, regardless of
+    /// what garbage the reused buffer held before the call.
+    #[test]
+    fn encode_into_matches_encode_on_any_dirty_buffer(
+        frame in any_frame_any_kind(),
+        dirt in prop::collection::vec(any::<u8>(), 0..80),
+    ) {
+        let fresh = frame.encode();
+        let mut reused = dirt;
+        frame.encode_into(&mut reused);
+        prop_assert_eq!(&reused, &fresh);
+        // And the reused buffer still decodes to the same frame.
+        let (decoded, used) = Frame::decode(&reused).expect("own encoding must decode");
+        prop_assert_eq!(decoded, frame);
+        prop_assert_eq!(used, fresh.len());
+        // Back-to-back reuse without clearing in between: the second
+        // encoding fully replaces the first.
+        frame.encode_into(&mut reused);
+        prop_assert_eq!(reused, fresh);
     }
 }
 
