@@ -1,0 +1,136 @@
+//! Checker-scaling bench: states/sec and peak frontier bytes across the
+//! reduction stacks of the n ≥ 2 scale campaign.
+//!
+//! For each cell (variant × requirement × n) the four stacks run under
+//! the same state/time budget: plain BFS, the certificate-gated
+//! sort-key symmetry quotient, symmetry over ample-set POR, and the
+//! composed stack on the bit-packed store with dataflow-proven field
+//! widths. Exhausting the budget *is* the unreduced baseline's
+//! measurement at n = 8 — the reduced stacks finish the same cells
+//! outright.
+//!
+//! Writes `BENCH_mck.json` (path overridable as the first non-flag
+//! argument). `--smoke` shrinks the grid to one cheap cell for CI: same
+//! code paths, no perf meaning. Either way the run fails if any two
+//! finished stacks disagree on a verdict.
+
+use std::time::Duration;
+
+use hb_core::{FixLevel, Params, Variant};
+use hb_verify::requirements::Requirement;
+use hb_verify::tables::{scale_cell, scale_disagreements, Reduction, ScaleCell, ScaleLimits};
+
+fn states_per_sec(c: &ScaleCell) -> f64 {
+    if c.millis == 0 {
+        return c.states as f64 * 1000.0;
+    }
+    c.states as f64 * 1000.0 / c.millis as f64
+}
+
+fn cell_json(c: &ScaleCell) -> String {
+    let peak = c
+        .peak_bytes
+        .map(|b| b.to_string())
+        .unwrap_or_else(|| "null".into());
+    format!(
+        "{{\"variant\":\"{}\",\"req\":\"{}\",\"n\":{},\"reduction\":\"{}\",\
+         \"verdict\":\"{}\",\"states\":{},\"transitions\":{},\"millis\":{},\
+         \"states_per_s\":{:.0},\"peak_frontier_bytes\":{peak}}}",
+        c.variant.name(),
+        c.requirement.name(),
+        c.n,
+        c.reduction.name(),
+        c.outcome.symbol(),
+        c.states,
+        c.transitions,
+        c.millis,
+        states_per_sec(c),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_mck.json".into());
+
+    let p = Params::new(2, 6).expect("valid params");
+    let limits = if smoke {
+        ScaleLimits {
+            max_states: 200_000,
+            time_budget: Duration::from_secs(5),
+        }
+    } else {
+        ScaleLimits {
+            max_states: 4_000_000,
+            time_budget: Duration::from_secs(60),
+        }
+    };
+    // (variant, requirement, n): the §K grid corners. Static carries
+    // the n-sweep to 8 (its full baseline already exhausts there);
+    // expanding shows the join-phase blow-up at n = 4.
+    let grid: Vec<(Variant, Requirement, usize)> = if smoke {
+        vec![(Variant::Static, Requirement::R2, 2)]
+    } else {
+        vec![
+            (Variant::Static, Requirement::R2, 2),
+            (Variant::Static, Requirement::R2, 4),
+            (Variant::Static, Requirement::R2, 8),
+            (Variant::Expanding, Requirement::R2, 2),
+            (Variant::Expanding, Requirement::R2, 4),
+        ]
+    };
+
+    println!("== mck scale: states/s and peak frontier bytes (tmin=2 tmax=6, full fix) ==\n");
+    println!(
+        "{:<10} {:>3} {:<3} {:<15} {:>7} {:>10} {:>12} {:>12} {:>8}",
+        "variant", "req", "n", "reduction", "verdict", "states", "states/s", "peak-bytes", "ms"
+    );
+    println!("{}", "-".repeat(90));
+
+    let mut cells = Vec::new();
+    for &(variant, req, n) in &grid {
+        for reduction in Reduction::ALL {
+            let c = scale_cell(variant, p, FixLevel::Full, req, n, reduction, limits);
+            println!(
+                "{:<10} {:>3} {:<3} {:<15} {:>7} {:>10} {:>12.0} {:>12} {:>8}",
+                c.variant.name(),
+                c.requirement.name(),
+                c.n,
+                c.reduction.name(),
+                c.outcome.symbol(),
+                c.states,
+                states_per_sec(&c),
+                c.peak_bytes
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                c.millis,
+            );
+            cells.push(c);
+        }
+    }
+
+    let bad = scale_disagreements(&cells);
+    assert!(
+        bad.is_empty(),
+        "reduction stacks disagree on a verdict: {bad:?}"
+    );
+    println!("\ncross-check: all finished stacks agree");
+
+    let json = format!(
+        "{{\"record\":\"bench_mck\",\"smoke\":{smoke},\
+         \"tmin\":{},\"tmax\":{},\"fix\":\"full-fix\",\
+         \"max_states\":{},\"budget_secs\":{},\
+         \"cells\":[{}]}}",
+        p.tmin(),
+        p.tmax(),
+        limits.max_states,
+        limits.time_budget.as_secs(),
+        cells.iter().map(cell_json).collect::<Vec<_>>().join(","),
+    );
+    std::fs::write(&out_path, format!("{json}\n")).expect("write BENCH_mck.json");
+    println!("mck scale report -> {out_path}");
+}

@@ -22,6 +22,13 @@ pub enum Lint {
     /// A transition writes an epoch variable without a monotone
     /// (RFC 1982 serial order) discipline.
     EpochNonMonotone,
+    /// A transition's behaviour depends on the concrete rank of a
+    /// participant ([`hb_core::describe::PidScope::Rank`]): the machine
+    /// cannot be symmetry-certified and the quotient checker refuses
+    /// it. Advisory — rank dependence is legitimate (deterministic
+    /// coordinator takeover needs it) but costs the n! → n log n
+    /// canonicalization speed-up, so it is surfaced, not denied.
+    PidConcreteGuard,
 }
 
 impl Lint {
@@ -33,6 +40,22 @@ impl Lint {
             Lint::DeadTransition => "dead-transition",
             Lint::AmbiguousReceive => "ambiguous-receive",
             Lint::EpochNonMonotone => "epoch-non-monotone",
+            Lint::PidConcreteGuard => "pid-concrete-guard",
+        }
+    }
+
+    /// Advisory lints inform without failing `--deny-findings`: they
+    /// flag a cost (a forfeited optimization), not a defect.
+    pub fn is_advisory(self) -> bool {
+        matches!(self, Lint::PidConcreteGuard)
+    }
+
+    /// JSON `severity` field value.
+    pub fn severity(self) -> &'static str {
+        if self.is_advisory() {
+            "advisory"
+        } else {
+            "error"
         }
     }
 }
@@ -55,13 +78,28 @@ impl Finding {
     pub fn to_json(&self) -> String {
         let items: Vec<String> = self.items.iter().map(|i| format!("\"{i}\"")).collect();
         format!(
-            "{{\"machine\":\"{}\",\"lint\":\"{}\",\"items\":[{}],\"detail\":\"{}\"}}",
+            "{{\"machine\":\"{}\",\"lint\":\"{}\",\"severity\":\"{}\",\"items\":[{}],\"detail\":\"{}\"}}",
             self.machine,
             self.lint.name(),
+            self.lint.severity(),
             items.join(","),
             self.detail.replace('\\', "\\\\").replace('"', "\\\""),
         )
     }
+}
+
+/// Sort findings into the stable report order: machine, then lint
+/// name, then involved items. Lint order is by *name* (the public,
+/// kebab-case identifier), not enum declaration order, so the JSON
+/// stream stays stable if the enum is ever reordered.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.machine.as_str(), a.lint.name(), &a.items).cmp(&(
+            b.machine.as_str(),
+            b.lint.name(),
+            &b.items,
+        ))
+    });
 }
 
 /// Render findings as a human report: one block per machine with
@@ -75,17 +113,32 @@ pub fn render_human(findings: &[Finding], machines_checked: usize) -> String {
             last_machine = &f.machine;
         }
         out.push_str(&format!(
-            "  [{}] {}: {}\n",
+            "  [{}{}] {}: {}\n",
             f.lint.name(),
+            if f.lint.is_advisory() {
+                ", advisory"
+            } else {
+                ""
+            },
             f.items.join(" / "),
             f.detail
         ));
     }
-    out.push_str(&format!(
-        "{} finding(s) across {} machine(s) checked\n",
-        findings.len(),
-        machines_checked
-    ));
+    let advisory = findings.iter().filter(|f| f.lint.is_advisory()).count();
+    if advisory > 0 {
+        out.push_str(&format!(
+            "{} finding(s) ({} advisory) across {} machine(s) checked\n",
+            findings.len(),
+            advisory,
+            machines_checked
+        ));
+    } else {
+        out.push_str(&format!(
+            "{} finding(s) across {} machine(s) checked\n",
+            findings.len(),
+            machines_checked
+        ));
+    }
     out
 }
 
@@ -105,8 +158,55 @@ mod tests {
             f.to_json(),
             "{\"machine\":\"coordinator/binary/original\",\
              \"lint\":\"timeout-receive-overlap\",\
+             \"severity\":\"error\",\
              \"items\":[\"accelerate\",\"register-beat\"],\
              \"detail\":\"a \\\"race\\\"\"}"
+        );
+    }
+
+    #[test]
+    fn only_the_rank_lint_is_advisory() {
+        for lint in [
+            Lint::TimeoutReceiveOverlap,
+            Lint::UnreachableState,
+            Lint::DeadTransition,
+            Lint::AmbiguousReceive,
+            Lint::EpochNonMonotone,
+        ] {
+            assert!(!lint.is_advisory());
+            assert_eq!(lint.severity(), "error");
+        }
+        assert!(Lint::PidConcreteGuard.is_advisory());
+        assert_eq!(Lint::PidConcreteGuard.severity(), "advisory");
+    }
+
+    #[test]
+    fn sort_is_by_machine_then_lint_name_then_items() {
+        let f = |m: &str, lint, item: &str| Finding {
+            machine: m.into(),
+            lint,
+            items: vec![item.into()],
+            detail: "d".into(),
+        };
+        let mut v = vec![
+            f("b", Lint::DeadTransition, "z"),
+            f("a", Lint::UnreachableState, "x"),
+            f("a", Lint::AmbiguousReceive, "y"),
+            f("a", Lint::AmbiguousReceive, "w"),
+        ];
+        sort_findings(&mut v);
+        let keys: Vec<(String, &str, String)> = v
+            .iter()
+            .map(|f| (f.machine.clone(), f.lint.name(), f.items[0].clone()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("a".into(), "ambiguous-receive", "w".into()),
+                ("a".into(), "ambiguous-receive", "y".into()),
+                ("a".into(), "unreachable-state", "x".into()),
+                ("b".into(), "dead-transition", "z".into()),
+            ]
         );
     }
 

@@ -8,17 +8,25 @@
 //! finds the *shape* statically, in microseconds, from the machines' own
 //! transition-system IR ([`hb_core::describe`]).
 //!
-//! Two halves:
+//! Three parts:
 //!
 //! * [`lints`] — structural checks over every `variant × FixLevel`
 //!   machine: the timeout-vs-receive overlap above, unreachable control
 //!   states, dead (unsatisfiable) transitions, ambiguous receive
-//!   dispatch, and epoch monotonicity. Findings render as single-line
-//!   JSON ([`Finding::to_json`]) and as a human report.
+//!   dispatch, epoch monotonicity, and the advisory `pid-concrete-guard`
+//!   (rank-dependent transitions that forfeit the symmetry quotient).
+//!   Findings sort deterministically by (machine, lint, items) and
+//!   render as single-line JSON ([`Finding::to_json`], with a
+//!   `severity` field) and as a human report.
+//! * [`dataflow`] — the report surface of `hb_core::dataflow`: proven
+//!   interval ranges (the widths `hb_verify`'s bit-packed codec uses)
+//!   and the static symmetry certificate for all 72 machines.
 //! * [`por_check`] — the soundness gate for the independence-driven
 //!   partial-order reduction of [`hb_verify::por`]: re-checks every
 //!   Table 1/Table 2 cell with and without reduction, insists on
-//!   identical verdicts, and reports the explored-state savings.
+//!   identical verdicts, and reports the explored-state savings —
+//!   annotating the cells where the IR proves zero commutable pairs
+//!   exist.
 //!
 //! The expected lint outcome is itself a regression oracle: every
 //! machine below the §6.1 receive-priority fix trips the overlap lint,
@@ -29,10 +37,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dataflow;
 pub mod findings;
 pub mod lints;
 pub mod por_check;
 
-pub use findings::{render_human, Finding, Lint};
+pub use dataflow::{dataflow_report, render_dataflow, verdict_counts, MachineReport};
+pub use findings::{render_human, sort_findings, Finding, Lint};
 pub use lints::{all_machines, lint_all, lint_machine};
-pub use por_check::{por_cross_check, render_state_table, PorCell};
+pub use por_check::{no_commute_note, por_cross_check, render_state_table, PorCell};

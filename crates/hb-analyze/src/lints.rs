@@ -1,12 +1,12 @@
 //! The lint catalog over [`MachineIr`].
 
 use hb_core::describe::{
-    satisfiable, Atom, DescribeMachine, MachineIr, Transition, Trigger, VarKind,
+    satisfiable, Atom, DescribeMachine, MachineIr, PidScope, Transition, Trigger, VarKind,
 };
 use hb_core::{CoordSpec, FixLevel, Params, RespSpec, Variant};
 use hb_member::MemberSpec;
 
-use crate::findings::{Finding, Lint};
+use crate::findings::{sort_findings, Finding, Lint};
 
 /// Every protocol machine: the two plain roles plus the `hb-member`
 /// view-change machine × all six variants × all four fix levels
@@ -25,7 +25,8 @@ pub fn all_machines() -> Vec<MachineIr> {
     out
 }
 
-/// Run every lint over one machine.
+/// Run every lint over one machine. Findings come back in the stable
+/// (machine, lint name, items) report order.
 pub fn lint_machine(ir: &MachineIr) -> Vec<Finding> {
     let mut out = Vec::new();
     timeout_receive_overlap(ir, &mut out);
@@ -33,12 +34,18 @@ pub fn lint_machine(ir: &MachineIr) -> Vec<Finding> {
     dead_transitions(ir, &mut out);
     ambiguous_receive(ir, &mut out);
     epoch_monotonicity(ir, &mut out);
+    pid_concrete_guard(ir, &mut out);
+    sort_findings(&mut out);
     out
 }
 
-/// Run every lint over every machine, in machine order.
+/// Run every lint over every machine. The result is globally sorted
+/// by (machine, lint name, items) — construction order never leaks
+/// into the JSON stream.
 pub fn lint_all(machines: &[MachineIr]) -> Vec<Finding> {
-    machines.iter().flat_map(lint_machine).collect()
+    let mut out: Vec<Finding> = machines.iter().flat_map(lint_machine).collect();
+    sort_findings(&mut out);
+    out
 }
 
 fn intersects(a: &[&'static str], b: &[&'static str]) -> bool {
@@ -181,6 +188,25 @@ fn epoch_monotonicity(ir: &MachineIr, out: &mut Vec<Finding>) {
     }
 }
 
+/// Advisory: transitions whose behaviour depends on a participant's
+/// concrete rank ([`PidScope::Rank`]). These are the symmetry
+/// certificate's counterexamples — `hb_verify::symmetry` refuses the
+/// sort-key quotient for any machine with one, falling back to the n!
+/// brute-force canonicalizer. Surfaced so the forfeited speed-up is a
+/// conscious design cost, never a silent one.
+fn pid_concrete_guard(ir: &MachineIr, out: &mut Vec<Finding>) {
+    for t in &ir.transitions {
+        if let PidScope::Rank(reason) = t.pid_scope {
+            out.push(Finding {
+                machine: ir.name(),
+                lint: Lint::PidConcreteGuard,
+                items: vec![t.name.into()],
+                detail: format!("'{}' consults a concrete rank: {reason}", t.name),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +227,8 @@ mod tests {
             consumes: matches!(trigger, Trigger::Receive),
             sends: vec![],
             epoch_effect: EpochEffect::None,
+            updates: vec![],
+            pid_scope: hb_core::describe::PidScope::Uniform,
         };
         MachineIr {
             role: Role::Responder,
@@ -270,5 +298,57 @@ mod tests {
     #[test]
     fn enumerates_all_72_machines() {
         assert_eq!(all_machines().len(), 72);
+    }
+
+    #[test]
+    fn rank_scoped_transition_trips_the_advisory_lint() {
+        let mut ir = synthetic();
+        ir.transitions[0].pid_scope = hb_core::describe::PidScope::Rank("lowest rank wins");
+        let findings = lint_machine(&ir);
+        let f = findings
+            .iter()
+            .find(|f| f.lint == Lint::PidConcreteGuard)
+            .expect("rank scope must be flagged");
+        assert_eq!(f.items, vec!["go".to_string()]);
+        assert!(f.detail.contains("lowest rank wins"));
+    }
+
+    #[test]
+    fn only_member_machines_carry_the_rank_advisory() {
+        for ir in all_machines() {
+            let findings = lint_machine(&ir);
+            let rank_findings: Vec<&Finding> = findings
+                .iter()
+                .filter(|f| f.lint == Lint::PidConcreteGuard)
+                .collect();
+            let is_member = ir.name().starts_with("member/");
+            assert_eq!(
+                !rank_findings.is_empty(),
+                is_member,
+                "rank advisory mismatch on {}",
+                ir.name()
+            );
+            if is_member {
+                assert!(
+                    rank_findings
+                        .iter()
+                        .all(|f| f.items[0].starts_with("takeover")),
+                    "unexpected rank-scoped transition on {}: {rank_findings:?}",
+                    ir.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lint_all_is_globally_sorted() {
+        let findings = lint_all(&all_machines());
+        let keys: Vec<(String, &str, Vec<String>)> = findings
+            .iter()
+            .map(|f| (f.machine.clone(), f.lint.name(), f.items.clone()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
     }
 }

@@ -8,10 +8,13 @@
 //! Cells are run at the participant count where each variant actually
 //! exhibits concurrency — see [`cell_n`]. At `n = 1` the channel never
 //! holds two in-flight messages, so there is nothing to commute and the
-//! reduced run degenerates to the full one — reported as 0% reduction,
-//! not hidden.
+//! reduced run degenerates to the full one. Rather than reporting a
+//! silent 0%, [`no_commute_note`] derives the *reason* from the IR
+//! (fault-free + single participant + no unprompted participant send)
+//! and the table marks those cells as expected.
 
-use hb_core::{Params, Variant};
+use hb_core::describe::DescribeMachine;
+use hb_core::{Params, RespSpec, Variant};
 use hb_verify::por::verify_with_n_por;
 use hb_verify::requirements::{verify_with_n, Requirement};
 use hb_verify::tables::paper_params;
@@ -35,6 +38,9 @@ pub struct PorCell {
     pub full_states: usize,
     /// States explored with reduction.
     pub por_states: usize,
+    /// IR-derived explanation when 0% reduction is *expected*, not a
+    /// blind spot — see [`no_commute_note`].
+    pub note: Option<&'static str>,
 }
 
 impl PorCell {
@@ -75,6 +81,33 @@ pub fn cell_n(variant: Variant, req: Requirement) -> usize {
     }
 }
 
+/// The EXPERIMENTS §G blind spot, turned into an IR-derived rule: on a
+/// fault-free (`R2`/`R3`) cell with one participant whose responder IR
+/// declares no time-triggered send ([`SendProfile::time_sends`] is
+/// false — every participant message is a reply to a beat), at most one
+/// message is ever in flight. There are no concurrent independent
+/// actions, so *zero* commutable pairs exist and 0% reduction is the
+/// correct answer, not a reduction failure. Cells matching the rule
+/// carry this note; `R1` cells keep faults in play (crash/loss steps do
+/// commute) and stay unannotated.
+///
+/// [`SendProfile::time_sends`]: hb_core::describe::SendProfile::time_sends
+pub fn no_commute_note(
+    variant: Variant,
+    params: Params,
+    req: Requirement,
+    n: usize,
+) -> Option<&'static str> {
+    if n != 1 || req == Requirement::R1 {
+        return None;
+    }
+    let resp_ir = RespSpec::new(variant, params, hb_core::FixLevel::Original).describe();
+    if resp_ir.send_profile().time_sends {
+        return None;
+    }
+    Some("no commutable pairs: one participant, fault-free, and the IR declares no unprompted participant send — at most one message is ever in flight")
+}
+
 /// Run the cross-check over every Table 1/Table 2 cell (all six
 /// variants × the five paper datasets × R1–R3) at the paper's
 /// `FixLevel::Original`. Panics on a verdict divergence — by
@@ -99,6 +132,7 @@ pub fn por_cross_check() -> Vec<PorCell> {
                     holds_por: por.holds,
                     full_states: full.stats.states,
                     por_states: por.stats.states,
+                    note: no_commute_note(variant, params, req, n),
                 };
                 assert!(
                     cell.agree(),
@@ -130,13 +164,16 @@ pub fn fraction_reduced(cells: &[PorCell], threshold_pct: f64) -> f64 {
 }
 
 /// Render the explored-state table (markdown) for EXPERIMENTS.md.
+/// Cells whose 0% reduction is *proven expected* ([`no_commute_note`])
+/// are marked `†` and excluded from the reduction summary; the note is
+/// printed once as a footnote.
 pub fn render_state_table(cells: &[PorCell]) -> String {
     let mut out = String::new();
     out.push_str("| variant | tmin/tmax | req | n | full states | POR states | saved |\n");
     out.push_str("|---------|-----------|-----|---|-------------|------------|-------|\n");
     for c in cells {
         out.push_str(&format!(
-            "| {} | {}/{} | {:?} | {} | {} | {} | {:.0}% |\n",
+            "| {} | {}/{} | {:?} | {} | {} | {} | {:.0}%{} |\n",
             c.variant.name(),
             c.params.tmin(),
             c.params.tmax(),
@@ -145,14 +182,70 @@ pub fn render_state_table(cells: &[PorCell]) -> String {
             c.full_states,
             c.por_states,
             c.reduction_pct(),
+            if c.note.is_some() { " †" } else { "" },
         ));
     }
-    let meeting = cells.iter().filter(|c| c.reduction_pct() >= 30.0).count();
+    let reducible: Vec<&PorCell> = cells.iter().filter(|c| c.note.is_none()).collect();
+    let meeting = reducible
+        .iter()
+        .filter(|c| c.reduction_pct() >= 30.0)
+        .count();
     out.push_str(&format!(
-        "\n{} of {} cells explored ≥ 30% fewer states under POR; \
+        "\n{} of {} reducible cells explored ≥ 30% fewer states under POR \
+         ({} cells marked † have provably no commutable pairs); \
          verdicts agree on all cells.\n",
         meeting,
-        cells.len()
+        reducible.len(),
+        cells.len() - reducible.len(),
     ));
+    if let Some(note) = cells.iter().find_map(|c| c.note) {
+        out.push_str(&format!("\n† {note}\n"));
+    }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_note_rule_tracks_the_ir_send_profile() {
+        let p = Params::new(3, 9).unwrap();
+        // Binary's responder only ever replies to beats: fault-free
+        // one-participant cells provably have nothing to commute.
+        assert!(no_commute_note(Variant::Binary, p, Requirement::R2, 1).is_some());
+        assert!(no_commute_note(Variant::TwoPhase, p, Requirement::R3, 1).is_some());
+        // The expanding responder's join phase sends on a timer — two
+        // messages can race even with one participant, so no note.
+        assert!(no_commute_note(Variant::Expanding, p, Requirement::R2, 1).is_none());
+        // R1 cells keep faults in play: crash/loss steps commute.
+        assert!(no_commute_note(Variant::Binary, p, Requirement::R1, 1).is_none());
+        // Multi-participant cells genuinely reduce.
+        assert!(no_commute_note(Variant::Static, p, Requirement::R2, 2).is_none());
+    }
+
+    #[test]
+    fn noted_cells_render_with_a_footnote_and_leave_the_summary() {
+        let p = Params::new(3, 9).unwrap();
+        let cell = |variant, req: Requirement, n: usize, full: usize, por: usize| PorCell {
+            variant,
+            params: p,
+            requirement: req,
+            n,
+            holds_full: true,
+            holds_por: true,
+            full_states: full,
+            por_states: por,
+            note: no_commute_note(variant, p, req, n),
+        };
+        let cells = vec![
+            cell(Variant::Binary, Requirement::R2, 1, 100, 100),
+            cell(Variant::Static, Requirement::R2, 2, 100, 60),
+        ];
+        let table = render_state_table(&cells);
+        assert!(table.contains("0% †"), "{table}");
+        assert!(table.contains("1 of 1 reducible cells"), "{table}");
+        assert!(table.contains("1 cells marked †"), "{table}");
+        assert!(table.contains("† no commutable pairs"), "{table}");
+    }
 }

@@ -179,6 +179,61 @@ impl EpochEffect {
     }
 }
 
+/// The abstract effect of a transition on one non-epoch variable —
+/// the assignment summary the `dataflow` range analysis interprets.
+/// Epoch variables are updated through [`EpochEffect`] instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateKind {
+    /// `var := 0` (timer reset, evidence clear).
+    Reset,
+    /// `var := c` for the given constant (booleans are 0/1, statuses
+    /// use the `Status` discriminant order: active 0, crashed 1,
+    /// nv-inactive 2).
+    Set(u32),
+    /// `var := v` for some `v` inside the variable's declared span —
+    /// the round recomputation (`t := min of halved waits`) and the
+    /// per-participant commit (`tm[i] := tmax` or the silent step) land
+    /// here: the concrete value is parameter-dependent, but provably
+    /// stays inside the span.
+    ToSpan,
+    /// `var := var + 1`, saturating at the span's upper bound (tick-like
+    /// counters that urgency keeps below their firing bound).
+    Increment,
+}
+
+/// One entry of a transition's assignment summary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Update {
+    /// The written variable (must appear in the transition's `writes`).
+    pub var: &'static str,
+    /// Its abstract new value.
+    pub kind: UpdateKind,
+}
+
+/// Convenience constructor for an [`Update`].
+pub fn upd(var: &'static str, kind: UpdateKind) -> Update {
+    Update { var, kind }
+}
+
+/// Whether a transition treats participant ranks interchangeably — the
+/// raw material of the symmetry certificate
+/// ([`crate::dataflow::symmetry_certificate`]).
+///
+/// A transition is `Uniform` when relabelling participants commutes
+/// with it: its guard, footprint and sends mention peers only through
+/// the triggering message or a per-participant slot indexed by the same
+/// pid. `Rank` marks a transition whose guard or effect consults a
+/// concrete rank asymmetrically (e.g. the failover seniority rule);
+/// one such transition refuses the whole machine's certificate, and the
+/// carried reason is the counterexample the analyzer reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PidScope {
+    /// Relabelling participants commutes with the transition.
+    Uniform,
+    /// The transition depends on a concrete rank; the string says how.
+    Rank(&'static str),
+}
+
 /// One guarded transition of a machine.
 #[derive(Clone, Debug)]
 pub struct Transition {
@@ -206,6 +261,12 @@ pub struct Transition {
     pub sends: Vec<&'static str>,
     /// Epoch discipline of the transition.
     pub epoch_effect: EpochEffect,
+    /// Assignment summary for the written non-epoch variables, in the
+    /// abstract-value language of [`UpdateKind`]. A written variable
+    /// with no summary is havocked to its span by the range analysis.
+    pub updates: Vec<Update>,
+    /// Whether the transition is rank-interchangeable (see [`PidScope`]).
+    pub pid_scope: PidScope,
 }
 
 /// Which transition classes of a machine send messages — the footprint
@@ -372,10 +433,17 @@ impl DescribeMachine for CoordSpec {
                 Atom::AccelAboveFloor,
             ]),
             reads: timeout_reads.clone(),
-            writes: vec!["t", "elapsed", "rcvd"],
+            writes: vec!["t", "elapsed", "rcvd", "tm"],
             consumes: false,
             sends: vec!["to-participants"],
             epoch_effect: EpochEffect::None,
+            updates: vec![
+                upd("t", UpdateKind::ToSpan),
+                upd("elapsed", UpdateKind::Reset),
+                upd("rcvd", UpdateKind::Set(0)),
+                upd("tm", UpdateKind::ToSpan),
+            ],
+            pid_scope: PidScope::Uniform,
         });
 
         // Round timeout, starvation branch: the acceleration floor is
@@ -396,6 +464,8 @@ impl DescribeMachine for CoordSpec {
             consumes: false,
             sends: vec![],
             epoch_effect: EpochEffect::None,
+            updates: vec![upd("status", UpdateKind::Set(2))],
+            pid_scope: PidScope::Uniform,
         });
 
         // A join/stay heartbeat registers liveness (and, under rejoin,
@@ -406,8 +476,13 @@ impl DescribeMachine for CoordSpec {
                 guard.push(Atom::EpochFresh);
             }
             let mut writes = vec!["rcvd", "tm"];
+            let mut updates = vec![
+                upd("rcvd", UpdateKind::Set(1)),
+                upd("tm", UpdateKind::ToSpan),
+            ];
             if join {
                 writes.push("jnd");
+                updates.push(upd("jnd", UpdateKind::Set(1)));
             }
             let mut reads = vec![];
             if rejoin {
@@ -433,6 +508,8 @@ impl DescribeMachine for CoordSpec {
                 } else {
                     EpochEffect::None
                 },
+                updates,
+                pid_scope: PidScope::Uniform,
             });
         }
 
@@ -440,11 +517,16 @@ impl DescribeMachine for CoordSpec {
         if leave {
             let mut reads = vec![];
             let mut writes = vec!["jnd", "rcvd"];
+            let mut updates = vec![
+                upd("jnd", UpdateKind::Set(0)),
+                upd("rcvd", UpdateKind::Set(0)),
+            ];
             if rejoin {
                 reads.push("min_epoch");
                 writes.push("min_epoch");
             } else {
                 writes.push("left");
+                updates.push(upd("left", UpdateKind::Set(1)));
             }
             transitions.push(Transition {
                 name: "ack-leave",
@@ -462,6 +544,8 @@ impl DescribeMachine for CoordSpec {
                 } else {
                     EpochEffect::None
                 },
+                updates,
+                pid_scope: PidScope::Uniform,
             });
         }
 
@@ -478,6 +562,8 @@ impl DescribeMachine for CoordSpec {
             consumes: false,
             sends: vec![],
             epoch_effect: EpochEffect::None,
+            updates: vec![upd("status", UpdateKind::Set(1))],
+            pid_scope: PidScope::Uniform,
         });
 
         MachineIr {
@@ -571,6 +657,8 @@ impl DescribeMachine for RespSpec {
                 consumes: false,
                 sends: vec![],
                 epoch_effect: EpochEffect::None,
+                updates: vec![upd("status", UpdateKind::Set(2))],
+                pid_scope: PidScope::Uniform,
             });
         }
 
@@ -592,6 +680,8 @@ impl DescribeMachine for RespSpec {
                 consumes: false,
                 sends: vec!["to-coordinator"],
                 epoch_effect: EpochEffect::None,
+                updates: vec![upd("join_elapsed", UpdateKind::Reset)],
+                pid_scope: PidScope::Uniform,
             });
 
             // The first echoed beat confirms the join. Under the §7
@@ -618,6 +708,11 @@ impl DescribeMachine for RespSpec {
                 consumes: true,
                 sends: vec!["to-coordinator"],
                 epoch_effect: EpochEffect::None,
+                updates: vec![
+                    upd("waiting", UpdateKind::Reset),
+                    upd("joined", UpdateKind::Set(1)),
+                ],
+                pid_scope: PidScope::Uniform,
             });
         }
 
@@ -647,6 +742,8 @@ impl DescribeMachine for RespSpec {
                 consumes: true,
                 sends: vec!["to-coordinator"],
                 epoch_effect: EpochEffect::None,
+                updates: vec![upd("waiting", UpdateKind::Reset)],
+                pid_scope: PidScope::Uniform,
             });
             transitions.push(Transition {
                 name: "beat-reply-leave",
@@ -660,6 +757,11 @@ impl DescribeMachine for RespSpec {
                 consumes: true,
                 sends: vec!["to-coordinator"],
                 epoch_effect: EpochEffect::None,
+                updates: vec![
+                    upd("waiting", UpdateKind::Reset),
+                    upd("left", UpdateKind::Set(1)),
+                ],
+                pid_scope: PidScope::Uniform,
             });
             // A leave-ack echo carries flag `false` and is absorbed.
             transitions.push(Transition {
@@ -674,6 +776,8 @@ impl DescribeMachine for RespSpec {
                 consumes: true,
                 sends: vec![],
                 epoch_effect: EpochEffect::None,
+                updates: vec![],
+                pid_scope: PidScope::Uniform,
             });
         } else {
             transitions.push(Transition {
@@ -688,6 +792,8 @@ impl DescribeMachine for RespSpec {
                 consumes: true,
                 sends: vec!["to-coordinator"],
                 epoch_effect: EpochEffect::None,
+                updates: vec![upd("waiting", UpdateKind::Reset)],
+                pid_scope: PidScope::Uniform,
             });
         }
 
@@ -709,6 +815,8 @@ impl DescribeMachine for RespSpec {
                 consumes: false,
                 sends: vec![],
                 epoch_effect: EpochEffect::None,
+                updates: vec![upd("status", UpdateKind::Set(1))],
+                pid_scope: PidScope::Uniform,
             });
         }
 
@@ -726,6 +834,12 @@ impl DescribeMachine for RespSpec {
             consumes: false,
             sends: vec![],
             epoch_effect: EpochEffect::BumpOnRevive,
+            updates: vec![
+                upd("status", UpdateKind::Set(0)),
+                upd("waiting", UpdateKind::Reset),
+                upd("joined", UpdateKind::Set(if join { 0 } else { 1 })),
+            ],
+            pid_scope: PidScope::Uniform,
         });
 
         MachineIr {
@@ -775,6 +889,15 @@ mod tests {
                         "{}/{} references undeclared {v}",
                         ir.name(),
                         t.name
+                    );
+                }
+                for u in &t.updates {
+                    assert!(
+                        t.writes.contains(&u.var),
+                        "{}/{} updates {} outside its write footprint",
+                        ir.name(),
+                        t.name,
+                        u.var
                     );
                 }
             }

@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub mod coordinator;
+pub mod dataflow;
 pub mod describe;
 pub mod events;
 pub mod fixes;

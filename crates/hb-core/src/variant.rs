@@ -77,6 +77,15 @@ impl Variant {
         matches!(self, Variant::TwoPhase)
     }
 
+    /// Whether the variant is one of the two-process shapes, pinned to a
+    /// single participant (`CoordSpec::new` asserts `n == 1` for these).
+    pub fn is_two_process(self) -> bool {
+        matches!(
+            self,
+            Variant::Binary | Variant::RevisedBinary | Variant::TwoPhase
+        )
+    }
+
     /// A short lowercase name (used in reports and bench output).
     pub fn name(self) -> &'static str {
         match self {

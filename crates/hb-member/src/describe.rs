@@ -20,11 +20,54 @@
 //! admission and registration, `BumpOnRevive` on restart), which the
 //! `epoch-monotonicity` lint checks.
 
+use hb_core::dataflow::{Concretization, Interval};
 use hb_core::describe::{
-    Atom, DescribeMachine, EpochEffect, MachineIr, Role, Transition, Trigger, VarDecl, VarKind,
+    upd, Atom, DescribeMachine, EpochEffect, MachineIr, PidScope, Role, Transition, Trigger,
+    UpdateKind, VarDecl, VarKind,
 };
 
 use crate::node::MemberSpec;
+
+/// Numeric spans for the member machine's dataflow analysis.
+///
+/// The member state is never bit-packed (only the composed plain-role
+/// checker model is), so the open-ended ledgers — the view generation
+/// and the succession fire count — get the conservative 8-bit span; the
+/// clocks get the same urgency-derived bounds as the plain roles.
+pub fn member_concretization(spec: &MemberSpec) -> Concretization {
+    let p = spec.params;
+    let (tmin, tmax) = (p.tmin(), p.tmax());
+    let wd = if spec.fix.corrected_bounds() {
+        p.responder_bound_corrected(spec.variant)
+    } else {
+        p.responder_bound_original()
+    };
+    let mut c = Concretization {
+        spans: Default::default(),
+        init: Default::default(),
+        bounds: Default::default(),
+        msg_epoch: Interval::point(0),
+        leaver_epoch: Interval::point(0),
+    };
+    for (name, span, init) in [
+        ("status", Interval::new(0, 2), Interval::point(0)),
+        ("view", Interval::new(0, 255), Interval::point(0)),
+        ("waiting", Interval::new(0, wd), Interval::point(0)),
+        ("fires", Interval::new(0, 255), Interval::point(0)),
+        ("t", Interval::new(tmin, tmax), Interval::point(tmax)),
+        ("elapsed", Interval::new(0, tmax), Interval::point(0)),
+        ("rcvd", Interval::new(0, 1), Interval::point(1)),
+        ("joined", Interval::new(0, 1), Interval::point(1)),
+        ("epoch", Interval::new(0, 255), Interval::point(0)),
+        ("bars", Interval::new(0, 255), Interval::point(0)),
+    ] {
+        c.spans.insert(name, span);
+        c.init.insert(name, init);
+    }
+    c.bounds.insert("waiting", Interval::point(wd));
+    c.bounds.insert("elapsed", Interval::new(tmin, tmax));
+    c
+}
 
 impl DescribeMachine for MemberSpec {
     fn describe(&self) -> MachineIr {
@@ -98,6 +141,11 @@ impl DescribeMachine for MemberSpec {
             consumes: true,
             sends: vec!["to-coordinator"],
             epoch_effect: EpochEffect::None,
+            updates: vec![
+                upd("waiting", UpdateKind::Reset),
+                upd("fires", UpdateKind::Reset),
+            ],
+            pid_scope: PidScope::Uniform,
         }];
         // The R1-style watchdog fires on coordinator silence; each fire
         // advances the succession ledger.
@@ -113,6 +161,11 @@ impl DescribeMachine for MemberSpec {
             consumes: false,
             sends: vec![],
             epoch_effect: EpochEffect::None,
+            updates: vec![
+                upd("waiting", UpdateKind::Reset),
+                upd("fires", UpdateKind::Increment),
+            ],
+            pid_scope: PidScope::Uniform,
         });
         // Enough fires for this rank: claim the seat, install and
         // broadcast the superseding view.
@@ -128,6 +181,19 @@ impl DescribeMachine for MemberSpec {
             consumes: false,
             sends: vec!["to-group"],
             epoch_effect: EpochEffect::None,
+            updates: vec![
+                upd("view", UpdateKind::ToSpan),
+                upd("waiting", UpdateKind::Reset),
+                upd("fires", UpdateKind::Reset),
+                upd("t", UpdateKind::ToSpan),
+                upd("elapsed", UpdateKind::Reset),
+                upd("rcvd", UpdateKind::Set(0)),
+            ],
+            pid_scope: PidScope::Rank(
+                "the succession rule counts watchdog fires against this node's rank \
+                 in the view: lower ranks claim the seat sooner, so relabelling \
+                 participants changes which one takes over",
+            ),
         });
         // Same takeover with nobody else live: a singleton view probes
         // the universe instead of coordinating it.
@@ -143,6 +209,14 @@ impl DescribeMachine for MemberSpec {
             consumes: false,
             sends: vec![],
             epoch_effect: EpochEffect::None,
+            updates: vec![
+                upd("view", UpdateKind::ToSpan),
+                upd("elapsed", UpdateKind::Reset),
+            ],
+            pid_scope: PidScope::Rank(
+                "the singleton takeover consults the same rank-ordered succession \
+                 ledger as `takeover`",
+            ),
         });
         // A superseding view-change frame installs the new view.
         transitions.push(Transition {
@@ -157,6 +231,12 @@ impl DescribeMachine for MemberSpec {
             consumes: true,
             sends: vec![],
             epoch_effect: EpochEffect::None,
+            updates: vec![
+                upd("view", UpdateKind::ToSpan),
+                upd("waiting", UpdateKind::Reset),
+                upd("fires", UpdateKind::Reset),
+            ],
+            pid_scope: PidScope::Uniform,
         });
 
         // -- coordinator ------------------------------------------------
@@ -177,6 +257,12 @@ impl DescribeMachine for MemberSpec {
             consumes: false,
             sends: vec!["to-group"],
             epoch_effect: EpochEffect::None,
+            updates: vec![
+                upd("t", UpdateKind::ToSpan),
+                upd("elapsed", UpdateKind::Reset),
+                upd("rcvd", UpdateKind::Set(0)),
+            ],
+            pid_scope: PidScope::Uniform,
         });
         // Acceleration floor with a silent member: where the plain
         // coordinator starves out (NV-inactivation), the membership
@@ -198,6 +284,13 @@ impl DescribeMachine for MemberSpec {
             consumes: false,
             sends: vec!["to-group"],
             epoch_effect: EpochEffect::None,
+            updates: vec![
+                upd("view", UpdateKind::ToSpan),
+                upd("t", UpdateKind::ToSpan),
+                upd("elapsed", UpdateKind::Reset),
+                upd("rcvd", UpdateKind::Set(0)),
+            ],
+            pid_scope: PidScope::Uniform,
         });
         // A member's reply registers liveness (behind the epoch bar
         // under rejoin).
@@ -226,6 +319,8 @@ impl DescribeMachine for MemberSpec {
                 } else {
                     EpochEffect::None
                 },
+                updates: vec![upd("rcvd", UpdateKind::Set(1))],
+                pid_scope: PidScope::Uniform,
             });
         }
         // A state request admits the joiner: next view includes it (its
@@ -253,6 +348,8 @@ impl DescribeMachine for MemberSpec {
                 } else {
                     EpochEffect::None
                 },
+                updates: vec![upd("view", UpdateKind::ToSpan)],
+                pid_scope: PidScope::Uniform,
             });
         }
         // A superseding view demotes the (merely slow, now deposed)
@@ -269,6 +366,12 @@ impl DescribeMachine for MemberSpec {
             consumes: true,
             sends: vec![],
             epoch_effect: EpochEffect::None,
+            updates: vec![
+                upd("view", UpdateKind::ToSpan),
+                upd("waiting", UpdateKind::Reset),
+                upd("fires", UpdateKind::Reset),
+            ],
+            pid_scope: PidScope::Uniform,
         });
 
         // -- solo -------------------------------------------------------
@@ -286,6 +389,8 @@ impl DescribeMachine for MemberSpec {
             consumes: false,
             sends: vec!["to-group"],
             epoch_effect: EpochEffect::None,
+            updates: vec![upd("elapsed", UpdateKind::Reset)],
+            pid_scope: PidScope::Uniform,
         });
         // A superseding view from anywhere merges the singleton back in.
         transitions.push(Transition {
@@ -300,6 +405,12 @@ impl DescribeMachine for MemberSpec {
             consumes: true,
             sends: vec![],
             epoch_effect: EpochEffect::None,
+            updates: vec![
+                upd("view", UpdateKind::ToSpan),
+                upd("waiting", UpdateKind::Reset),
+                upd("fires", UpdateKind::Reset),
+            ],
+            pid_scope: PidScope::Uniform,
         });
 
         // -- joiner -----------------------------------------------------
@@ -316,6 +427,8 @@ impl DescribeMachine for MemberSpec {
             consumes: false,
             sends: vec!["to-group"],
             epoch_effect: EpochEffect::None,
+            updates: vec![upd("elapsed", UpdateKind::Reset)],
+            pid_scope: PidScope::Uniform,
         });
         // The coordinator's state reply carries the full view; under
         // rejoin the joiner only adopts a view whose bar matches its own
@@ -337,6 +450,13 @@ impl DescribeMachine for MemberSpec {
                 consumes: true,
                 sends: vec![],
                 epoch_effect: EpochEffect::None,
+                updates: vec![
+                    upd("view", UpdateKind::ToSpan),
+                    upd("waiting", UpdateKind::Reset),
+                    upd("fires", UpdateKind::Reset),
+                    upd("joined", UpdateKind::Set(1)),
+                ],
+                pid_scope: PidScope::Uniform,
             });
         }
 
@@ -359,6 +479,8 @@ impl DescribeMachine for MemberSpec {
                 consumes: false,
                 sends: vec![],
                 epoch_effect: EpochEffect::None,
+                updates: vec![upd("status", UpdateKind::Set(1))],
+                pid_scope: PidScope::Uniform,
             });
         }
         // Restart: the next incarnation rejoins via state transfer.
@@ -374,6 +496,14 @@ impl DescribeMachine for MemberSpec {
             consumes: false,
             sends: vec![],
             epoch_effect: EpochEffect::BumpOnRevive,
+            updates: vec![
+                upd("status", UpdateKind::Set(0)),
+                upd("view", UpdateKind::ToSpan),
+                upd("waiting", UpdateKind::Reset),
+                upd("fires", UpdateKind::Reset),
+                upd("joined", UpdateKind::Set(0)),
+            ],
+            pid_scope: PidScope::Uniform,
         });
 
         MachineIr {
@@ -446,5 +576,46 @@ mod tests {
         use hb_core::describe::VarKind;
         assert!(ir(FixLevel::Full).var_kind("bars") == Some(VarKind::Epoch));
         assert!(ir(FixLevel::CorrectedBounds).var_kind("bars").is_none());
+    }
+
+    /// The succession rule is genuinely rank-asymmetric, so the member
+    /// machine must refuse the symmetry certificate at every fix level —
+    /// with `takeover` as the named counterexample transition.
+    #[test]
+    fn the_member_machine_refuses_the_symmetry_certificate() {
+        use hb_core::dataflow::{symmetry_certificate, SymmetryVerdict};
+        for fix in FixLevel::ALL {
+            match symmetry_certificate(&ir(fix)) {
+                SymmetryVerdict::Refused { transition, .. } => {
+                    assert_eq!(transition, "takeover")
+                }
+                SymmetryVerdict::Certified => panic!("member/{} must refuse", fix.name()),
+            }
+        }
+    }
+
+    /// The ranges the fixpoint proves for the member clocks match the
+    /// urgency bounds the concretization encodes.
+    #[test]
+    fn member_clock_ranges_follow_urgency() {
+        use hb_core::dataflow::{analyze, CHECKER_TRIGGERS};
+        let spec = MemberSpec::new(
+            Variant::Dynamic,
+            Params::new(1, 10).unwrap(),
+            FixLevel::Full,
+        );
+        let a = analyze(
+            &spec.describe(),
+            &member_concretization(&spec),
+            &CHECKER_TRIGGERS,
+        );
+        let t = a.range("t").unwrap();
+        assert_eq!((t.lo, t.hi), (1, 10));
+        let elapsed = a.range("elapsed").unwrap();
+        assert_eq!((elapsed.lo, elapsed.hi), (0, 10));
+        assert_eq!(
+            a.range("epoch").unwrap(),
+            hb_core::dataflow::Interval::point(0)
+        );
     }
 }

@@ -36,6 +36,7 @@ pub mod live;
 pub mod node;
 pub mod sim;
 
+pub use describe::member_concretization;
 pub use engine::{Engine, FaultKind, MemberConfig, MemberFault, MemberReport, Mesh, ReconvSample};
 pub use live::{run_live, LiveMesh};
 pub use node::{MemberNode, MemberSpec, Outbound, RoleKind};

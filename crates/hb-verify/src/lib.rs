@@ -46,6 +46,7 @@ pub mod figures;
 pub mod liveness;
 pub mod model;
 pub mod monitor;
+pub mod packed;
 pub mod por;
 pub mod rejoin_model;
 pub mod render;
@@ -56,6 +57,11 @@ pub mod tables;
 
 pub use model::{HbAction, HbModel, HbState, Msg};
 pub use monitor::{monitor_defs, reference_verdicts, MonitorDef, ReferenceVerdicts, Violation};
+pub use packed::HbCodec;
 pub use por::{verify_with_n_por, HbAmpleOracle};
 pub use requirements::{verify, verify_with_n, Requirement, Verdict};
-pub use tables::{table1, table2, table_fixed, TableReport};
+pub use symmetry::{canonical_sorted, certified_canonical, SymmetryRefusal};
+pub use tables::{
+    render_scale, scale_cell, scale_disagreements, scale_grid, table1, table2, table_fixed,
+    Reduction, ScaleCell, ScaleLimits, ScaleOutcome, TableReport,
+};

@@ -106,6 +106,7 @@ pub struct HbModel {
     crashable: Vec<bool>,
     allow_leave: bool,
     monitor_bound: Option<u32>,
+    stagger: bool,
 }
 
 impl HbModel {
@@ -121,7 +122,21 @@ impl HbModel {
             crashable: vec![true; n + 1],
             allow_leave: variant.supports_leave(),
             monitor_bound: None,
+            stagger: false,
         }
+    }
+
+    /// Stagger the participants' initial clocks: participant `i` starts
+    /// with its watchdog (or join timer) advanced by `i` modulo the
+    /// firing bound, so the group does not move in lockstep. Staggering
+    /// breaks the *initial-state* symmetry only — the transition
+    /// relation still treats participants interchangeably, which is all
+    /// the quotient construction needs (canonicalization is an
+    /// automorphism of the transition system regardless of where the
+    /// run starts).
+    pub fn stagger_starts(mut self, yes: bool) -> Self {
+        self.stagger = yes;
+        self
     }
 
     /// Enable/disable message loss.
@@ -173,6 +188,23 @@ impl HbModel {
     /// The R1 monitor bound, if monitoring is on.
     pub fn monitor_bound_value(&self) -> Option<u32> {
         self.monitor_bound
+    }
+
+    /// Whether message loss is enabled.
+    pub fn loss_allowed(&self) -> bool {
+        self.allow_loss
+    }
+
+    /// Whether voluntary leaves are enabled.
+    pub fn leave_allowed(&self) -> bool {
+        self.allow_leave
+    }
+
+    /// Whether every *participant* has the same crash switch — part of
+    /// the symmetry soundness obligation (the coordinator's switch is
+    /// irrelevant: permutations never touch `p[0]`).
+    pub fn participant_faults_uniform(&self) -> bool {
+        self.crashable[1..].windows(2).all(|w| w[0] == w[1])
     }
 
     /// The protocol variant.
@@ -256,9 +288,35 @@ impl Model for HbModel {
         } else {
             Vec::new()
         };
+        let resps = (0..self.n)
+            .map(|i| {
+                let mut r = self.resp.init_state();
+                if self.stagger {
+                    // Advance each participant's governing timer by its
+                    // index — values inside the dataflow ranges, so the
+                    // packed codec needs no special case. The watchdog
+                    // offset must stay below the protocol's own margin:
+                    // fault-free beats are at most tmax (round) + tmin
+                    // (delivery) apart, so an initial offset under
+                    // bound − (tmax + tmin) can never cause a spurious
+                    // firing, while anything larger injects a premise
+                    // violation the requirements would rightly flag.
+                    if self.variant().has_join_phase() {
+                        r.join_elapsed = (i as u32) % self.params().tmin().max(1);
+                    } else {
+                        let slack = self
+                            .resp
+                            .watchdog_bound()
+                            .saturating_sub(self.params().tmax() + self.params().tmin());
+                        r.waiting = (i as u32) % slack.max(1);
+                    }
+                }
+                r
+            })
+            .collect();
         vec![HbState {
             coord: self.coord.init_state(),
-            resps: (0..self.n).map(|_| self.resp.init_state()).collect(),
+            resps,
             channel: Vec::new(),
             lost: false,
             monitors,

@@ -1,19 +1,41 @@
-//! Participant-permutation symmetry for the composed heartbeat models.
+//! Participant-permutation symmetry for the composed heartbeat models,
+//! gated by the IR's static interchangeability certificate.
 //!
 //! In the static/expanding/dynamic protocols all participants run the
 //! same code, so global states that differ only by a renaming of the
-//! participants are bisimilar. [`canonical`] picks the lexicographically
-//! least state over all participant permutations (brute force over `n!`,
-//! fine for the small `n` these models use), which lets
-//! [`mck::symmetry::Symmetric`] explore the quotient:
+//! participants are bisimilar. Two canonicalization functions pick one
+//! representative per orbit:
+//!
+//! * [`canonical`] — brute force over all `n!` permutations, the least
+//!   permuted state in the derived `Ord`. Exact but exponential; kept as
+//!   the cross-check oracle.
+//! * [`canonical_sorted`] — `O(n log n)`: every per-participant datum
+//!   (responder state, the coordinator's `rcvd`/`tm`/`jnd`/`left`/
+//!   `min_epoch` slots, the ghost monitor, and the multiset of in-flight
+//!   messages touching that participant) is gathered into one sort key,
+//!   and the participants are permuted into sorted-key order. Because
+//!   every message has the coordinator as one endpoint, the key captures
+//!   the participant's *entire* slice of the global state, so key-equal
+//!   participants are literally interchangeable and the result is
+//!   orbit-unique.
+//!
+//! The sort-key shortcut is only sound when participants really are
+//! interchangeable; that used to be a hand-waved obligation. It is now
+//! discharged statically: [`certified_canonical`] consults
+//! [`hb_core::dataflow::symmetry_certificate`] on both machines' IR and
+//! *refuses the quotient at construction* — naming the offending
+//! transition — for any machine with a rank-dependent transition (e.g.
+//! the membership machines' `takeover`), or when the model's
+//! per-participant fault switches are not uniform.
 //!
 //! ```
 //! use hb_core::{Params, Variant, FixLevel};
-//! use hb_verify::{HbModel, symmetry::canonical};
+//! use hb_verify::{HbModel, symmetry::certified_canonical};
 //! use mck::{Checker, symmetry::Symmetric};
 //!
 //! let model = HbModel::new(Variant::Static, Params::new(1, 3).unwrap(), 2, FixLevel::Original);
-//! let sym = Symmetric::new(&model, |s| canonical(s));
+//! let canon = certified_canonical(&model).expect("plain machines are certified");
+//! let sym = Symmetric::new(&model, canon);
 //! let full = Checker::new(&model).check_invariant(|_| true).stats().states;
 //! let reduced = Checker::new(&sym).check_invariant(|_| true).stats().states;
 //! assert!(reduced < full);
@@ -22,12 +44,13 @@
 //! Only use the quotient with *symmetric* properties (invariant under the
 //! same renaming) — R2 ("some participant NV-inactive"), R3, and the
 //! liveness goal all qualify; "participant **2** specifically fails" does
-//! not. The soundness obligation also requires the model's fault switches
-//! to be uniform across participants (the default).
+//! not.
 
-use hb_core::Pid;
+use hb_core::dataflow::{symmetry_certificate, SymmetryVerdict};
+use hb_core::describe::{DescribeMachine, Role};
+use hb_core::{Heartbeat, Pid};
 
-use crate::model::{HbState, Msg};
+use crate::model::{HbModel, HbState, Msg};
 
 fn permute(s: &HbState, perm: &[usize]) -> HbState {
     let n = perm.len();
@@ -39,6 +62,7 @@ fn permute(s: &HbState, perm: &[usize]) -> HbState {
         out.coord.tm[i] = s.coord.tm[j];
         out.coord.jnd[i] = s.coord.jnd[j];
         out.coord.left[i] = s.coord.left[j];
+        out.coord.min_epoch[i] = s.coord.min_epoch[j];
         if !s.monitors.is_empty() {
             out.monitors[i] = s.monitors[j];
         }
@@ -100,6 +124,135 @@ pub fn canonical(s: &HbState) -> HbState {
         .expect("at least the identity permutation exists")
 }
 
+/// The sort key of participant `i` (0-based) in `s`: everything the
+/// global state knows about that participant. Since every in-flight
+/// message has `p[0]` as one endpoint, the per-message entry
+/// `(to_coord, hb, budget)` loses no information, and two participants
+/// with equal keys have identical slices of the global state — swapping
+/// them is the identity.
+type ParticipantKey = (
+    hb_core::RespState,
+    bool,
+    u32,
+    bool,
+    bool,
+    u8,
+    Option<crate::model::MonitorState>,
+    Vec<(bool, Heartbeat, u32)>,
+);
+
+fn participant_key(s: &HbState, i: usize) -> ParticipantKey {
+    let pid = i + 1;
+    let mut msgs: Vec<(bool, Heartbeat, u32)> = s
+        .channel
+        .iter()
+        .filter(|m| m.src == pid || m.dst == pid)
+        .map(|m| (m.dst == 0, m.hb, m.budget))
+        .collect();
+    msgs.sort_unstable();
+    (
+        s.resps[i].clone(),
+        s.coord.rcvd[i],
+        s.coord.tm[i],
+        s.coord.jnd[i],
+        s.coord.left[i],
+        s.coord.min_epoch[i],
+        s.monitors.get(i).copied(),
+        msgs,
+    )
+}
+
+/// The canonical representative of `s` in `O(n log n)`: participants
+/// permuted into sorted-key order (see the module docs for why the key
+/// determines the orbit). Picks a (possibly) different representative
+/// than [`canonical`], but the same *function* on each orbit — which is
+/// all [`mck::symmetry::Symmetric`] needs.
+pub fn canonical_sorted(s: &HbState) -> HbState {
+    let n = s.resps.len();
+    if n <= 1 {
+        return s.clone();
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_cached_key(|&i| participant_key(s, i));
+    if order.windows(2).all(|w| w[0] < w[1]) {
+        return s.clone(); // already canonical
+    }
+    permute(s, &order)
+}
+
+/// Why a model was refused the symmetric quotient.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SymmetryRefusal {
+    /// A machine transition consults a concrete rank: the IR certificate
+    /// names it as the counterexample.
+    RankDependent {
+        /// Which of the two machines tripped the certificate.
+        role: Role,
+        /// The offending transition.
+        transition: &'static str,
+        /// The IR's explanation of the asymmetry.
+        reason: &'static str,
+    },
+    /// The model's per-participant crash switches are not uniform, so
+    /// renaming participants changes the enabled fault actions.
+    NonUniformFaults,
+}
+
+impl std::fmt::Display for SymmetryRefusal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SymmetryRefusal::RankDependent {
+                role,
+                transition,
+                reason,
+            } => write!(
+                f,
+                "quotient refused: {role:?} transition `{transition}` is rank-dependent ({reason})"
+            ),
+            SymmetryRefusal::NonUniformFaults => write!(
+                f,
+                "quotient refused: per-participant fault switches are not uniform"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SymmetryRefusal {}
+
+/// The certificate-gated constructor for the fast canonicalizer.
+///
+/// Returns [`canonical_sorted`] iff the static symmetry certificate of
+/// both machine IRs is [`SymmetryVerdict::Certified`] *and* the model's
+/// participant fault switches are uniform; otherwise the refusal names
+/// the counterexample transition. There is no fallback to brute force —
+/// an uncertified machine gets no quotient at all, because the `n!`
+/// search picks a representative just as unsoundly when participants
+/// are genuinely distinguishable.
+pub fn certified_canonical(model: &HbModel) -> Result<fn(&HbState) -> HbState, SymmetryRefusal> {
+    for (role, verdict) in [
+        (
+            Role::Coordinator,
+            symmetry_certificate(&model.coord_spec().describe()),
+        ),
+        (
+            Role::Responder,
+            symmetry_certificate(&model.resp_spec().describe()),
+        ),
+    ] {
+        if let SymmetryVerdict::Refused { transition, reason } = verdict {
+            return Err(SymmetryRefusal::RankDependent {
+                role,
+                transition,
+                reason,
+            });
+        }
+    }
+    if !model.participant_faults_uniform() {
+        return Err(SymmetryRefusal::NonUniformFaults);
+    }
+    Ok(canonical_sorted)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +308,98 @@ mod tests {
         let full = Checker::new(&m).check_invariant(|_| true).stats().states;
         let reduced = Checker::new(&sym).check_invariant(|_| true).stats().states;
         assert!(reduced < full, "no reduction: {reduced} vs {full} states");
+    }
+
+    #[test]
+    fn sorted_canonicalization_matches_brute_force_orbits() {
+        // `canonical_sorted` may pick a different representative than
+        // the n! search, but it must be constant on each orbit and land
+        // in the *same* orbit — checked by round-tripping through the
+        // brute-force representative.
+        let m = model(3);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let path = mck::sim::random_walk(&m, &mut rng, 40);
+            for s in path.states() {
+                let c = canonical_sorted(&s);
+                assert_eq!(canonical_sorted(&c), c, "idempotent");
+                let swapped = permute(&s, &[2, 0, 1]);
+                assert_eq!(canonical_sorted(&swapped), c, "orbit-invariant");
+                assert_eq!(canonical(&c), canonical(&s), "same orbit as brute force");
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_quotient_agrees_with_brute_force_quotient_on_r2() {
+        let m = model(2);
+        let brute = Symmetric::new(&m, canonical);
+        let sorted = Symmetric::new(&m, canonical_sorted);
+        let pred = |s: &HbState| error_predicate(&m, Requirement::R2)(s);
+        let b = Checker::new(&brute).find_state(pred);
+        let s = Checker::new(&sorted).find_state(pred);
+        assert_eq!(b.is_some(), s.is_some());
+        if let (Some(b), Some(s)) = (b, s) {
+            assert_eq!(b.len(), s.len(), "shortest violation depth must agree");
+        }
+        // The quotients are the same size: both functions pick exactly
+        // one representative per orbit.
+        let bs = Checker::new(&brute)
+            .check_invariant(|_| true)
+            .stats()
+            .states;
+        let ss = Checker::new(&sorted)
+            .check_invariant(|_| true)
+            .stats()
+            .states;
+        assert_eq!(bs, ss, "orbit counts must match");
+    }
+
+    #[test]
+    fn certificate_admits_every_plain_machine() {
+        for variant in Variant::ALL {
+            let n = if variant.is_two_process() { 1 } else { 2 };
+            let m =
+                crate::model::HbModel::new(variant, Params::new(2, 4).unwrap(), n, FixLevel::Full);
+            assert!(
+                certified_canonical(&m).is_ok(),
+                "{variant} should be certified"
+            );
+        }
+    }
+
+    #[test]
+    fn certificate_refuses_non_uniform_fault_switches() {
+        let m = crate::model::HbModel::new(
+            Variant::Static,
+            Params::new(2, 4).unwrap(),
+            2,
+            FixLevel::Full,
+        )
+        .crashable(1, false);
+        let err = certified_canonical(&m).unwrap_err();
+        assert_eq!(err, SymmetryRefusal::NonUniformFaults);
+        assert!(err.to_string().contains("not uniform"));
+    }
+
+    #[test]
+    fn staggered_starts_keep_the_quotient_sound() {
+        let m = build_model(
+            Variant::Static,
+            Params::new(1, 3).unwrap(),
+            FixLevel::Original,
+            2,
+            Requirement::R2,
+        )
+        .stagger_starts(true);
+        let canon = certified_canonical(&m).unwrap();
+        let sym = Symmetric::new(&m, canon);
+        let pred = |s: &HbState| error_predicate(&m, Requirement::R2)(s);
+        let full = Checker::new(&m).find_state(pred);
+        let red = Checker::new(&sym).find_state(pred);
+        assert_eq!(full.is_some(), red.is_some());
+        let mut rng = StdRng::seed_from_u64(21);
+        assert!(sym.verify_symmetric(&mut rng, 6, 25));
     }
 
     #[test]

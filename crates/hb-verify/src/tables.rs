@@ -9,13 +9,31 @@
 //!
 //! Each report carries the paper's expected verdicts next to the measured
 //! ones and renders as the same `T`/`F` grid the paper prints.
+//!
+//! Beyond the paper's `n = 1` grids, the **scale campaign**
+//! ([`scale_grid`]) sweeps the multi-party protocols at `n ∈ {2, 4, 8}`
+//! with staggered starts (and leaves, for the dynamic variant) under
+//! four reduction stacks — unreduced, certificate-gated symmetry,
+//! symmetry × partial-order reduction, and the same pair on the
+//! bit-packed store — reporting state counts, memory and verdicts side
+//! by side so the reductions can be cross-checked against each other
+//! and against the unreduced checker on every affordable cell.
 
 use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 
 use hb_core::params::PAPER_DATASETS;
 use hb_core::{FixLevel, Params, Variant};
+use mck::bfs::Stats;
+use mck::packed::PackedChecker;
+use mck::symmetry::Symmetric;
+use mck::{CheckOutcome, Checker, Model, Reduced};
 
-use crate::requirements::{verify_with_n, Requirement, Verdict};
+use crate::model::HbState;
+use crate::packed::HbCodec;
+use crate::por::HbAmpleOracle;
+use crate::requirements::{build_model, error_predicate, verify_with_n, Requirement, Verdict};
+use crate::symmetry::certified_canonical;
 
 /// The paper's Table 1 verdicts (rows R1, R2, R3 × the five data sets).
 pub const TABLE1_EXPECTED: [[bool; 5]; 3] = [
@@ -244,6 +262,299 @@ pub fn sweep_variant(variant: Variant, fix: FixLevel, datasets: &[Params]) -> Ta
     }
 }
 
+/// The reduction stack applied to one scale-campaign cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Reduction {
+    /// Plain BFS over the unreduced composed model.
+    Full,
+    /// Certificate-gated symmetry quotient (sort-key canonicalization).
+    Sym,
+    /// Symmetry quotient over the ample-set-reduced model.
+    SymPor,
+    /// [`Reduction::SymPor`] explored on the bit-packed store with
+    /// dataflow-proven field widths.
+    SymPorPacked,
+}
+
+impl Reduction {
+    /// All stacks, weakest first.
+    pub const ALL: [Reduction; 4] = [
+        Reduction::Full,
+        Reduction::Sym,
+        Reduction::SymPor,
+        Reduction::SymPorPacked,
+    ];
+
+    /// Short name for report columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            Reduction::Full => "full",
+            Reduction::Sym => "sym",
+            Reduction::SymPor => "sym+por",
+            Reduction::SymPorPacked => "sym+por+packed",
+        }
+    }
+}
+
+impl std::fmt::Display for Reduction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Exploration budget for one scale cell. A cell that exhausts either
+/// limit reports [`ScaleOutcome::Exhausted`] instead of a verdict —
+/// that *is* the measurement for the unreduced baselines.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleLimits {
+    /// Stop after interning this many states.
+    pub max_states: usize,
+    /// Stop after this much wall-clock time.
+    pub time_budget: Duration,
+}
+
+impl Default for ScaleLimits {
+    fn default() -> Self {
+        Self {
+            max_states: 2_000_000,
+            time_budget: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What a scale cell concluded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScaleOutcome {
+    /// The requirement holds (exhaustively, within this reduction).
+    Holds,
+    /// Violated, with the depth of the found counterexample.
+    Violated {
+        /// Length of the counterexample path.
+        depth: usize,
+    },
+    /// The state or time budget ran out first.
+    Exhausted,
+    /// The symmetry certificate refused the quotient (rendered reason).
+    Refused(String),
+}
+
+impl ScaleOutcome {
+    /// Report symbol: `T`, `F`, `—` (exhausted) or `refused`.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            ScaleOutcome::Holds => "T",
+            ScaleOutcome::Violated { .. } => "F",
+            ScaleOutcome::Exhausted => "—",
+            ScaleOutcome::Refused(_) => "refused",
+        }
+    }
+}
+
+/// One measured cell of the scale campaign.
+#[derive(Clone, Debug)]
+pub struct ScaleCell {
+    /// Protocol variant.
+    pub variant: Variant,
+    /// Requirement checked.
+    pub requirement: Requirement,
+    /// Participant count.
+    pub n: usize,
+    /// Reduction stack used.
+    pub reduction: Reduction,
+    /// Verdict or exhaustion.
+    pub outcome: ScaleOutcome,
+    /// States interned before finishing (or giving up).
+    pub states: usize,
+    /// Transitions traversed.
+    pub transitions: usize,
+    /// Peak bytes of the packed store (packed runs only).
+    pub peak_bytes: Option<usize>,
+    /// Wall-clock milliseconds.
+    pub millis: u128,
+}
+
+fn scale_outcome<M: Model>(o: &CheckOutcome<M>) -> (ScaleOutcome, Stats) {
+    match o {
+        CheckOutcome::Holds(st) => (ScaleOutcome::Holds, *st),
+        CheckOutcome::Violated { path, stats } => {
+            (ScaleOutcome::Violated { depth: path.len() }, *stats)
+        }
+        CheckOutcome::Incomplete(st) => (ScaleOutcome::Exhausted, *st),
+    }
+}
+
+/// Measure one scale-campaign cell.
+///
+/// The model is built exactly as the paper cells are
+/// ([`build_model`]) plus staggered starts; the dynamic variant keeps
+/// its voluntary leaves. The `Sym*` stacks go through
+/// [`certified_canonical`], so an uncertified machine yields
+/// [`ScaleOutcome::Refused`] instead of an unsound quotient.
+pub fn scale_cell(
+    variant: Variant,
+    params: Params,
+    fix: FixLevel,
+    req: Requirement,
+    n: usize,
+    reduction: Reduction,
+    limits: ScaleLimits,
+) -> ScaleCell {
+    let model = build_model(variant, params, fix, n, req).stagger_starts(true);
+    let pred = |s: &HbState| !error_predicate(&model, req)(s);
+    let start = Instant::now();
+    let mut peak_bytes = None;
+    let (outcome, stats) = match reduction {
+        Reduction::Full => {
+            let out = Checker::new(&model)
+                .max_states(limits.max_states)
+                .time_budget(limits.time_budget)
+                .check_invariant(pred);
+            scale_outcome(&out)
+        }
+        Reduction::Sym | Reduction::SymPor | Reduction::SymPorPacked => {
+            match certified_canonical(&model) {
+                Err(refusal) => (ScaleOutcome::Refused(refusal.to_string()), Stats::default()),
+                Ok(canon) => match reduction {
+                    Reduction::Sym => {
+                        let sym = Symmetric::new(&model, canon);
+                        let out = Checker::new(&sym)
+                            .max_states(limits.max_states)
+                            .time_budget(limits.time_budget)
+                            .check_invariant(pred);
+                        scale_outcome(&out)
+                    }
+                    Reduction::SymPor => {
+                        let red = Reduced::new(&model, HbAmpleOracle::new(&model, req));
+                        let sym = Symmetric::new(&red, canon);
+                        let out = Checker::new(&sym)
+                            .max_states(limits.max_states)
+                            .time_budget(limits.time_budget)
+                            .check_invariant(pred);
+                        scale_outcome(&out)
+                    }
+                    _ => {
+                        let red = Reduced::new(&model, HbAmpleOracle::new(&model, req));
+                        let sym = Symmetric::new(&red, canon);
+                        let run = PackedChecker::new(&sym, HbCodec::for_model(&model))
+                            .max_states(limits.max_states)
+                            .time_budget(limits.time_budget)
+                            .check_invariant(pred);
+                        peak_bytes = Some(run.mem.total());
+                        scale_outcome(&run.outcome)
+                    }
+                },
+            }
+        }
+    };
+    ScaleCell {
+        variant,
+        requirement: req,
+        n,
+        reduction,
+        outcome,
+        states: stats.states,
+        transitions: stats.transitions,
+        peak_bytes,
+        millis: start.elapsed().as_millis(),
+    }
+}
+
+/// The multi-party scale campaign: static/expanding/dynamic × `ns` ×
+/// `reqs` × all four reduction stacks, at [`FixLevel::Full`]-style
+/// `fix`. Cells run weakest stack first so a budget-limited sweep still
+/// yields the baseline numbers.
+pub fn scale_grid(
+    params: Params,
+    fix: FixLevel,
+    ns: &[usize],
+    reqs: &[Requirement],
+    limits: ScaleLimits,
+) -> Vec<ScaleCell> {
+    let mut cells = Vec::new();
+    for &variant in &[Variant::Static, Variant::Expanding, Variant::Dynamic] {
+        for &n in ns {
+            for &req in reqs {
+                for reduction in Reduction::ALL {
+                    cells.push(scale_cell(variant, params, fix, req, n, reduction, limits));
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Cross-check a scale sweep: within each (variant, requirement, n)
+/// group, every cell that finished (no exhaustion/refusal) must agree
+/// on the verdict. Returns the disagreeing groups, empty when sound.
+pub fn scale_disagreements(cells: &[ScaleCell]) -> Vec<String> {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<(String, Requirement, usize), Vec<&ScaleCell>> = BTreeMap::new();
+    for c in cells {
+        groups
+            .entry((c.variant.to_string(), c.requirement, c.n))
+            .or_default()
+            .push(c);
+    }
+    let mut bad = Vec::new();
+    for ((v, req, n), group) in groups {
+        let verdicts: Vec<&str> = group
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.outcome,
+                    ScaleOutcome::Holds | ScaleOutcome::Violated { .. }
+                )
+            })
+            .map(|c| c.outcome.symbol())
+            .collect();
+        if verdicts.windows(2).any(|w| w[0] != w[1]) {
+            bad.push(format!("{v}/{req}/n={n}: {verdicts:?}"));
+        }
+    }
+    bad
+}
+
+/// Render a scale sweep as an aligned text table.
+pub fn render_scale(cells: &[ScaleCell]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>3} {:<3} {:<15} {:>8} {:>10} {:>12} {:>12} {:>8}",
+        "variant", "req", "n", "reduction", "verdict", "states", "transitions", "peak-bytes", "ms"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(92));
+    for c in cells {
+        let peak = c
+            .peak_bytes
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "{:<10} {:>3} {:<3} {:<15} {:>8} {:>10} {:>12} {:>12} {:>8}",
+            c.variant.to_string(),
+            c.requirement.name(),
+            c.n,
+            c.reduction.name(),
+            c.outcome.symbol(),
+            c.states,
+            c.transitions,
+            peak,
+            c.millis
+        );
+    }
+    let bad = scale_disagreements(cells);
+    let _ = writeln!(
+        out,
+        "cross-check: {}",
+        if bad.is_empty() {
+            "all finished stacks agree".to_string()
+        } else {
+            format!("DISAGREEMENTS: {bad:?}")
+        }
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +596,77 @@ mod tests {
         report.rows[0].expected = vec![!report.rows[0].verdicts[0].holds];
         assert!(!report.matches_expected());
         assert!(report.render().contains("MISMATCH"));
+    }
+
+    #[test]
+    fn scale_cell_stacks_agree_on_a_small_static_cell() {
+        let p = Params::new(1, 3).unwrap();
+        let limits = ScaleLimits::default();
+        let cells: Vec<ScaleCell> = Reduction::ALL
+            .into_iter()
+            .map(|r| {
+                scale_cell(
+                    Variant::Static,
+                    p,
+                    FixLevel::Original,
+                    Requirement::R2,
+                    2,
+                    r,
+                    limits,
+                )
+            })
+            .collect();
+        assert!(scale_disagreements(&cells).is_empty());
+        assert!(cells.iter().all(|c| c.outcome == ScaleOutcome::Holds));
+        let full = cells[0].states;
+        let sym = cells[1].states;
+        let sym_por = cells[2].states;
+        let packed = cells[3].states;
+        assert!(sym < full, "symmetry must shrink: {sym} vs {full}");
+        assert!(sym_por <= sym, "por must not grow: {sym_por} vs {sym}");
+        assert_eq!(packed, sym_por, "packed explores the same graph");
+        assert!(cells[3].peak_bytes.unwrap() > 0);
+        let rendered = render_scale(&cells);
+        assert!(rendered.contains("sym+por+packed"));
+        assert!(rendered.contains("all finished stacks agree"));
+    }
+
+    #[test]
+    fn scale_cell_reports_exhaustion_within_budget() {
+        let p = Params::new(2, 8).unwrap();
+        let limits = ScaleLimits {
+            max_states: 500,
+            time_budget: Duration::from_secs(5),
+        };
+        let c = scale_cell(
+            Variant::Static,
+            p,
+            FixLevel::Full,
+            Requirement::R2,
+            4,
+            Reduction::Full,
+            limits,
+        );
+        assert_eq!(c.outcome, ScaleOutcome::Exhausted);
+        assert!(c.states <= 501);
+        assert_eq!(c.outcome.symbol(), "—");
+    }
+
+    #[test]
+    fn scale_grid_covers_the_campaign_shape() {
+        let p = Params::new(1, 2).unwrap();
+        let limits = ScaleLimits {
+            max_states: 20_000,
+            time_budget: Duration::from_secs(10),
+        };
+        let cells = scale_grid(p, FixLevel::Full, &[2], &[Requirement::R3], limits);
+        // 3 variants × 1 n × 1 req × 4 stacks.
+        assert_eq!(cells.len(), 12);
+        assert!(scale_disagreements(&cells).is_empty());
+        assert!(cells
+            .iter()
+            .filter(|c| c.reduction == Reduction::SymPorPacked)
+            .all(|c| c.peak_bytes.is_some()));
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod graph;
 pub mod liveness;
 pub mod lts;
 pub mod model;
+pub mod packed;
 pub mod parallel;
 pub mod por;
 pub mod props;

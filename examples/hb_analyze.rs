@@ -1,23 +1,39 @@
 //! `hb_analyze` — the static-analyzer CLI.
 //!
 //! Lints the transition-system IR of every protocol machine and, on
-//! request, runs the POR soundness cross-check:
+//! request, runs the dataflow/symmetry report, the symmetry-certificate
+//! cross-check, the POR soundness cross-check, or the n ≥ 2 scale
+//! campaign:
 //!
 //! ```text
 //! cargo run --release --example hb_analyze                      # human report, all machines
 //! cargo run --release --example hb_analyze -- --json            # one JSON line per finding
 //! cargo run --release --example hb_analyze -- --machines fixed --deny-findings
+//! cargo run --release --example hb_analyze -- --dataflow        # ranges + symmetry verdicts
+//! cargo run --release --example hb_analyze -- --sym-check       # quotient vs brute vs full
 //! cargo run --release --example hb_analyze -- --por-check       # POR vs full, state table
 //! cargo run --release --example hb_analyze -- --por-check --no-por
+//! cargo run --release --example hb_analyze -- --scale --ns 2,4,8 --budget-secs 30
 //! ```
 //!
-//! `--deny-findings` exits non-zero if any finding is reported for the
-//! selected machines — the CI gate runs it over the `--machines fixed`
-//! set (ReceivePriority/Full), which must be clean. `--no-por` is the
+//! `--deny-findings` exits non-zero if any *error-severity* finding is
+//! reported for the selected machines — the CI gate runs it over the
+//! `--machines fixed` set (ReceivePriority/Full), which must be clean.
+//! Advisory findings (`pid-concrete-guard` on the member machines) are
+//! reported but never deny. `--sym-check` exits non-zero if the
+//! certificate census deviates from 48 certified + 24 refused or any
+//! smoke-grid cell's sort-key-quotient verdict disagrees with the
+//! brute-force quotient or the unreduced checker. `--no-por` is the
 //! escape hatch: the cross-check cells run full exploration only.
 
-use hb_analyze::{lint_all, lints, por_check, render_human};
+use hb_analyze::{dataflow, lint_all, lints, por_check, render_human};
 use hb_core::describe::MachineIr;
+use hb_core::{FixLevel, Params, Variant};
+use hb_verify::requirements::{build_model, error_predicate, verify_with_n, Requirement};
+use hb_verify::symmetry::{canonical, certified_canonical};
+use hb_verify::tables::{render_scale, ScaleLimits};
+use mck::symmetry::Symmetric;
+use mck::{CheckOutcome, Checker};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +45,21 @@ fn main() {
             .cloned()
     };
 
+    if flag("--dataflow") {
+        print!(
+            "{}",
+            dataflow::render_dataflow(&dataflow::dataflow_report())
+        );
+        return;
+    }
+    if flag("--sym-check") {
+        sym_check_main();
+        return;
+    }
+    if flag("--scale") {
+        scale_main(&value);
+        return;
+    }
     if flag("--por-check") {
         por_check_main(flag("--no-por"));
         return;
@@ -56,19 +87,145 @@ fn main() {
     } else {
         print!("{}", render_human(&findings, machines.len()));
     }
-    if flag("--deny-findings") && !findings.is_empty() {
+    let denying = findings.iter().filter(|f| !f.lint.is_advisory()).count();
+    if flag("--deny-findings") && denying > 0 {
         eprintln!(
-            "hb_analyze: {} finding(s) on --machines {selection}; denying",
-            findings.len()
+            "hb_analyze: {denying} error-severity finding(s) on --machines {selection}; denying",
         );
         std::process::exit(1);
     }
 }
 
+/// The certificate census plus the three-way verdict cross-check on the
+/// smoke grid: for each multi-party variant × fix extremes × R2/R3 at
+/// n = 2, the sort-key quotient, the brute-force n! quotient, and the
+/// unreduced checker must return the same verdict.
+fn sym_check_main() {
+    let reports = dataflow::dataflow_report();
+    let (certified, refused) = dataflow::verdict_counts(&reports);
+    println!("certificate census: {certified} certified, {refused} refused");
+    let mut failed = certified != 48 || refused != 24;
+    if failed {
+        eprintln!("sym-check: expected 48 certified + 24 refused");
+    }
+
+    let p = Params::new(2, 6).expect("valid params");
+    for variant in [Variant::Static, Variant::Expanding, Variant::Dynamic] {
+        for fix in [FixLevel::Original, FixLevel::Full] {
+            for req in [Requirement::R2, Requirement::R3] {
+                let n = 2;
+                let model = build_model(variant, p, fix, n, req).stagger_starts(true);
+                let canon = match certified_canonical(&model) {
+                    Ok(c) => c,
+                    Err(refusal) => {
+                        eprintln!(
+                            "sym-check: {}/{}/{} unexpectedly refused: {refusal}",
+                            variant.name(),
+                            fix.name(),
+                            req.name()
+                        );
+                        failed = true;
+                        continue;
+                    }
+                };
+                let pred = |s: &hb_verify::HbState| !error_predicate(&model, req)(s);
+                let sorted = Symmetric::new(&model, canon);
+                let sorted_holds = matches!(
+                    Checker::new(&sorted).check_invariant(pred),
+                    CheckOutcome::Holds(_)
+                );
+                let brute = Symmetric::new(&model, canonical);
+                let brute_holds = matches!(
+                    Checker::new(&brute).check_invariant(pred),
+                    CheckOutcome::Holds(_)
+                );
+                let full_holds = verify_with_n(variant, p, fix, req, n).holds;
+                let ok = sorted_holds == brute_holds && brute_holds == full_holds;
+                println!(
+                    "{}/{}/{} n={n}: sorted={} brute={} full={} {}",
+                    variant.name(),
+                    fix.name(),
+                    req.name(),
+                    sorted_holds,
+                    brute_holds,
+                    full_holds,
+                    if ok { "ok" } else { "DIVERGED" }
+                );
+                failed |= !ok;
+            }
+        }
+    }
+    if failed {
+        eprintln!("sym-check: FAILED");
+        std::process::exit(1);
+    }
+    println!("sym-check: all quotient verdicts agree with the unreduced checker");
+}
+
+/// The n ≥ 2 scale campaign (EXPERIMENTS §K). `--variants` and
+/// `--reqs` narrow the grid for piecemeal sweeps of the expensive
+/// corners (`--variants static --reqs R2 --ns 8`).
+fn scale_main(value: &dyn Fn(&str) -> Option<String>) {
+    let ns: Vec<usize> = value("--ns")
+        .unwrap_or_else(|| "2,4,8".into())
+        .split(',')
+        .map(|s| s.trim().parse().expect("--ns takes e.g. 2,4,8"))
+        .collect();
+    let variants: Vec<Variant> = value("--variants")
+        .unwrap_or_else(|| "static,expanding,dynamic".into())
+        .split(',')
+        .map(|s| match s.trim() {
+            "static" => Variant::Static,
+            "expanding" => Variant::Expanding,
+            "dynamic" => Variant::Dynamic,
+            other => panic!("--variants takes static|expanding|dynamic, not '{other}'"),
+        })
+        .collect();
+    let reqs: Vec<Requirement> = value("--reqs")
+        .unwrap_or_else(|| "R2,R3".into())
+        .split(',')
+        .map(|s| match s.trim() {
+            "R1" => Requirement::R1,
+            "R2" => Requirement::R2,
+            "R3" => Requirement::R3,
+            other => panic!("--reqs takes R1|R2|R3, not '{other}'"),
+        })
+        .collect();
+    let limits = ScaleLimits {
+        max_states: value("--max-states")
+            .map(|v| v.parse().expect("--max-states takes a count"))
+            .unwrap_or(ScaleLimits::default().max_states),
+        time_budget: std::time::Duration::from_secs(
+            value("--budget-secs")
+                .map(|v| v.parse().expect("--budget-secs takes seconds"))
+                .unwrap_or(30),
+        ),
+    };
+    let p = Params::new(2, 6).expect("valid params");
+    let mut cells = Vec::new();
+    for &variant in &variants {
+        for &n in &ns {
+            for &req in &reqs {
+                for reduction in hb_verify::Reduction::ALL {
+                    cells.push(hb_verify::scale_cell(
+                        variant,
+                        p,
+                        FixLevel::Full,
+                        req,
+                        n,
+                        reduction,
+                        limits,
+                    ));
+                }
+            }
+        }
+    }
+    print!("{}", render_scale(&cells));
+}
+
 fn por_check_main(no_por: bool) {
     if no_por {
         // Escape hatch: full exploration only, no reduction in play.
-        use hb_verify::requirements::{verify_with_n, Requirement};
         let variants = hb_core::Variant::TABLE1
             .into_iter()
             .chain(hb_core::Variant::TABLE2);

@@ -19,7 +19,10 @@ cargo bench -p bench --bench monitor_overhead -- "$PWD/BENCH_monitor.json"
 echo "==> hot-path throughput (bare vs monitored beats/sec, campaign cells/sec)"
 cargo bench -p bench --bench throughput -- "$PWD/BENCH_throughput.json"
 
+echo "==> mck scale (states/sec and peak frontier bytes per reduction stack, n up to 8)"
+cargo bench -p bench --bench mck_states -- "$PWD/BENCH_mck.json"
+
 echo "==> chaos campaign (sim backend)"
 cargo run --release --example chaos_campaign -- --out BENCH_chaos.json --table
 
-echo "benchmarks done; campaign report in BENCH_chaos.json, monitor overhead in BENCH_monitor.json, throughput in BENCH_throughput.json"
+echo "benchmarks done; campaign report in BENCH_chaos.json, monitor overhead in BENCH_monitor.json, throughput in BENCH_throughput.json, checker scaling in BENCH_mck.json"

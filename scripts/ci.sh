@@ -50,8 +50,19 @@ diff "$tmpdir/failover_a/failover_live.json" artifacts/failover_live.json \
 echo "==> bench smoke (throughput harness runs end to end; no perf assertion)"
 cargo bench -p bench --bench throughput -- --smoke "$tmpdir/throughput_smoke.json" >/dev/null
 
-echo "==> static analyzer gate (fixed machines must be clean)"
+echo "==> mck scale smoke (reduction stacks agree; packed store round-trips)"
+# The bench itself asserts that every finished reduction stack (full,
+# sym, sym+por, sym+por+packed) reports the same verdict.
+cargo bench -p bench --bench mck_states -- --smoke "$tmpdir/mck_smoke.json" >/dev/null
+
+echo "==> static analyzer gate (fixed machines must be free of error findings)"
+# Advisory findings (pid-concrete-guard on the member takeover) are
+# reported but do not deny.
 cargo run --release --example hb_analyze -- --machines fixed --deny-findings
+
+echo "==> symmetry certificate gate (census + quotient vs brute vs full on the smoke grid)"
+cargo run --release --example hb_analyze -- --sym-check > "$tmpdir/sym.txt"
+tail -n 1 "$tmpdir/sym.txt"
 
 echo "==> POR soundness cross-check (reduced vs full verdicts, all table cells)"
 # por_cross_check panics on any verdict divergence; the tail lines report

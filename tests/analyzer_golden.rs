@@ -3,9 +3,11 @@
 //! The expected finding set is the analyzer's regression oracle: every
 //! machine *below* the §6.1 receive-priority fix carries the AM09
 //! timeout-vs-receive overlap, and every machine at or above it is
-//! completely clean. A new lint (or a change to the IR extraction) that
-//! breaks either direction is a bug in the analyzer, not in the
-//! protocols.
+//! free of error-severity findings — the one advisory
+//! (`pid-concrete-guard` on the member machines' rank-dependent
+//! takeover) is itself pinned. A new lint (or a change to the IR
+//! extraction) that breaks either direction is a bug in the analyzer,
+//! not in the protocols.
 
 use accelerated_heartbeat::analyze::{lint_machine, Lint};
 use accelerated_heartbeat::core::describe::DescribeMachine;
@@ -47,8 +49,11 @@ fn every_naive_variant_trips_the_overlap_lint() {
     }
 }
 
-/// Every fixed machine trio (receive priority on) is clean — not just
-/// free of the overlap lint, free of *all* findings.
+/// Every fixed machine trio (receive priority on) is clean of every
+/// *error-severity* finding. The member machine's deterministic
+/// takeover is rank-dependent by design, so the trio legitimately
+/// carries the advisory `pid-concrete-guard` — asserted present, and
+/// asserted to name the takeover transitions and nothing else.
 #[test]
 fn every_fixed_variant_is_clean() {
     for variant in Variant::ALL {
@@ -57,13 +62,28 @@ fn every_fixed_variant_is_clean() {
                 .iter()
                 .flat_map(lint_machine)
                 .collect();
+            let errors: Vec<_> = findings.iter().filter(|f| !f.lint.is_advisory()).collect();
             assert!(
-                findings.is_empty(),
-                "{}/{:?}: expected zero findings, got {:?}",
+                errors.is_empty(),
+                "{}/{:?}: expected zero error-severity findings, got {:?}",
                 variant.name(),
                 fix,
-                findings,
+                errors,
             );
+            let advisories: Vec<_> = findings.iter().filter(|f| f.lint.is_advisory()).collect();
+            assert!(
+                !advisories.is_empty(),
+                "{}/{:?}: the member takeover must surface as an advisory",
+                variant.name(),
+                fix,
+            );
+            for a in advisories {
+                assert_eq!(a.lint, Lint::PidConcreteGuard);
+                assert!(
+                    a.machine.starts_with("member/") && a.items[0].starts_with("takeover"),
+                    "unexpected advisory: {a:?}",
+                );
+            }
         }
     }
 }
@@ -88,7 +108,11 @@ fn the_member_machine_inherits_the_overlap_hazard() {
     }
     let fixed =
         lint_machine(&MemberSpec::new(Variant::Dynamic, p, FixLevel::ReceivePriority).describe());
-    assert!(fixed.is_empty(), "expected zero findings, got {fixed:?}");
+    let errors: Vec<_> = fixed.iter().filter(|f| !f.lint.is_advisory()).collect();
+    assert!(
+        errors.is_empty(),
+        "expected zero error findings, got {errors:?}"
+    );
 }
 
 /// The overlap findings on naive machines survive the JSON round:
@@ -102,10 +126,19 @@ fn findings_serialize_with_stable_lint_names() {
     assert!(!findings.is_empty());
     for f in &findings {
         let json = f.to_json();
-        assert!(
-            json.contains("\"lint\":\"timeout-receive-overlap\""),
-            "unexpected finding in golden set: {json}"
-        );
+        if f.lint.is_advisory() {
+            assert!(
+                json.contains("\"lint\":\"pid-concrete-guard\"")
+                    && json.contains("\"severity\":\"advisory\""),
+                "unexpected advisory in golden set: {json}"
+            );
+        } else {
+            assert!(
+                json.contains("\"lint\":\"timeout-receive-overlap\"")
+                    && json.contains("\"severity\":\"error\""),
+                "unexpected finding in golden set: {json}"
+            );
+        }
         assert!(json.starts_with('{') && json.ends_with('}'));
     }
 }
